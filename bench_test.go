@@ -1,0 +1,322 @@
+package repro
+
+// One benchmark per table/figure of the paper's evaluation (Section 7).
+// Each benchmark drives the same experiment harness that cmd/hugebench
+// prints, at miniature scale so `go test -bench=.` finishes in minutes;
+// run `hugebench -exp all -scale 1` for the full-size reproduction.
+// b.ReportMetric exposes the paper's non-time axes (bytes moved, peak
+// tuples, hit rates) alongside ns/op.
+
+import (
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/cache"
+	"repro/internal/cluster"
+	"repro/internal/engine"
+	"repro/internal/exp"
+	"repro/internal/gen"
+	"repro/internal/metrics"
+	"repro/internal/plan"
+	"repro/internal/query"
+)
+
+func tinyEnv() *exp.Env { return exp.TinyEnv() }
+
+// BenchmarkTable1_SquareLJ: Table 1 — q1 on LJ across all five systems.
+func BenchmarkTable1_SquareLJ(b *testing.B) {
+	e := tinyEnv()
+	g := e.Dataset("LJ")
+	q := query.Q1()
+	b.Run("SEED", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			r := e.RunBaseline("SEED", g, q, 0)
+			reportRun(b, r)
+		}
+	})
+	b.Run("BiGJoin", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			r := e.RunBaseline("BiGJoin", g, q, 0)
+			reportRun(b, r)
+		}
+	})
+	b.Run("BENU", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			r := e.RunBaseline("BENU", g, q, 0)
+			reportRun(b, r)
+		}
+	})
+	b.Run("RADS", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			r := e.RunBaseline("RADS", g, q, 0)
+			reportRun(b, r)
+		}
+	})
+	b.Run("HUGE", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			r := e.RunHUGE(g, q, exp.HugeOpts{})
+			reportRun(b, r)
+		}
+	})
+}
+
+func reportRun(b *testing.B, r exp.RunResult) {
+	b.Helper()
+	if r.Err != nil {
+		b.Fatalf("%s: %v", r.Name, r.Err)
+	}
+	b.ReportMetric(float64(r.Summary.BytesPulled+r.Summary.BytesPushed)/float64(b.N), "commBytes/op")
+	b.ReportMetric(float64(r.Summary.PeakTuples), "peakTuples")
+	b.ReportMetric(float64(r.Count), "results")
+}
+
+// BenchmarkFig5_SpeedupExisting: Exp-1 — baseline logical plans plugged
+// into HUGE.
+func BenchmarkFig5_SpeedupExisting(b *testing.B) {
+	e := tinyEnv()
+	g := e.Dataset("LJ")
+	for _, pn := range []string{"benu", "rads", "seed", "wco"} {
+		b.Run("HUGE-"+pn, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				reportRun(b, e.RunHUGE(g, query.Q1(), exp.HugeOpts{PlanName: pn}))
+			}
+		})
+	}
+}
+
+// BenchmarkFig6_AllRound: Exp-2 — HUGE's optimal plan per dataset (the
+// baselines' cells are covered by Table 1 and the baseline package).
+func BenchmarkFig6_AllRound(b *testing.B) {
+	e := tinyEnv()
+	for _, ds := range []string{"EU", "LJ", "OR", "UK", "FS"} {
+		g := e.Dataset(ds)
+		for _, qn := range []string{"q1", "q2", "q3"} {
+			b.Run(ds+"/"+qn, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					reportRun(b, e.RunHUGE(g, query.ByName(qn), exp.HugeOpts{}))
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkTable4_WebScale: Exp-3 — throughput on the web-like CW stand-in.
+func BenchmarkTable4_WebScale(b *testing.B) {
+	e := tinyEnv()
+	g := e.Dataset("CW")
+	for _, qn := range []string{"q1", "q2", "q3"} {
+		b.Run(qn, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r := e.RunHUGE(g, query.ByName(qn), exp.HugeOpts{})
+				reportRun(b, r)
+				b.ReportMetric(float64(r.Count)/r.Elapsed.Seconds(), "results/s")
+			}
+		})
+	}
+}
+
+// BenchmarkFig7_BatchSize: Exp-4 — RPC aggregation vs batch size.
+func BenchmarkFig7_BatchSize(b *testing.B) {
+	e := tinyEnv()
+	g := e.Dataset("UK")
+	for _, batch := range []int{128, 512, 2048} {
+		b.Run(byteSize(batch), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r := e.RunHUGE(g, query.Q1(), exp.HugeOpts{BatchRows: batch, CacheBytes: 1})
+				reportRun(b, r)
+				b.ReportMetric(float64(r.Summary.RPCCalls), "rpcs")
+			}
+		})
+	}
+}
+
+func byteSize(n int) string {
+	switch {
+	case n >= 1024:
+		return string(rune('0'+n/1024)) + "Krows"
+	default:
+		return string(rune('0'+n/100)) + "00rows"
+	}
+}
+
+// BenchmarkFig8_CacheCapacity: Exp-5 — hit rate and pulled volume vs cache
+// size.
+func BenchmarkFig8_CacheCapacity(b *testing.B) {
+	e := tinyEnv()
+	g := e.Dataset("UK")
+	for _, frac := range []struct {
+		name string
+		f    float64
+	}{{"1pct", 0.01}, {"10pct", 0.10}, {"30pct", 0.30}, {"100pct", 1.0}} {
+		b.Run(frac.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				capBytes := uint64(frac.f * float64(g.SizeBytes()))
+				if capBytes == 0 {
+					capBytes = 1
+				}
+				r := e.RunHUGE(g, query.Q1(), exp.HugeOpts{CacheBytes: capBytes})
+				reportRun(b, r)
+				hits := float64(r.Summary.CacheHits)
+				total := hits + float64(r.Summary.CacheMisses)
+				if total > 0 {
+					b.ReportMetric(100*hits/total, "hitRate%")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTable5_CacheDesign: Exp-6 — LRBU vs its ablations.
+func BenchmarkTable5_CacheDesign(b *testing.B) {
+	e := tinyEnv()
+	g := e.Dataset("UK")
+	for _, kind := range []cache.Kind{cache.LRBU, cache.LRBUCopy, cache.LRBULock, cache.LRUInf, cache.CncrLRU} {
+		b.Run(kind.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				reportRun(b, e.RunHUGE(g, query.Q1(), exp.HugeOpts{
+					CacheKind: kind, CacheBytes: g.SizeBytes() / 10,
+				}))
+			}
+		})
+	}
+}
+
+// BenchmarkFig9_Scheduling: Exp-7 — DFS / adaptive / BFS queue capacities.
+func BenchmarkFig9_Scheduling(b *testing.B) {
+	e := tinyEnv()
+	g := e.Dataset("UK")
+	for _, cfgRow := range []struct {
+		name  string
+		queue int64
+	}{{"DFS", 1}, {"adaptive4K", 4096}, {"adaptive64K", 65536}, {"BFS", -1}} {
+		b.Run(cfgRow.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r := e.RunHUGE(g, query.Q6(), exp.HugeOpts{QueueRows: cfgRow.queue, BatchRows: 256})
+				reportRun(b, r)
+			}
+		})
+	}
+}
+
+// BenchmarkFig10_WorkStealing: Exp-8 — stealing vs static vs region-group.
+func BenchmarkFig10_WorkStealing(b *testing.B) {
+	e := tinyEnv()
+	g := e.Dataset("UK")
+	for _, s := range []struct {
+		name string
+		lb   engine.LoadBalance
+	}{{"HUGE", engine.LBSteal}, {"NOSTL", engine.LBStatic}, {"RGP", engine.LBPivot}} {
+		b.Run(s.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r := e.RunHUGE(g, query.Q2(), exp.HugeOpts{LoadBalance: s.lb, BatchRows: 256})
+				reportRun(b, r)
+				b.ReportMetric(float64(r.Summary.StealsIntra+r.Summary.StealsInter), "steals")
+			}
+		})
+	}
+}
+
+// BenchmarkTable6_HybridPlans: Exp-9 — plan-space comparison on q7/q8.
+func BenchmarkTable6_HybridPlans(b *testing.B) {
+	e := tinyEnv()
+	g := e.Dataset("GO")
+	for _, qn := range []string{"q7", "q8"} {
+		for _, pn := range []string{"wco", "emptyheaded", "graphflow", "optimal"} {
+			b.Run(qn+"/"+pn, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					reportRun(b, e.RunHUGE(g, query.ByName(qn), exp.HugeOpts{PlanName: pn}))
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig11_Scalability: Exp-10 — machine-count sweep, HUGE and
+// BiGJoin.
+func BenchmarkFig11_Scalability(b *testing.B) {
+	e := tinyEnv()
+	g := e.Dataset("FS")
+	for _, k := range []int{1, 2, 4, 8} {
+		b.Run("HUGE/k="+string(rune('0'+k)), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				reportRun(b, e.RunHUGE(g, query.Q2(), exp.HugeOpts{Machines: k}))
+			}
+		})
+	}
+	for _, k := range []int{1, 2, 4, 8} {
+		b.Run("BiGJoin/k="+string(rune('0'+k)), func(b *testing.B) {
+			m := &metrics.Metrics{}
+			for i := 0; i < b.N; i++ {
+				if _, err := baseline.RunBiGJoin(g, query.Q2(), baseline.BiGJoinConfig{NumMachines: k}, m); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblation_Compression: the generic compression optimisation [63]
+// (count the final extension from candidate sets) on vs off — one of the
+// design choices DESIGN.md calls out.
+func BenchmarkAblation_Compression(b *testing.B) {
+	g := gen.PowerLaw(2000, 6, 21)
+	q := query.Q1()
+	df, err := plan.Translate(plan.HugeWcoPlan(q))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, compress := range []bool{true, false} {
+		name := "off"
+		if compress {
+			name = "on"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cl := cluster.New(g, cluster.Config{NumMachines: 2, Workers: 2, CacheKind: cache.LRBU})
+				if _, err := engine.Run(cl, df, engine.Config{BatchRows: 2048, QueueRows: 1 << 16, Compress: compress}); err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(cl.Metrics.PeakTuples()), "peakTuples")
+			}
+		})
+	}
+}
+
+// BenchmarkAblation_Estimators: plan quality under the two cardinality
+// estimators (degree-moment vs Erdős–Rényi), another DESIGN.md choice.
+func BenchmarkAblation_Estimators(b *testing.B) {
+	e := tinyEnv()
+	g := e.Dataset("UK")
+	stats := plan.ComputeStats(g)
+	ests := map[string]plan.CardFunc{
+		"moment": plan.MomentEstimator(stats),
+		"er":     plan.ERRandomGraphEstimator(stats),
+	}
+	for name, card := range ests {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p := plan.Optimize(query.Q8(), plan.Config{NumMachines: 3, GraphEdges: float64(g.NumEdges()), Card: card})
+				df, err := plan.Translate(p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cl := cluster.New(g, cluster.Config{NumMachines: 3, Workers: 2, CacheKind: cache.LRBU})
+				if _, err := engine.Run(cl, df, engine.Config{BatchRows: 1024, QueueRows: 1 << 16}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMicro_Intersect and friends: micro-benchmarks of the hot kernels
+// behind every experiment.
+func BenchmarkMicro_GroundTruthTriangles(b *testing.B) {
+	e := tinyEnv()
+	g := e.Dataset("LJ")
+	q := query.Triangle()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		baseline.GroundTruthCount(g, q)
+	}
+}

@@ -1,0 +1,80 @@
+// Command huge runs a single subgraph-enumeration query on a dataset with
+// a chosen plan, printing the count, timings and communication metrics.
+//
+// Usage:
+//
+//	huge -dataset LJ -scale 1 -query q1 -machines 4 -workers 2 -plan optimal
+//	huge -input edges.txt -query triangle
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/huge"
+)
+
+func main() {
+	var (
+		dataset  = flag.String("dataset", "LJ", "synthetic dataset stand-in: GO LJ OR UK EU FS CW")
+		scale    = flag.Int("scale", 1, "dataset scale multiplier")
+		input    = flag.String("input", "", "edge-list file (overrides -dataset)")
+		queryArg = flag.String("query", "q1", "query: q1..q8 or triangle")
+		planArg  = flag.String("plan", "optimal", "plan: optimal wco seed rads benu emptyheaded graphflow")
+		machines = flag.Int("machines", 4, "simulated machines")
+		workers  = flag.Int("workers", 2, "workers per machine")
+		queue    = flag.Int64("queue", 0, "scheduler queue capacity in rows (0=default, 1=DFS, -1=BFS)")
+		showPlan = flag.Bool("show-plan", false, "print the execution plan before running")
+	)
+	flag.Parse()
+
+	q := huge.QueryByName(*queryArg)
+	if q == nil {
+		fmt.Fprintf(os.Stderr, "unknown query %q\n", *queryArg)
+		os.Exit(2)
+	}
+	var g *huge.Graph
+	if *input != "" {
+		f, err := os.Open(*input)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		g, err = huge.LoadEdgeList(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	} else {
+		g = huge.Generate(*dataset, *scale)
+	}
+	fmt.Printf("graph: %d vertices, %d edges, max degree %d\n",
+		g.NumVertices(), g.NumEdges(), g.MaxDegree())
+
+	sys := huge.NewSystem(g, huge.Options{Machines: *machines, Workers: *workers, QueueRows: *queue})
+	p := sys.PlanFor(q, *planArg)
+	if *showPlan {
+		fmt.Print(p.String())
+	}
+	res, err := sys.RunPlan(q, p)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("query %s: %d matches in %v\n", q.Name(), res.Count, res.Elapsed)
+	m := res.Metrics
+	fmt.Printf("comm: pulled %.2fMB pushed %.2fMB rpcs %d hitRate %.1f%%\n",
+		float64(m.BytesPulled)/(1<<20), float64(m.BytesPushed)/(1<<20), m.RPCCalls,
+		100*float64(m.CacheHits)/float64(maxU(1, m.CacheHits+m.CacheMisses)))
+	fmt.Printf("memory: peak %d queued tuples; steals intra=%d inter=%d\n",
+		m.PeakTuples, m.StealsIntra, m.StealsInter)
+}
+
+func maxU(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,43 @@
+// Pattern queries: the Cypher-flavoured front end sketched in Section 6.
+// Patterns are written as comma-separated edges between named vertices and
+// compiled straight into HUGE execution plans; the motif spectrum of every
+// 4-vertex pattern is computed via the GPM layer.
+package main
+
+import (
+	"fmt"
+
+	"repro/gpm"
+	"repro/huge"
+)
+
+func main() {
+	g := huge.Generate("GO", 1)
+	sys := huge.NewSystem(g, huge.Options{Machines: 4, Workers: 2})
+	fmt.Printf("data graph: %d vertices, %d edges\n", g.NumVertices(), g.NumEdges())
+
+	// Ad-hoc pattern strings.
+	for _, p := range []struct{ name, pattern string }{
+		{"triangle", "(a)-(b), (b)-(c), (c)-(a)"},
+		{"square", "a-b, b-c, c-d, d-a"},
+		{"paw", "a-b, b-c, c-a, c-d"},
+		{"bowtie", "a-b, b-c, c-a, c-d, d-e, e-c"},
+	} {
+		res, names, err := sys.MatchPattern(p.name, p.pattern)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("  %-9s %q -> %d matches over %d named vertices (%.3fs)\n",
+			p.name, p.pattern, res.Count, len(names), res.Elapsed.Seconds())
+	}
+
+	// The full 4-vertex motif spectrum via the GPM layer (Section 6).
+	fmt.Println("4-vertex motif spectrum (all 6 non-isomorphic connected patterns):")
+	spec, err := gpm.Spectrum(sys, 4)
+	if err != nil {
+		panic(err)
+	}
+	for _, mc := range spec {
+		fmt.Printf("  %-20s (%d edges) %12d\n", mc.Pattern.Name(), mc.Pattern.NumEdges(), mc.Count)
+	}
+}

@@ -1,0 +1,189 @@
+// Package gpm builds the graph-pattern-mining application of Section 6 on
+// top of the HUGE engine: GPM systems (Arabesque, Fractal, Peregrine, ...)
+// repeatedly enumerate subgraphs from small patterns to larger ones; here
+// that loop is expressed as a sequence of HUGE queries — one per
+// non-isomorphic connected pattern — so motif counting and frequent
+// subgraph mining inherit HUGE's hybrid communication and bounded memory.
+package gpm
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/huge"
+)
+
+// ConnectedPatterns returns every non-isomorphic connected unlabelled graph
+// with exactly k vertices (k >= 2), as HUGE queries with symmetry-breaking
+// orders already derived. Counts: k=2 → 1, k=3 → 2, k=4 → 6, k=5 → 21.
+func ConnectedPatterns(k int) []*huge.Query {
+	if k < 2 || k > 6 {
+		panic("gpm: ConnectedPatterns supports 2 <= k <= 6")
+	}
+	type edge = [2]int
+	var allEdges []edge
+	for a := 0; a < k; a++ {
+		for b := a + 1; b < k; b++ {
+			allEdges = append(allEdges, edge{a, b})
+		}
+	}
+	perms := permutations(k)
+	seen := map[string]bool{}
+	var out []*huge.Query
+	total := 1 << len(allEdges)
+	for mask := 0; mask < total; mask++ {
+		var edges []edge
+		for i, e := range allEdges {
+			if mask&(1<<i) != 0 {
+				edges = append(edges, e)
+			}
+		}
+		if len(edges) < k-1 || !connected(k, edges) || !coversAll(k, edges) {
+			continue
+		}
+		canon := canonicalForm(k, edges, perms)
+		if seen[canon] {
+			continue
+		}
+		seen[canon] = true
+		qEdges := make([][2]int, len(edges))
+		copy(qEdges, edges)
+		out = append(out, huge.NewQuery(fmt.Sprintf("pattern-%dv-%de-#%d", k, len(edges), len(out)+1), qEdges))
+	}
+	// Deterministic order: by edge count, then canonical form.
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].NumEdges() != out[j].NumEdges() {
+			return out[i].NumEdges() < out[j].NumEdges()
+		}
+		return out[i].Name() < out[j].Name()
+	})
+	return out
+}
+
+func coversAll(k int, edges [][2]int) bool {
+	cover := make([]bool, k)
+	for _, e := range edges {
+		cover[e[0]], cover[e[1]] = true, true
+	}
+	for _, c := range cover {
+		if !c {
+			return false
+		}
+	}
+	return true
+}
+
+func connected(k int, edges [][2]int) bool {
+	adj := make([][]int, k)
+	for _, e := range edges {
+		adj[e[0]] = append(adj[e[0]], e[1])
+		adj[e[1]] = append(adj[e[1]], e[0])
+	}
+	visited := make([]bool, k)
+	stack := []int{0}
+	visited[0] = true
+	n := 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, u := range adj[v] {
+			if !visited[u] {
+				visited[u] = true
+				n++
+				stack = append(stack, u)
+			}
+		}
+	}
+	return n == k
+}
+
+// canonicalForm returns the lexicographically smallest adjacency bitstring
+// over all vertex permutations — a canonical label for isomorphism testing
+// at these sizes.
+func canonicalForm(k int, edges [][2]int, perms [][]int) string {
+	adj := make([][]bool, k)
+	for i := range adj {
+		adj[i] = make([]bool, k)
+	}
+	for _, e := range edges {
+		adj[e[0]][e[1]] = true
+		adj[e[1]][e[0]] = true
+	}
+	best := ""
+	buf := make([]byte, 0, k*k)
+	for _, p := range perms {
+		buf = buf[:0]
+		for a := 0; a < k; a++ {
+			for b := a + 1; b < k; b++ {
+				if adj[p[a]][p[b]] {
+					buf = append(buf, '1')
+				} else {
+					buf = append(buf, '0')
+				}
+			}
+		}
+		s := string(buf)
+		if best == "" || s < best {
+			best = s
+		}
+	}
+	return best
+}
+
+func permutations(k int) [][]int {
+	var out [][]int
+	perm := make([]int, k)
+	used := make([]bool, k)
+	var rec func(d int)
+	rec = func(d int) {
+		if d == k {
+			out = append(out, append([]int(nil), perm...))
+			return
+		}
+		for v := 0; v < k; v++ {
+			if !used[v] {
+				used[v] = true
+				perm[d] = v
+				rec(d + 1)
+				used[v] = false
+			}
+		}
+	}
+	rec(0)
+	return out
+}
+
+// MotifCount is one pattern's result in a spectrum.
+type MotifCount struct {
+	Pattern *huge.Query
+	Count   uint64
+}
+
+// Spectrum counts every k-vertex motif on the system's graph.
+func Spectrum(sys *huge.System, k int) ([]MotifCount, error) {
+	var out []MotifCount
+	for _, q := range ConnectedPatterns(k) {
+		res, err := sys.Run(q)
+		if err != nil {
+			return nil, fmt.Errorf("gpm: pattern %s: %w", q.Name(), err)
+		}
+		out = append(out, MotifCount{Pattern: q, Count: res.Count})
+	}
+	return out, nil
+}
+
+// Frequent returns the k-vertex patterns whose count meets the support
+// threshold — the inner loop of frequent subgraph mining [36].
+func Frequent(sys *huge.System, k int, support uint64) ([]MotifCount, error) {
+	spec, err := Spectrum(sys, k)
+	if err != nil {
+		return nil, err
+	}
+	var out []MotifCount
+	for _, mc := range spec {
+		if mc.Count >= support {
+			out = append(out, mc)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,80 @@
+package gpm
+
+import (
+	"testing"
+
+	"repro/huge"
+	"repro/internal/baseline"
+)
+
+func TestConnectedPatternCounts(t *testing.T) {
+	// OEIS A001349 (connected graphs on n unlabelled nodes): 1, 2, 6, 21.
+	want := map[int]int{2: 1, 3: 2, 4: 6, 5: 21}
+	for k, n := range want {
+		got := ConnectedPatterns(k)
+		if len(got) != n {
+			t.Errorf("k=%d: %d patterns, want %d", k, len(got), n)
+		}
+	}
+}
+
+func TestConnectedPatternsDistinct(t *testing.T) {
+	ps := ConnectedPatterns(4)
+	perms := permutations(4)
+	seen := map[string]bool{}
+	for _, q := range ps {
+		c := canonicalForm(4, q.Edges(), perms)
+		if seen[c] {
+			t.Fatalf("duplicate pattern %s", q.Name())
+		}
+		seen[c] = true
+	}
+}
+
+func TestConnectedPatternsBounds(t *testing.T) {
+	for _, k := range []int{1, 7} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("k=%d: expected panic", k)
+				}
+			}()
+			ConnectedPatterns(k)
+		}()
+	}
+}
+
+func TestSpectrumMatchesGroundTruth(t *testing.T) {
+	g := huge.Generate("GO", 1)
+	sys := huge.NewSystem(g, huge.Options{Machines: 2, Workers: 2})
+	spec, err := Spectrum(sys, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec) != 2 {
+		t.Fatalf("3-vertex spectrum has %d entries", len(spec))
+	}
+	for _, mc := range spec {
+		want := baseline.GroundTruthCount(g, mc.Pattern)
+		if mc.Count != want {
+			t.Errorf("%s: %d, want %d", mc.Pattern.Name(), mc.Count, want)
+		}
+	}
+}
+
+func TestFrequentFilters(t *testing.T) {
+	g := huge.FromEdges([][2]huge.VertexID{{0, 1}, {1, 2}, {0, 2}, {2, 3}})
+	sys := huge.NewSystem(g, huge.Options{})
+	// Wedges: 0-1-2 variants + around 2... counts: triangle=1, wedge=?
+	all, err := Frequent(sys, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	some, err := Frequent(sys, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(some) >= len(all) {
+		t.Fatalf("support threshold did not filter: %d vs %d", len(some), len(all))
+	}
+}

@@ -1,0 +1,228 @@
+// Package huge is the public API of this repository: a from-scratch Go
+// reproduction of "HUGE: An Efficient and Scalable Subgraph Enumeration
+// System" (SIGMOD 2021). It wires together the optimiser (internal/plan),
+// the pushing/pulling-hybrid compute engine (internal/engine) and the
+// simulated shared-nothing cluster (internal/cluster) behind a small
+// surface:
+//
+//	g := huge.Generate("LJ", 1)                  // or huge.LoadEdgeList(r)
+//	sys := huge.NewSystem(g, huge.Options{Machines: 4})
+//	res, err := sys.Run(huge.Q1())               // square query
+//	fmt.Println(res.Count, res.Metrics.BytesPulled)
+package huge
+
+import (
+	"io"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/cluster"
+	"repro/internal/engine"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/metrics"
+	"repro/internal/plan"
+	"repro/internal/query"
+)
+
+// Re-exported core types, so applications only import this package.
+type (
+	// Graph is an immutable undirected data graph in CSR form.
+	Graph = graph.Graph
+	// VertexID identifies a data-graph vertex.
+	VertexID = graph.VertexID
+	// Query is a connected query (pattern) graph with symmetry-breaking
+	// orders derived from its automorphism group.
+	Query = query.Query
+	// Plan is an execution plan (join tree with physical settings).
+	Plan = plan.Plan
+	// Summary is the metric snapshot of one run.
+	Summary = metrics.Summary
+)
+
+// NewQuery builds a query graph from an edge list over vertices 0..n-1.
+func NewQuery(name string, edges [][2]int) *Query { return query.New(name, edges) }
+
+// The paper's benchmark queries (Figure 4) and the triangle.
+func Q1() *Query       { return query.Q1() }
+func Q2() *Query       { return query.Q2() }
+func Q3() *Query       { return query.Q3() }
+func Q4() *Query       { return query.Q4() }
+func Q5() *Query       { return query.Q5() }
+func Q6() *Query       { return query.Q6() }
+func Q7() *Query       { return query.Q7() }
+func Q8() *Query       { return query.Q8() }
+func Triangle() *Query { return query.Triangle() }
+
+// QueryByName resolves "q1".."q8" or "triangle" (nil if unknown).
+func QueryByName(name string) *Query { return query.ByName(name) }
+
+// FromEdges builds a data graph from an undirected edge list.
+func FromEdges(edges [][2]VertexID) *Graph { return graph.FromEdges(edges) }
+
+// LoadEdgeList reads a whitespace-separated edge list ('#' comments).
+func LoadEdgeList(r io.Reader) (*Graph, error) { return graph.ReadEdgeList(r) }
+
+// Generate creates a synthetic stand-in for one of the paper's datasets
+// (GO, LJ, OR, UK, EU, FS, CW) at the given scale multiplier.
+func Generate(dataset string, scale int) *Graph { return gen.ByName(dataset, scale) }
+
+// Options configures a System. The zero value gives a single-machine,
+// single-worker system with the paper's default knobs.
+type Options struct {
+	Machines int // simulated machines (default 1)
+	Workers  int // workers per machine (default 1)
+
+	// BatchRows is the batch size (Section 4.2; paper default 512K).
+	BatchRows int
+	// QueueRows is the adaptive scheduler's output-queue capacity
+	// (Section 5.2): -1 = unbounded (BFS), 1 = one batch (DFS),
+	// 0 = the default adaptive capacity.
+	QueueRows int64
+	// CacheBytes is the LRBU capacity per machine (default: 30% of the
+	// graph, the paper's setting).
+	CacheBytes uint64
+	// CacheKind selects the Exp-6 cache variant (default LRBU).
+	CacheKind cache.Kind
+	// LoadBalance selects the Exp-8 strategy (default two-layer stealing).
+	LoadBalance engine.LoadBalance
+	// Latency optionally injects simulated network cost.
+	Latency cluster.LatencyModel
+	// JoinBufferRows is the PUSH-JOIN spill threshold.
+	JoinBufferRows int
+	// NoCompress disables the generic compression optimisation [63]
+	// (counting the final extension from candidate sets); it is enabled by
+	// default, as in the paper's implementations.
+	NoCompress bool
+}
+
+func (o Options) normalise() Options {
+	if o.Machines < 1 {
+		o.Machines = 1
+	}
+	if o.Workers < 1 {
+		o.Workers = 1
+	}
+	if o.QueueRows == 0 {
+		o.QueueRows = 1 << 20
+	}
+	return o
+}
+
+// System is a data graph deployed on a simulated HUGE cluster.
+type System struct {
+	g     *Graph
+	cl    *cluster.Cluster
+	opts  Options
+	stats plan.GraphStats
+	card  plan.CardFunc
+}
+
+// NewSystem partitions g across the configured machines.
+func NewSystem(g *Graph, opts Options) *System {
+	opts = opts.normalise()
+	cl := cluster.New(g, cluster.Config{
+		NumMachines: opts.Machines,
+		Workers:     opts.Workers,
+		CacheKind:   opts.CacheKind,
+		CacheBytes:  opts.CacheBytes,
+		Latency:     opts.Latency,
+	})
+	stats := plan.ComputeStats(g)
+	return &System{g: g, cl: cl, opts: opts, stats: stats, card: plan.MomentEstimator(stats)}
+}
+
+// Graph returns the underlying data graph.
+func (s *System) Graph() *Graph { return s.g }
+
+// Plan computes the optimal execution plan for q (Algorithm 1).
+func (s *System) Plan(q *Query) *Plan {
+	return plan.Optimize(q, plan.Config{
+		NumMachines: s.opts.Machines,
+		GraphEdges:  float64(s.g.NumEdges()),
+		Card:        s.card,
+	})
+}
+
+// PlanFor returns a named logical plan reconfigured for HUGE (Remark 3.2):
+// "wco" (HUGE−WCO), "seed", "rads", "benu", "emptyheaded", "graphflow",
+// or "optimal".
+func (s *System) PlanFor(q *Query, name string) *Plan {
+	switch name {
+	case "wco":
+		return plan.HugeWcoPlan(q)
+	case "seed":
+		return plan.SEEDPlan(q, s.card)
+	case "rads":
+		return plan.ReconfigurePhysical(plan.RADSPlan(q))
+	case "benu":
+		return plan.ReconfigurePhysical(plan.BENUPlan(q))
+	case "emptyheaded":
+		return plan.ReconfigurePhysical(plan.EmptyHeadedPlan(q, s.card))
+	case "graphflow":
+		return plan.ReconfigurePhysical(plan.GraphFlowPlan(q, s.stats))
+	default:
+		return s.Plan(q)
+	}
+}
+
+// Result reports one query execution.
+type Result struct {
+	Count   uint64
+	Elapsed time.Duration
+	Metrics Summary
+	Plan    *Plan
+}
+
+// Run enumerates q with the optimal plan.
+func (s *System) Run(q *Query) (Result, error) { return s.RunPlan(q, s.Plan(q)) }
+
+// RunPlan enumerates q with a specific plan.
+func (s *System) RunPlan(q *Query, p *Plan) (Result, error) {
+	return s.runPlan(q, p, nil)
+}
+
+// Enumerate streams every match to fn (indexed by query vertex; the slice
+// is only valid during the call; fn must be safe for concurrent calls).
+func (s *System) Enumerate(q *Query, fn func(match []VertexID)) (Result, error) {
+	return s.runPlan(q, s.Plan(q), fn)
+}
+
+func (s *System) runPlan(q *Query, p *Plan, fn func([]VertexID)) (Result, error) {
+	df, err := plan.Translate(p)
+	if err != nil {
+		return Result{}, err
+	}
+	// Engine rows arrive in slot order; re-index them by query vertex for
+	// the caller.
+	var onResult func([]VertexID)
+	if fn != nil {
+		layout := df.Stages[len(df.Stages)-1].OutputLayout()
+		onResult = func(row []VertexID) {
+			match := make([]VertexID, len(row))
+			for slot, qv := range layout {
+				match[qv] = row[slot]
+			}
+			fn(match)
+		}
+	}
+	s.cl.ResetMetrics()
+	start := time.Now()
+	count, err := engine.Run(s.cl, df, engine.Config{
+		BatchRows:      s.opts.BatchRows,
+		QueueRows:      s.opts.QueueRows,
+		LoadBalance:    s.opts.LoadBalance,
+		JoinBufferRows: s.opts.JoinBufferRows,
+		OnResult:       onResult,
+		Compress:       !s.opts.NoCompress,
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Count:   count,
+		Elapsed: time.Since(start),
+		Metrics: s.cl.Metrics.Snapshot(),
+		Plan:    p,
+	}, nil
+}

@@ -1,0 +1,82 @@
+package huge
+
+// Path queries (Section 6): hop-constrained simple-path enumeration and
+// shortest-path search expressed as chains of PULL-EXTEND operators over
+// the h-hop path pattern.
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// pathPattern is the h-edge path v0-v1-...-vh.
+func pathPattern(h int) *Query {
+	edges := make([][2]int, h)
+	for i := range edges {
+		edges[i] = [2]int{i, i + 1}
+	}
+	return NewQuery(fmt.Sprintf("%d-hop-path", h), edges)
+}
+
+// SimplePaths counts the simple paths of exactly hops edges between src and
+// dst (1 <= hops <= 8).
+func (s *System) SimplePaths(src, dst VertexID, hops int) (uint64, error) {
+	if hops < 1 || hops > 8 {
+		return 0, fmt.Errorf("huge: hops must be in [1, 8], got %d", hops)
+	}
+	if src == dst {
+		return 0, fmt.Errorf("huge: src and dst must differ (simple paths)")
+	}
+	q := pathPattern(hops)
+	var n atomic.Uint64
+	_, err := s.Enumerate(q, func(m []VertexID) {
+		a, b := m[0], m[len(m)-1]
+		// The path pattern's symmetry breaking fixes one orientation, so
+		// each undirected s-t path shows up exactly once with either
+		// endpoint order.
+		if (a == src && b == dst) || (a == dst && b == src) {
+			n.Add(1)
+		}
+	})
+	if err != nil {
+		return 0, err
+	}
+	return n.Load(), nil
+}
+
+// ShortestPath returns the hop distance between src and dst by extending
+// from the source frontier one PULL-EXTEND step at a time — the Section 6
+// construction — up to maxHops. It returns -1 if dst is unreachable within
+// the bound. (This walks the distributed partitions through the same
+// accounted adjacency access the engine uses.)
+func (s *System) ShortestPath(src, dst VertexID, maxHops int) (int, error) {
+	if int(src) >= s.g.NumVertices() || int(dst) >= s.g.NumVertices() {
+		return 0, fmt.Errorf("huge: vertex out of range")
+	}
+	if src == dst {
+		return 0, nil
+	}
+	visited := make(map[VertexID]bool, 1024)
+	visited[src] = true
+	frontier := []VertexID{src}
+	for depth := 1; depth <= maxHops; depth++ {
+		var next []VertexID
+		for _, u := range frontier {
+			for _, w := range s.g.Neighbors(u) {
+				if visited[w] {
+					continue
+				}
+				if w == dst {
+					return depth, nil
+				}
+				visited[w] = true
+				next = append(next, w)
+			}
+		}
+		if len(next) == 0 {
+			return -1, nil
+		}
+		frontier = next
+	}
+	return -1, nil
+}

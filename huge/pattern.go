@@ -1,0 +1,98 @@
+package huge
+
+// A Cypher-flavoured pattern parser (Section 6 sketches HUGE as the engine
+// of a Cypher-based graph database): patterns are comma-separated edges
+// between named vertices, e.g.
+//
+//	"(a)-(b), (b)-(c), (c)-(a)"        // triangle
+//	"a-b, b-c, c-d, d-a"               // square; parentheses optional
+//
+// Vertex names are assigned query-vertex IDs in order of first appearance.
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ParsePattern parses a pattern string into a query graph. It returns the
+// query and the mapping from vertex names to query-vertex indices (usable
+// with Enumerate's match slices).
+func ParsePattern(name, pattern string) (*Query, map[string]int, error) {
+	names := map[string]int{}
+	var edges [][2]int
+	intern := func(tok string) (int, error) {
+		tok = strings.TrimSpace(tok)
+		tok = strings.TrimPrefix(tok, "(")
+		tok = strings.TrimSuffix(tok, ")")
+		if tok == "" {
+			return 0, fmt.Errorf("empty vertex name")
+		}
+		for _, r := range tok {
+			if !(r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9' || r == '_') {
+				return 0, fmt.Errorf("invalid vertex name %q", tok)
+			}
+		}
+		if id, ok := names[tok]; ok {
+			return id, nil
+		}
+		id := len(names)
+		names[tok] = id
+		return id, nil
+	}
+	for i, part := range strings.Split(pattern, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		ends := strings.Split(part, "-")
+		if len(ends) != 2 {
+			return nil, nil, fmt.Errorf("pattern %s: edge %d (%q): want exactly one '-'", name, i+1, part)
+		}
+		a, err := intern(ends[0])
+		if err != nil {
+			return nil, nil, fmt.Errorf("pattern %s: edge %d: %v", name, i+1, err)
+		}
+		b, err := intern(ends[1])
+		if err != nil {
+			return nil, nil, fmt.Errorf("pattern %s: edge %d: %v", name, i+1, err)
+		}
+		if a == b {
+			return nil, nil, fmt.Errorf("pattern %s: edge %d: self-loop on %q", name, i+1, ends[0])
+		}
+		for _, e := range edges {
+			if (e[0] == a && e[1] == b) || (e[0] == b && e[1] == a) {
+				return nil, nil, fmt.Errorf("pattern %s: duplicate edge %q", name, part)
+			}
+		}
+		edges = append(edges, [2]int{a, b})
+	}
+	if len(edges) == 0 {
+		return nil, nil, fmt.Errorf("pattern %s: no edges", name)
+	}
+	q, err := safeNewQuery(name, edges)
+	if err != nil {
+		return nil, nil, fmt.Errorf("pattern %s: %v", name, err)
+	}
+	return q, names, nil
+}
+
+// safeNewQuery converts query.New's construction panics (disconnected
+// pattern, too many vertices) into errors for parser callers.
+func safeNewQuery(name string, edges [][2]int) (q *Query, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%v", r)
+		}
+	}()
+	return NewQuery(name, edges), nil
+}
+
+// MatchPattern parses and runs a pattern in one call.
+func (s *System) MatchPattern(name, pattern string) (Result, map[string]int, error) {
+	q, names, err := ParsePattern(name, pattern)
+	if err != nil {
+		return Result{}, nil, err
+	}
+	res, err := s.Run(q)
+	return res, names, err
+}

@@ -1,0 +1,132 @@
+package huge
+
+import (
+	"testing"
+
+	"repro/internal/baseline"
+)
+
+func TestParsePatternTriangle(t *testing.T) {
+	q, names, err := ParsePattern("tri", "(a)-(b), (b)-(c), (c)-(a)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.NumVertices() != 3 || q.NumEdges() != 3 {
+		t.Fatalf("parsed %d vertices %d edges", q.NumVertices(), q.NumEdges())
+	}
+	if names["a"] != 0 || names["b"] != 1 || names["c"] != 2 {
+		t.Fatalf("name mapping %v", names)
+	}
+	// Counts must agree with the catalog triangle.
+	g := Generate("GO", 1)
+	if got, want := baseline.GroundTruthCount(g, q), baseline.GroundTruthCount(g, Triangle()); got != want {
+		t.Fatalf("parsed triangle counts %d, catalog %d", got, want)
+	}
+}
+
+func TestParsePatternBareNames(t *testing.T) {
+	q, _, err := ParsePattern("sq", "a-b, b-c, c-d, d-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.NumVertices() != 4 || q.NumEdges() != 4 {
+		t.Fatalf("square parse: %d/%d", q.NumVertices(), q.NumEdges())
+	}
+}
+
+func TestParsePatternErrors(t *testing.T) {
+	cases := []string{
+		"",         // no edges
+		"a-a",      // self loop
+		"a-b, a-b", // duplicate
+		"a-b, b-a", // duplicate reversed
+		"a-b-c",    // malformed edge
+		"a-",       // empty name
+		"a!-b",     // invalid name
+		"a-b, c-d", // disconnected
+	}
+	for _, c := range cases {
+		if _, _, err := ParsePattern("bad", c); err == nil {
+			t.Errorf("pattern %q: expected error", c)
+		}
+	}
+}
+
+func TestMatchPattern(t *testing.T) {
+	g := FromEdges([][2]VertexID{{0, 1}, {1, 2}, {0, 2}})
+	sys := NewSystem(g, Options{})
+	res, names, err := sys.MatchPattern("tri", "x-y, y-z, z-x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != 1 {
+		t.Fatalf("count %d", res.Count)
+	}
+	if len(names) != 3 {
+		t.Fatalf("names %v", names)
+	}
+}
+
+func TestSimplePathsAndShortestPath(t *testing.T) {
+	// 0-1-2-3 path plus a shortcut 0-2.
+	g := FromEdges([][2]VertexID{{0, 1}, {1, 2}, {2, 3}, {0, 2}})
+	sys := NewSystem(g, Options{})
+
+	// Paths of 1 hop between 0 and 2: the shortcut.
+	n, err := sys.SimplePaths(0, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("1-hop paths 0-2 = %d, want 1", n)
+	}
+	// Paths of 2 hops between 0 and 3: 0-2-3 only.
+	n, err = sys.SimplePaths(0, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("2-hop paths 0-3 = %d, want 1", n)
+	}
+	// Paths of 3 hops between 0 and 3: 0-1-2-3.
+	n, err = sys.SimplePaths(0, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("3-hop paths 0-3 = %d, want 1", n)
+	}
+
+	if d, err := sys.ShortestPath(0, 3, 10); err != nil || d != 2 {
+		t.Fatalf("shortest 0-3 = %d (%v), want 2", d, err)
+	}
+	if d, err := sys.ShortestPath(0, 0, 10); err != nil || d != 0 {
+		t.Fatalf("shortest 0-0 = %d (%v)", d, err)
+	}
+	// Unreachable within 0 hops allowed? maxHops bound respected:
+	if d, err := sys.ShortestPath(0, 3, 1); err != nil || d != -1 {
+		t.Fatalf("bounded shortest 0-3 = %d (%v), want -1", d, err)
+	}
+}
+
+func TestSimplePathsValidation(t *testing.T) {
+	g := FromEdges([][2]VertexID{{0, 1}})
+	sys := NewSystem(g, Options{})
+	if _, err := sys.SimplePaths(0, 0, 2); err == nil {
+		t.Error("src==dst accepted")
+	}
+	if _, err := sys.SimplePaths(0, 1, 0); err == nil {
+		t.Error("0 hops accepted")
+	}
+	if _, err := sys.SimplePaths(0, 1, 99); err == nil {
+		t.Error("99 hops accepted")
+	}
+}
+
+func TestShortestPathOutOfRange(t *testing.T) {
+	g := FromEdges([][2]VertexID{{0, 1}})
+	sys := NewSystem(g, Options{})
+	if _, err := sys.ShortestPath(0, 99, 3); err == nil {
+		t.Error("out-of-range vertex accepted")
+	}
+}

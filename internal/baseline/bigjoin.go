@@ -1,0 +1,168 @@
+package baseline
+
+import (
+	"repro/internal/graph"
+	"repro/internal/metrics"
+	"repro/internal/plan"
+	"repro/internal/query"
+)
+
+// BiGJoinConfig parameterises the BiGJoin baseline (Ammar et al. [5]):
+// worst-case-optimal join scheduled strictly BFS, with pushing
+// communication — every extension routes the prefix (and the running
+// candidate set) to the machines owning the vertices being intersected.
+type BiGJoinConfig struct {
+	NumMachines int
+	// BatchPivots is the static batching heuristic: at most this many
+	// initial edges enter the dataflow per round (0 = everything at once).
+	BatchPivots int
+	// MemLimitTuples simulates machine memory: exceeding it returns ErrOOM.
+	MemLimitTuples int64
+	// Comm models the network cost of the routed prefixes and candidate
+	// sets.
+	Comm CommCost
+}
+
+// RunBiGJoin enumerates q on g, returning the count. Communication and
+// peak-memory metrics land in m, reproducing the paper's observation that
+// pushing wco joins transfer d_G·|R| data and materialise whole levels.
+func RunBiGJoin(g *graph.Graph, q *query.Query, cfg BiGJoinConfig, m *metrics.Metrics) (uint64, error) {
+	if cfg.NumMachines < 1 {
+		cfg.NumMachines = 1
+	}
+	k := cfg.NumMachines
+	part := graph.NewPartitioner(k)
+	order := plan.MatchingOrder(q)
+	guard := &memGuard{m: m, limit: cfg.MemLimitTuples}
+
+	// Initial edges: matches of (order[0], order[1]).
+	v0, v1 := order[0], order[1]
+	var initial []graph.VertexID // row-major pairs, owner = owner(u)
+	for u := 0; u < g.NumVertices(); u++ {
+		for _, w := range g.Neighbors(graph.VertexID(u)) {
+			row := []graph.VertexID{graph.VertexID(u), w}
+			if checkOrderWith(q, []int{v0}, row[:1], v1, w) && checkOrderWith(q, nil, nil, v0, graph.VertexID(u)) {
+				initial = append(initial, graph.VertexID(u), w)
+			}
+		}
+	}
+	batch := cfg.BatchPivots
+	if batch <= 0 {
+		batch = len(initial)/2 + 1
+	}
+
+	var total uint64
+	for lo := 0; lo < len(initial); lo += batch * 2 {
+		hi := lo + batch*2
+		if hi > len(initial) {
+			hi = len(initial)
+		}
+		cur := newRel(k, []int{v0, v1})
+		for i := lo; i < hi; i += 2 {
+			dest := part.Owner(initial[i])
+			cur.rows[dest] = append(cur.rows[dest], initial[i], initial[i+1])
+		}
+		if err := guard.add(int64(hi-lo) / 2); err != nil {
+			return 0, err
+		}
+		n, err := bigjoinExpand(g, q, part, order, cur, guard, m, cfg.Comm)
+		if err != nil {
+			return 0, err
+		}
+		total += n
+	}
+	m.Results.Add(total)
+	return total, nil
+}
+
+// bigjoinExpand runs the BFS rounds for one pivot batch.
+func bigjoinExpand(g *graph.Graph, q *query.Query, part graph.Partitioner, order []int,
+	cur *rel, guard *memGuard, m *metrics.Metrics, comm CommCost) (uint64, error) {
+	k := part.NumMachines()
+	matched := append([]int(nil), order[:2]...)
+	for step := 2; step < len(order); step++ {
+		target := order[step]
+		var extQVs []int
+		for _, u := range q.Adj(target) {
+			for _, mv := range matched {
+				if mv == u {
+					extQVs = append(extQVs, u)
+				}
+			}
+		}
+		// task = prefix row plus the running candidate set; one sub-round
+		// ("hop") per intersected vertex, each shuffling the tasks to the
+		// owner of the vertex whose neighbours are needed.
+		type task struct {
+			row   []graph.VertexID
+			cands []graph.VertexID
+		}
+		tasks := make([][]task, k)
+		for mi, data := range cur.rows {
+			for i := 0; i+cur.width <= len(data); i += cur.width {
+				tasks[mi] = append(tasks[mi], task{row: data[i : i+cur.width]})
+			}
+		}
+		for hop, qv := range extQVs {
+			slot := cur.slotOf(qv)
+			next := make([][]task, k)
+			var pushed uint64
+			for src := range tasks {
+				for _, t := range tasks[src] {
+					dest := part.Owner(t.row[slot])
+					if dest != src {
+						pushed += uint64(len(t.row))*4 + uint64(len(t.cands))*4
+					}
+					next[dest] = append(next[dest], t)
+				}
+			}
+			if pushed > 0 {
+				m.BytesPushed.Add(pushed)
+				m.PushMsgs.Add(uint64(k))
+				comm.charge(pushed, k, m)
+			}
+			// Intersect locally at the owner.
+			for mi := range next {
+				var buf []graph.VertexID
+				for ti := range next[mi] {
+					t := &next[mi][ti]
+					nb := g.Neighbors(t.row[slot]) // owner-local access
+					if hop == 0 {
+						t.cands = nb
+					} else {
+						buf = graph.IntersectSorted(buf, t.cands, nb)
+						t.cands = append([]graph.VertexID(nil), buf...)
+					}
+				}
+			}
+			tasks = next
+		}
+		// Materialise the next level.
+		next := newRel(k, append(append([]int(nil), cur.layout...), target))
+		var levelRows int64
+		for mi := range tasks {
+			for _, t := range tasks[mi] {
+				for _, c := range t.cands {
+					if containsVal(t.row, c) {
+						continue
+					}
+					if !checkOrderWith(q, cur.layout, t.row, target, c) {
+						continue
+					}
+					next.rows[mi] = append(next.rows[mi], t.row...)
+					next.rows[mi] = append(next.rows[mi], c)
+					levelRows++
+				}
+			}
+		}
+		guard.m.AddLiveTuples(-cur.totalRows())
+		if err := guard.add(levelRows); err != nil {
+			return 0, err
+		}
+		cur = next
+		matched = append(matched, target)
+	}
+	n := uint64(cur.totalRows())
+	guard.m.AddLiveTuples(-cur.totalRows())
+	return n, nil
+}

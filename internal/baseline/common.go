@@ -1,0 +1,140 @@
+package baseline
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/metrics"
+	"repro/internal/query"
+)
+
+// CommCost models the network cost of pushed (shuffled) data for the
+// baseline executors, mirroring the cluster.LatencyModel the HUGE engine
+// pays for its RPCs: a per-message overhead plus a per-kilobyte wire cost.
+type CommCost struct {
+	PerMessage time.Duration
+	PerKB      time.Duration
+}
+
+// charge sleeps for the modelled cost of msgs messages carrying bytes and
+// records the blocked time.
+func (c CommCost) charge(bytes uint64, msgs int, m *metrics.Metrics) {
+	d := time.Duration(msgs)*c.PerMessage + time.Duration(bytes/1024)*c.PerKB
+	if d <= 0 {
+		return
+	}
+	start := time.Now()
+	time.Sleep(d)
+	m.CommTimeNs.Add(int64(time.Since(start)))
+}
+
+// ErrOOM simulates an out-of-memory failure: the paper's baselines
+// materialise unbounded intermediate results and are reported as OOM when a
+// machine exceeds its memory; our executors fail the same way when the live
+// intermediate tuple count exceeds the configured limit.
+var ErrOOM = errors.New("baseline: out of memory (intermediate results exceeded the limit)")
+
+// rel is a distributed relation: rows per machine, row-major.
+type rel struct {
+	width  int
+	layout []int // query vertex per slot
+	rows   [][]graph.VertexID
+}
+
+func newRel(k int, layout []int) *rel {
+	return &rel{width: len(layout), layout: append([]int(nil), layout...), rows: make([][]graph.VertexID, k)}
+}
+
+func (r *rel) totalRows() int64 {
+	var n int64
+	for _, m := range r.rows {
+		n += int64(len(m)) / int64(r.width)
+	}
+	return n
+}
+
+func (r *rel) slotOf(qv int) int {
+	for i, v := range r.layout {
+		if v == qv {
+			return i
+		}
+	}
+	panic(fmt.Sprintf("baseline: vertex v%d not in layout %v", qv+1, r.layout))
+}
+
+// checkOrderWith reports whether candidate c, matched to query vertex v,
+// satisfies q's symmetry-breaking orders against the already-matched
+// prefix (layout gives the query vertex of each row slot).
+func checkOrderWith(q *query.Query, layout []int, row []graph.VertexID, v int, c graph.VertexID) bool {
+	for _, o := range q.Orders() {
+		if o.A == v {
+			for s, qv := range layout {
+				if qv == o.B && c >= row[s] {
+					return false
+				}
+			}
+		}
+		if o.B == v {
+			for s, qv := range layout {
+				if qv == o.A && row[s] >= c {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+func containsVal(row []graph.VertexID, c graph.VertexID) bool {
+	for _, u := range row {
+		if u == c {
+			return true
+		}
+	}
+	return false
+}
+
+// shuffle routes every row of r to hash(key)%k, charging pushed bytes (and
+// the modelled network cost) for rows that change machines.
+func shuffle(r *rel, keySlots []int, k int, m *metrics.Metrics, cost CommCost) *rel {
+	out := newRel(k, r.layout)
+	var pushed uint64
+	for src, data := range r.rows {
+		for i := 0; i+r.width <= len(data); i += r.width {
+			row := data[i : i+r.width]
+			h := uint64(1469598103934665603)
+			for _, ks := range keySlots {
+				h = (h ^ uint64(row[ks])) * 1099511628211
+			}
+			dest := int(h % uint64(k))
+			out.rows[dest] = append(out.rows[dest], row...)
+			if dest != src {
+				pushed += uint64(r.width) * 4
+			}
+		}
+	}
+	if pushed > 0 {
+		m.PushMsgs.Add(uint64(k))
+		m.BytesPushed.Add(pushed)
+		cost.charge(pushed, k, m)
+	}
+	return out
+}
+
+// memGuard tracks materialised tuples against a limit.
+type memGuard struct {
+	m     *metrics.Metrics
+	limit int64
+}
+
+// add records n newly-materialised tuples; it returns ErrOOM when the live
+// total exceeds the limit (limit <= 0 disables the check).
+func (g *memGuard) add(n int64) error {
+	g.m.AddLiveTuples(n)
+	if g.limit > 0 && g.m.LiveTuples() > g.limit {
+		return ErrOOM
+	}
+	return nil
+}

@@ -1,0 +1,254 @@
+package baseline
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/metrics"
+	"repro/internal/plan"
+	"repro/internal/query"
+)
+
+// SEEDConfig parameterises the SEED baseline (Lai et al. [46]): a bushy
+// tree of distributed hash joins over star units, scheduled BFS with full
+// materialisation and pushing shuffles of both join inputs.
+type SEEDConfig struct {
+	NumMachines    int
+	MemLimitTuples int64
+	// Card drives SEED's own bushy-plan optimiser; nil uses a unit
+	// estimator (plan shape only).
+	Card plan.CardFunc
+	// Comm models the network cost of shuffles.
+	Comm CommCost
+}
+
+// RunSEED enumerates q on g with SEED's plan and execution model.
+func RunSEED(g *graph.Graph, q *query.Query, cfg SEEDConfig, m *metrics.Metrics) (uint64, error) {
+	if cfg.NumMachines < 1 {
+		cfg.NumMachines = 1
+	}
+	if cfg.Card == nil {
+		cfg.Card = func(*query.Query, uint32) float64 { return 1 }
+	}
+	p := plan.SEEDPlan(q, cfg.Card)
+	guard := &memGuard{m: m, limit: cfg.MemLimitTuples}
+	part := graph.NewPartitioner(cfg.NumMachines)
+	root, err := seedEval(g, q, part, p.Root, guard, m, cfg.Comm)
+	if err != nil {
+		return 0, err
+	}
+	n := uint64(root.totalRows())
+	guard.m.AddLiveTuples(-root.totalRows())
+	m.Results.Add(n)
+	return n, nil
+}
+
+// seedEval materialises the relation of a join-tree node.
+func seedEval(g *graph.Graph, q *query.Query, part graph.Partitioner, n *plan.Node,
+	guard *memGuard, m *metrics.Metrics, comm CommCost) (*rel, error) {
+	if n.IsLeaf() {
+		return seedStar(g, q, part, n.Edges, guard)
+	}
+	left, err := seedEval(g, q, part, n.Left, guard, m, comm)
+	if err != nil {
+		return nil, err
+	}
+	right, err := seedEval(g, q, part, n.Right, guard, m, comm)
+	if err != nil {
+		return nil, err
+	}
+	// Join keys: shared query vertices.
+	var keyQVs []int
+	for _, lv := range left.layout {
+		for _, rv := range right.layout {
+			if lv == rv {
+				keyQVs = append(keyQVs, lv)
+			}
+		}
+	}
+	sort.Ints(keyQVs)
+	lk := make([]int, len(keyQVs))
+	rk := make([]int, len(keyQVs))
+	for i, v := range keyQVs {
+		lk[i] = left.slotOf(v)
+		rk[i] = right.slotOf(v)
+	}
+	k := part.NumMachines()
+	ls := shuffle(left, lk, k, m, comm)
+	rs := shuffle(right, rk, k, m, comm)
+	guard.m.AddLiveTuples(-left.totalRows() - right.totalRows())
+	if err := guard.add(ls.totalRows() + rs.totalRows()); err != nil {
+		return nil, err
+	}
+
+	outLayout := append([]int(nil), left.layout...)
+	var copySlots []int
+	for s, rv := range right.layout {
+		shared := false
+		for _, kv := range keyQVs {
+			if rv == kv {
+				shared = true
+			}
+		}
+		if !shared {
+			copySlots = append(copySlots, s)
+			outLayout = append(outLayout, rv)
+		}
+	}
+	out := newRel(k, outLayout)
+	var produced int64
+	for mi := 0; mi < k; mi++ {
+		// Local hash join: build on the right, probe with the left.
+		build := map[string][][]graph.VertexID{}
+		data := rs.rows[mi]
+		for i := 0; i+rs.width <= len(data); i += rs.width {
+			row := data[i : i+rs.width]
+			build[encodeKey(row, rk)] = append(build[encodeKey(row, rk)], row)
+		}
+		ldata := ls.rows[mi]
+		outRow := make([]graph.VertexID, len(outLayout))
+		for i := 0; i+ls.width <= len(ldata); i += ls.width {
+			lrow := ldata[i : i+ls.width]
+			for _, rrow := range build[encodeKey(lrow, lk)] {
+				w := copy(outRow, lrow)
+				for _, s := range copySlots {
+					outRow[w] = rrow[s]
+					w++
+				}
+				if !seedJoinValid(q, left, right, outLayout, outRow) {
+					continue
+				}
+				out.rows[mi] = append(out.rows[mi], outRow...)
+				produced++
+				if guard.limit > 0 && guard.m.LiveTuples()+produced > guard.limit {
+					return nil, ErrOOM
+				}
+			}
+		}
+	}
+	guard.m.AddLiveTuples(-ls.totalRows() - rs.totalRows())
+	if err := guard.add(produced); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// seedJoinValid enforces injectivity across sides and symmetry-breaking
+// orders spanning the two sides.
+func seedJoinValid(q *query.Query, left, right *rel, outLayout []int, out []graph.VertexID) bool {
+	inLeft := func(qv int) bool {
+		for _, v := range left.layout {
+			if v == qv {
+				return true
+			}
+		}
+		return false
+	}
+	inRight := func(qv int) bool {
+		for _, v := range right.layout {
+			if v == qv {
+				return true
+			}
+		}
+		return false
+	}
+	// Distinctness between left-only and right-only assignments.
+	for i, qa := range outLayout {
+		for j, qb := range outLayout {
+			if i >= j {
+				continue
+			}
+			li, ri := inLeft(qa), inRight(qa)
+			lj, rj := inLeft(qb), inRight(qb)
+			spans := (li && !lj && rj && !ri) || (lj && !li && ri && !rj)
+			if spans && out[i] == out[j] {
+				return false
+			}
+		}
+	}
+	for _, o := range q.Orders() {
+		var sa, sb = -1, -1
+		for s, qv := range outLayout {
+			if qv == o.A {
+				sa = s
+			}
+			if qv == o.B {
+				sb = s
+			}
+		}
+		if sa < 0 || sb < 0 {
+			continue
+		}
+		bothLeft := inLeft(o.A) && inLeft(o.B)
+		bothRight := inRight(o.A) && inRight(o.B)
+		if bothLeft || bothRight {
+			continue // already enforced when the side was materialised
+		}
+		if out[sa] >= out[sb] {
+			return false
+		}
+	}
+	return true
+}
+
+func encodeKey(row []graph.VertexID, slots []int) string {
+	b := make([]byte, 0, len(slots)*4)
+	for _, s := range slots {
+		v := row[s]
+		b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	return string(b)
+}
+
+// seedStar materialises a star join unit: every ordered assignment of the
+// leaves from the root's neighbourhood, respecting orders among the star's
+// vertices. Output is partitioned by the root's owner.
+func seedStar(g *graph.Graph, q *query.Query, part graph.Partitioner, em uint32, guard *memGuard) (*rel, error) {
+	root, leaves, ok := q.StarRoot(em)
+	if !ok {
+		panic("baseline: SEED unit is not a star")
+	}
+	layout := append([]int{root}, leaves...)
+	out := newRel(part.NumMachines(), layout)
+	row := make([]graph.VertexID, len(layout))
+	var produced int64
+	var rec func(u graph.VertexID, depth int, dest int) error
+	rec = func(u graph.VertexID, depth int, dest int) error {
+		if depth == len(layout) {
+			out.rows[dest] = append(out.rows[dest], row...)
+			produced++
+			if guard.limit > 0 && guard.m.LiveTuples()+produced > guard.limit {
+				return ErrOOM
+			}
+			return nil
+		}
+		v := layout[depth]
+		for _, c := range g.Neighbors(u) {
+			if containsVal(row[:depth], c) {
+				continue
+			}
+			if !checkOrderWith(q, layout[:depth], row[:depth], v, c) {
+				continue
+			}
+			row[depth] = c
+			if err := rec(u, depth+1, dest); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for u := 0; u < g.NumVertices(); u++ {
+		uu := graph.VertexID(u)
+		if !checkOrderWith(q, nil, nil, root, uu) {
+			continue
+		}
+		row[0] = uu
+		if err := rec(uu, 1, part.Owner(uu)); err != nil {
+			return nil, err
+		}
+	}
+	if err := guard.add(produced); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,155 @@
+package cache
+
+import (
+	"sync"
+
+	"repro/internal/graph"
+)
+
+// lru is a classic move-to-front LRU. With capacity 0 it is unbounded
+// (the LRU-Inf variant of Exp-6). Reads mutate recency, so it is not safe
+// for concurrent readers without the lockedCache wrapper; the engine uses
+// it single-writer/single-reader in two-stage mode (LRU-Inf) or wrapped in
+// a mutex without two-stage execution (Cncr-LRU).
+type lru struct {
+	m          map[graph.VertexID]*entry
+	head, tail *entry // head = most recent
+	capacity   uint64
+	sizeBytes  uint64
+}
+
+func newLRU(capacityBytes uint64) *lru {
+	return &lru{m: make(map[graph.VertexID]*entry), capacity: capacityBytes}
+}
+
+func (c *lru) touch(e *entry) {
+	if c.head == e {
+		return
+	}
+	// Unlink.
+	if e.prev != nil {
+		e.prev.next = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	}
+	if c.tail == e {
+		c.tail = e.prev
+	}
+	// Link at head.
+	e.prev = nil
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+func (c *lru) Get(v graph.VertexID) ([]graph.VertexID, bool) {
+	e, ok := c.m[v]
+	if !ok {
+		return nil, false
+	}
+	c.touch(e)
+	// LRU variants always copy: entries can be evicted at any access, so
+	// zero-copy references would dangle (the paper's "memory copies" cost).
+	cp := make([]graph.VertexID, len(e.nbrs))
+	copy(cp, e.nbrs)
+	return cp, true
+}
+
+func (c *lru) Contains(v graph.VertexID) bool {
+	_, ok := c.m[v]
+	return ok
+}
+
+func (c *lru) Insert(v graph.VertexID, nbrs []graph.VertexID) {
+	if e, ok := c.m[v]; ok {
+		c.touch(e)
+		return
+	}
+	need := entryBytes(nbrs)
+	if c.capacity > 0 {
+		for c.sizeBytes+need > c.capacity && c.tail != nil {
+			t := c.tail
+			c.tail = t.prev
+			if c.tail != nil {
+				c.tail.next = nil
+			} else {
+				c.head = nil
+			}
+			delete(c.m, t.vid)
+			c.sizeBytes -= entryBytes(t.nbrs)
+		}
+	}
+	e := &entry{vid: v, nbrs: nbrs}
+	c.m[v] = e
+	c.sizeBytes += need
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+// Seal and Release are no-ops: LRU has no batch pinning.
+func (c *lru) Seal(graph.VertexID) {}
+func (c *lru) Release()            {}
+
+func (c *lru) Len() int          { return len(c.m) }
+func (c *lru) SizeBytes() uint64 { return c.sizeBytes }
+
+// lockedCache serialises every operation with a mutex — the LRBU-Lock and
+// Cncr-LRU variants of Exp-6.
+type lockedCache struct {
+	mu    sync.Mutex
+	inner Cache
+}
+
+func (c *lockedCache) Get(v graph.VertexID) ([]graph.VertexID, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.inner.Get(v)
+}
+
+func (c *lockedCache) Contains(v graph.VertexID) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.inner.Contains(v)
+}
+
+func (c *lockedCache) Insert(v graph.VertexID, nbrs []graph.VertexID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.inner.Insert(v, nbrs)
+}
+
+func (c *lockedCache) Seal(v graph.VertexID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.inner.Seal(v)
+}
+
+func (c *lockedCache) Release() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.inner.Release()
+}
+
+func (c *lockedCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.inner.Len()
+}
+
+func (c *lockedCache) SizeBytes() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.inner.SizeBytes()
+}

@@ -1,0 +1,153 @@
+// Package cluster simulates the paper's shared-nothing k-machine
+// deployment (Figure 2) inside one process. Each Machine owns a hash
+// partition of the data graph, an LRBU cache, and a worker pool; machines
+// communicate only through the accounted RPC layer (GetNbrs, StealWork) and
+// the router (pushed shuffles), so communication volume — the paper's C
+// column — is measured exactly, and an optional latency model reproduces
+// communication time.
+package cluster
+
+import (
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/graph"
+	"repro/internal/metrics"
+)
+
+// LatencyModel injects simulated network cost into every cross-machine
+// interaction. Zero values disable injection (unit tests); the benchmark
+// harness sets values representative of a 10 Gbps LAN with RPC overhead.
+type LatencyModel struct {
+	PerMessage time.Duration // request/response round-trip overhead
+	PerKB      time.Duration // serialisation + wire time per kilobyte
+}
+
+func (l LatencyModel) cost(bytes uint64) time.Duration {
+	return l.PerMessage + time.Duration(bytes/1024)*l.PerKB
+}
+
+// Config describes a cluster.
+type Config struct {
+	NumMachines int
+	Workers     int // workers per machine
+	CacheKind   cache.Kind
+	CacheBytes  uint64 // capacity per machine
+	Latency     LatencyModel
+}
+
+// Cluster is the simulated deployment.
+type Cluster struct {
+	Graph    *graph.Graph
+	Machines []*Machine
+	Metrics  *metrics.Metrics
+	Cfg      Config
+	Stats    struct{ EdgeBytes uint64 }
+}
+
+// Machine is one HUGE runtime instance.
+type Machine struct {
+	ID      int
+	Part    *graph.Partition
+	Cache   cache.Cache
+	cluster *Cluster
+}
+
+// New partitions g across cfg.NumMachines machines.
+func New(g *graph.Graph, cfg Config) *Cluster {
+	if cfg.NumMachines < 1 {
+		cfg.NumMachines = 1
+	}
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	if cfg.CacheBytes == 0 {
+		cfg.CacheBytes = g.SizeBytes() * 3 / 10 // paper default: 30% of the graph
+	}
+	c := &Cluster{Graph: g, Metrics: &metrics.Metrics{}, Cfg: cfg}
+	c.Stats.EdgeBytes = g.SizeBytes()
+	parts := graph.Split(g, cfg.NumMachines)
+	for i := 0; i < cfg.NumMachines; i++ {
+		c.Machines = append(c.Machines, &Machine{
+			ID:      i,
+			Part:    parts[i],
+			Cache:   cache.New(cfg.CacheKind, cfg.CacheBytes),
+			cluster: c,
+		})
+	}
+	return c
+}
+
+// ResetMetrics replaces the metrics sink (between experiment runs).
+func (c *Cluster) ResetMetrics() { c.Metrics = &metrics.Metrics{} }
+
+// Owner returns the machine owning v.
+func (c *Cluster) Owner(v graph.VertexID) int { return c.Machines[0].Part.P.Owner(v) }
+
+// GetNbrs is the pulling RPC (Section 4.1): machine m requests the
+// adjacency lists of vertices owned by remote machines. vids must all
+// reside on the target machine. The response slices alias the target's CSR
+// storage (the in-process analogue of a received buffer); byte and time
+// accounting covers both directions.
+func (m *Machine) GetNbrs(target int, vids []graph.VertexID) [][]graph.VertexID {
+	c := m.cluster
+	tm := c.Machines[target]
+	out := make([][]graph.VertexID, len(vids))
+	respBytes := uint64(0)
+	for i, v := range vids {
+		nb := tm.Part.Neighbors(v)
+		out[i] = nb
+		respBytes += uint64(len(nb)) * 4
+	}
+	reqBytes := uint64(len(vids)) * 4
+	c.Metrics.RPCCalls.Add(1)
+	c.Metrics.BytesPulled.Add(reqBytes + respBytes)
+	if d := c.Cfg.Latency.cost(reqBytes + respBytes); d > 0 {
+		start := time.Now()
+		time.Sleep(d)
+		c.Metrics.CommTimeNs.Add(int64(time.Since(start)))
+	}
+	return out
+}
+
+// PushBytes accounts for a pushed (shuffled) message of the given size —
+// used by the router when feeding PUSH-JOIN inputs and when shipping
+// stolen batches across machines.
+func (c *Cluster) PushBytes(bytes uint64) {
+	c.Metrics.PushMsgs.Add(1)
+	c.Metrics.BytesPushed.Add(bytes)
+	if d := c.Cfg.Latency.cost(bytes); d > 0 {
+		start := time.Now()
+		time.Sleep(d)
+		c.Metrics.CommTimeNs.Add(int64(time.Since(start)))
+	}
+}
+
+// NeighborsOf resolves adjacency for machine m during the intersect stage:
+// local partition, else the machine's cache (which the fetch stage must
+// have populated). The bool is false only on a cache miss, which the
+// two-stage protocol should make impossible; callers treat it as a bug.
+// Hit/miss accounting happens in the fetch stage, not here.
+func (m *Machine) NeighborsOf(v graph.VertexID) ([]graph.VertexID, bool) {
+	if m.Part.Owns(v) {
+		return m.Part.Neighbors(v), true
+	}
+	return m.Cache.Get(v)
+}
+
+// FetchDirect pulls a single vertex's adjacency on demand (the Cncr-LRU
+// ablation path, bypassing the two-stage protocol): cache lookup under the
+// cache's own lock, RPC on miss, insert.
+func (m *Machine) FetchDirect(v graph.VertexID) []graph.VertexID {
+	if m.Part.Owns(v) {
+		return m.Part.Neighbors(v)
+	}
+	if nb, ok := m.Cache.Get(v); ok {
+		m.cluster.Metrics.CacheHits.Add(1)
+		return nb
+	}
+	m.cluster.Metrics.CacheMisses.Add(1)
+	nb := m.GetNbrs(m.cluster.Owner(v), []graph.VertexID{v})[0]
+	m.Cache.Insert(v, nb)
+	return nb
+}

@@ -1,0 +1,150 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func testCluster(t *testing.T, k int, lat LatencyModel) *Cluster {
+	t.Helper()
+	g := gen.PowerLaw(200, 3, 1)
+	return New(g, Config{NumMachines: k, Workers: 1, CacheKind: cache.LRBU, Latency: lat})
+}
+
+func TestNewDefaults(t *testing.T) {
+	g := gen.PowerLaw(100, 2, 1)
+	c := New(g, Config{})
+	if len(c.Machines) != 1 {
+		t.Fatalf("machines = %d", len(c.Machines))
+	}
+	if c.Cfg.CacheBytes != g.SizeBytes()*3/10 {
+		t.Fatalf("default cache bytes %d, want 30%% of graph (%d)", c.Cfg.CacheBytes, g.SizeBytes()*3/10)
+	}
+}
+
+func TestGetNbrsAccounting(t *testing.T) {
+	c := testCluster(t, 3, LatencyModel{})
+	// Find a vertex on machine 1 and fetch it from machine 0.
+	var v graph.VertexID
+	found := false
+	for u := 0; u < c.Graph.NumVertices(); u++ {
+		if c.Owner(graph.VertexID(u)) == 1 && c.Graph.Degree(graph.VertexID(u)) > 0 {
+			v, found = graph.VertexID(u), true
+			break
+		}
+	}
+	if !found {
+		t.Skip("no suitable vertex")
+	}
+	nbrs := c.Machines[0].GetNbrs(1, []graph.VertexID{v})
+	if len(nbrs) != 1 || len(nbrs[0]) != c.Graph.Degree(v) {
+		t.Fatalf("GetNbrs returned %v", nbrs)
+	}
+	s := c.Metrics.Snapshot()
+	wantBytes := uint64(4 + 4*c.Graph.Degree(v))
+	if s.BytesPulled != wantBytes {
+		t.Fatalf("pulled %d bytes, want %d", s.BytesPulled, wantBytes)
+	}
+	if s.RPCCalls != 1 {
+		t.Fatalf("rpc calls %d", s.RPCCalls)
+	}
+}
+
+func TestLatencyInjected(t *testing.T) {
+	c := testCluster(t, 2, LatencyModel{PerMessage: 2 * time.Millisecond})
+	var v graph.VertexID
+	for u := 0; u < c.Graph.NumVertices(); u++ {
+		if c.Owner(graph.VertexID(u)) == 1 {
+			v = graph.VertexID(u)
+			break
+		}
+	}
+	start := time.Now()
+	c.Machines[0].GetNbrs(1, []graph.VertexID{v})
+	if time.Since(start) < 2*time.Millisecond {
+		t.Fatal("latency not injected")
+	}
+	if c.Metrics.Snapshot().CommTime < 2*time.Millisecond {
+		t.Fatal("comm time not recorded")
+	}
+}
+
+func TestPushBytes(t *testing.T) {
+	c := testCluster(t, 2, LatencyModel{})
+	c.PushBytes(1000)
+	s := c.Metrics.Snapshot()
+	if s.BytesPushed != 1000 || s.PushMsgs != 1 {
+		t.Fatalf("push accounting: %+v", s)
+	}
+}
+
+func TestFetchDirectCaches(t *testing.T) {
+	c := testCluster(t, 2, LatencyModel{})
+	m0 := c.Machines[0]
+	var remote graph.VertexID
+	for u := 0; u < c.Graph.NumVertices(); u++ {
+		if !m0.Part.Owns(graph.VertexID(u)) && c.Graph.Degree(graph.VertexID(u)) > 0 {
+			remote = graph.VertexID(u)
+			break
+		}
+	}
+	nb1 := m0.FetchDirect(remote)
+	calls := c.Metrics.RPCCalls.Load()
+	nb2 := m0.FetchDirect(remote) // served from cache
+	if c.Metrics.RPCCalls.Load() != calls {
+		t.Fatal("second FetchDirect issued an RPC")
+	}
+	if len(nb1) != len(nb2) {
+		t.Fatalf("cached adjacency differs: %v vs %v", nb1, nb2)
+	}
+	if c.Metrics.CacheHits.Load() == 0 || c.Metrics.CacheMisses.Load() == 0 {
+		t.Fatal("hit/miss accounting missing")
+	}
+	// Local vertices bypass everything.
+	var local graph.VertexID
+	for _, v := range m0.Part.LocalVertices() {
+		local = v
+		break
+	}
+	m0.FetchDirect(local)
+	if c.Metrics.RPCCalls.Load() != calls {
+		t.Fatal("local FetchDirect issued an RPC")
+	}
+}
+
+func TestNeighborsOfLocalAndCached(t *testing.T) {
+	c := testCluster(t, 2, LatencyModel{})
+	m0 := c.Machines[0]
+	local := m0.Part.LocalVertices()[0]
+	if _, ok := m0.NeighborsOf(local); !ok {
+		t.Fatal("local NeighborsOf failed")
+	}
+	var remote graph.VertexID
+	for u := 0; u < c.Graph.NumVertices(); u++ {
+		if !m0.Part.Owns(graph.VertexID(u)) {
+			remote = graph.VertexID(u)
+			break
+		}
+	}
+	if _, ok := m0.NeighborsOf(remote); ok {
+		t.Fatal("remote NeighborsOf succeeded without a fetch")
+	}
+	m0.Cache.Insert(remote, []graph.VertexID{1, 2})
+	if nb, ok := m0.NeighborsOf(remote); !ok || len(nb) != 2 {
+		t.Fatalf("cached NeighborsOf = %v %v", nb, ok)
+	}
+}
+
+func TestResetMetrics(t *testing.T) {
+	c := testCluster(t, 2, LatencyModel{})
+	c.PushBytes(10)
+	old := c.Metrics
+	c.ResetMetrics()
+	if c.Metrics == old || c.Metrics.Snapshot().BytesPushed != 0 {
+		t.Fatal("ResetMetrics did not replace the sink")
+	}
+}

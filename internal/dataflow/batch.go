@@ -1,0 +1,58 @@
+package dataflow
+
+import "repro/internal/graph"
+
+// Batch is the minimum data-processing unit (Section 4.2): a fixed-width
+// block of partial matches stored row-major in one flat slice, matching the
+// paper's "compact array" representation that underlies the memory bound of
+// Lemma 5.2.
+type Batch struct {
+	Width int
+	Data  []graph.VertexID
+}
+
+// NewBatch allocates an empty batch with capacity rows.
+func NewBatch(width, capRows int) *Batch {
+	return &Batch{Width: width, Data: make([]graph.VertexID, 0, width*capRows)}
+}
+
+// Rows returns the number of tuples in the batch.
+func (b *Batch) Rows() int {
+	if b.Width == 0 {
+		return 0
+	}
+	return len(b.Data) / b.Width
+}
+
+// Row returns the i-th tuple; the slice aliases the batch storage.
+func (b *Batch) Row(i int) []graph.VertexID {
+	return b.Data[i*b.Width : (i+1)*b.Width]
+}
+
+// Append copies a tuple into the batch.
+func (b *Batch) Append(row []graph.VertexID) {
+	b.Data = append(b.Data, row...)
+}
+
+// SplitRows divides the batch into n contiguous chunks of near-equal row
+// count (some may be empty), for parallel processing by workers.
+func (b *Batch) SplitRows(n int) []*Batch {
+	rows := b.Rows()
+	out := make([]*Batch, 0, n)
+	per := (rows + n - 1) / n
+	if per == 0 {
+		per = 1
+	}
+	for start := 0; start < rows; start += per {
+		end := start + per
+		if end > rows {
+			end = rows
+		}
+		out = append(out, &Batch{Width: b.Width, Data: b.Data[start*b.Width : end*b.Width]})
+	}
+	return out
+}
+
+// MemBytes returns the batch's storage footprint, used by the memory-bound
+// accounting in the scheduler tests.
+func (b *Batch) MemBytes() uint64 { return uint64(cap(b.Data)) * 4 }

@@ -1,0 +1,204 @@
+// Package dataflow defines the dataflow graph HUGE executes (Section 4.2 of
+// the paper): a DAG of operators — SCAN, PULL-EXTEND, PUSH-JOIN, SINK —
+// over batches of partial matches. The planner (internal/plan) translates an
+// execution plan into a Dataflow; the engine (internal/engine) runs it on a
+// simulated cluster.
+//
+// A Dataflow is organised as a topologically-ordered list of Stages. Each
+// stage is a line graph: a source (edge SCAN or the output of a PUSH-JOIN),
+// a chain of PULL-EXTEND operators, and a terminal (SINK, or a feed that
+// shuffles results into one side of a downstream PUSH-JOIN). This mirrors
+// Section 5.4: subplans separated by PUSH-JOIN barriers, each internally
+// scheduled by the BFS/DFS-adaptive scheduler.
+package dataflow
+
+import (
+	"fmt"
+	"strings"
+)
+
+// OrderFilter requires p[SlotA] < p[SlotB] on a tuple (symmetry breaking).
+type OrderFilter struct {
+	SlotA, SlotB int
+}
+
+// NewFilter constrains the candidate vertex of a PULL-EXTEND against an
+// existing slot: candidate < p[Slot] if NewLess, else candidate > p[Slot].
+type NewFilter struct {
+	Slot    int
+	NewLess bool
+}
+
+// EdgeScan is the SCAN(edge) source: it emits one tuple (u, v) per data edge
+// with u matched to query vertex QA (slot 0) and v to QB (slot 1), subject
+// to Filters. Every data edge is emitted in both directions unless a filter
+// prunes one.
+type EdgeScan struct {
+	QA, QB  int
+	Filters []OrderFilter
+}
+
+// Extend is the PULL-EXTEND operator (Section 4.4). For each input tuple p
+// it computes C = ∩_{s ∈ ExtSlots} N_G(p[s]) — pulling remote adjacency via
+// the cache/RPC layer — and either:
+//
+//   - TargetQV >= 0: emits p + {c} for each c ∈ C that is distinct from all
+//     existing slots and satisfies NewFilters (normal extension), or
+//   - TargetQV < 0:  emits p unchanged iff p[VerifySlot] ∈ C (the verify
+//     "hint" of Section 5.2 used when rewriting pulling-based hash joins).
+type Extend struct {
+	ExtSlots   []int
+	TargetQV   int
+	VerifySlot int
+	NewFilters []NewFilter
+	OutLayout  []int // query vertex held by each output slot
+}
+
+// IsVerify reports whether this extend only verifies connectivity.
+func (e *Extend) IsVerify() bool { return e.TargetQV < 0 }
+
+// Join is the PUSH-JOIN operator (Section 4.3): a buffered distributed hash
+// join. Both feeding stages shuffle tuples by their key slots; after the
+// barrier, each machine joins its buffered partitions locally.
+type Join struct {
+	LeftStage, RightStage int
+	LeftKey, RightKey     []int         // key slot indices in each input layout
+	RightCopy             []int         // right slots appended after the left tuple
+	CrossFilters          []OrderFilter // on the output layout
+	CrossDistinct         [][2]int      // output slot pairs that must differ
+	OutLayout             []int
+}
+
+// Terminal describes what a stage does with its results.
+type Terminal struct {
+	// Sink is true for the final stage: results are counted/consumed.
+	Sink bool
+	// KeySlots, for a join feed, give the shuffle key. ConsumerStage is the
+	// stage whose JoinSource consumes this feed; Side is 0 (left) / 1 (right).
+	KeySlots      []int
+	ConsumerStage int
+	Side          int
+}
+
+// Stage is one line-graph subplan.
+type Stage struct {
+	ID           int
+	Scan         *EdgeScan // exactly one of Scan / JoinSrc is non-nil
+	JoinSrc      *Join
+	SourceLayout []int // query vertex per slot of the source output
+	Extends      []*Extend
+	Terminal     Terminal
+}
+
+// OutputLayout returns the layout of tuples leaving the stage.
+func (s *Stage) OutputLayout() []int {
+	if len(s.Extends) > 0 {
+		return s.Extends[len(s.Extends)-1].OutLayout
+	}
+	return s.SourceLayout
+}
+
+// Dataflow is the complete executable plan.
+type Dataflow struct {
+	Stages []*Stage
+}
+
+// Validate checks structural invariants: stage ordering, layouts, slot
+// bounds, and that the final stage sinks. It returns a descriptive error for
+// the first violation found.
+func (d *Dataflow) Validate() error {
+	if len(d.Stages) == 0 {
+		return fmt.Errorf("dataflow: no stages")
+	}
+	for i, s := range d.Stages {
+		if s.ID != i {
+			return fmt.Errorf("dataflow: stage %d has ID %d", i, s.ID)
+		}
+		if (s.Scan == nil) == (s.JoinSrc == nil) {
+			return fmt.Errorf("dataflow: stage %d must have exactly one source", i)
+		}
+		if s.Scan != nil && len(s.SourceLayout) != 2 {
+			return fmt.Errorf("dataflow: stage %d edge scan layout must have 2 slots", i)
+		}
+		if s.JoinSrc != nil {
+			j := s.JoinSrc
+			if j.LeftStage >= i || j.RightStage >= i || j.LeftStage < 0 || j.RightStage < 0 {
+				return fmt.Errorf("dataflow: stage %d join references stages %d,%d (not strictly earlier)", i, j.LeftStage, j.RightStage)
+			}
+			if len(j.LeftKey) != len(j.RightKey) || len(j.LeftKey) == 0 {
+				return fmt.Errorf("dataflow: stage %d join has bad keys", i)
+			}
+			for _, side := range []int{j.LeftStage, j.RightStage} {
+				t := d.Stages[side].Terminal
+				if t.Sink || t.ConsumerStage != i {
+					return fmt.Errorf("dataflow: stage %d does not feed join stage %d", side, i)
+				}
+			}
+			if d.Stages[j.LeftStage].Terminal.Side != 0 || d.Stages[j.RightStage].Terminal.Side != 1 {
+				return fmt.Errorf("dataflow: join stage %d feed sides mislabelled", i)
+			}
+		}
+		width := len(s.SourceLayout)
+		for k, e := range s.Extends {
+			for _, slot := range e.ExtSlots {
+				if slot < 0 || slot >= width {
+					return fmt.Errorf("dataflow: stage %d extend %d ext slot %d out of range (width %d)", i, k, slot, width)
+				}
+			}
+			if e.IsVerify() {
+				if e.VerifySlot < 0 || e.VerifySlot >= width {
+					return fmt.Errorf("dataflow: stage %d extend %d verify slot out of range", i, k)
+				}
+				if len(e.OutLayout) != width {
+					return fmt.Errorf("dataflow: stage %d verify extend %d must keep width", i, k)
+				}
+			} else {
+				if len(e.OutLayout) != width+1 {
+					return fmt.Errorf("dataflow: stage %d extend %d out layout width %d, want %d", i, k, len(e.OutLayout), width+1)
+				}
+				width++
+			}
+			for _, f := range e.NewFilters {
+				if f.Slot < 0 || f.Slot >= len(e.OutLayout) {
+					return fmt.Errorf("dataflow: stage %d extend %d filter slot out of range", i, k)
+				}
+			}
+		}
+		if i == len(d.Stages)-1 {
+			if !s.Terminal.Sink {
+				return fmt.Errorf("dataflow: final stage must sink")
+			}
+		} else if s.Terminal.Sink {
+			return fmt.Errorf("dataflow: stage %d sinks but is not final", i)
+		}
+	}
+	return nil
+}
+
+// String renders the dataflow for logs and tests, one operator per line.
+func (d *Dataflow) String() string {
+	var sb strings.Builder
+	for _, s := range d.Stages {
+		fmt.Fprintf(&sb, "stage %d:", s.ID)
+		if s.Scan != nil {
+			fmt.Fprintf(&sb, " SCAN(v%d-v%d)", s.Scan.QA+1, s.Scan.QB+1)
+		} else {
+			j := s.JoinSrc
+			fmt.Fprintf(&sb, " PUSH-JOIN(stages %d⋈%d)", j.LeftStage, j.RightStage)
+		}
+		for _, e := range s.Extends {
+			if e.IsVerify() {
+				fmt.Fprintf(&sb, " -> VERIFY(%v)", e.ExtSlots)
+			} else {
+				fmt.Fprintf(&sb, " -> PULL-EXTEND(%v=>v%d)", e.ExtSlots, e.TargetQV+1)
+			}
+		}
+		if s.Terminal.Sink {
+			sb.WriteString(" -> SINK")
+		} else {
+			fmt.Fprintf(&sb, " -> FEED(join@%d side %d)", s.Terminal.ConsumerStage, s.Terminal.Side)
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}

@@ -1,0 +1,169 @@
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/dataflow"
+	"repro/internal/graph"
+	"repro/internal/steal"
+)
+
+// countExtend is the compressed form of processExtend (the generic
+// compression optimisation [63]): for the final PULL-EXTEND before a
+// counting SINK, each input tuple contributes |C| minus the candidates
+// rejected by injectivity or symmetry-breaking filters — no output rows are
+// built, queued, or re-scanned. The fetch stage and cache protocol are
+// identical to the materialising path.
+func (r *machineRun) countExtend(e *dataflow.Extend, b *dataflow.Batch) (uint64, error) {
+	eng := r.ex.eng
+	twoStage := eng.cl.Cfg.CacheKind.TwoStage()
+	if twoStage {
+		if err := r.fetchStage(e, b); err != nil {
+			return 0, err
+		}
+	}
+	n, err := r.countIntersect(e, b, twoStage)
+	if twoStage {
+		r.m.Cache.Release()
+	}
+	return n, err
+}
+
+func (r *machineRun) countIntersect(e *dataflow.Extend, b *dataflow.Batch, twoStage bool) (uint64, error) {
+	eng := r.ex.eng
+	workers := eng.cl.Cfg.Workers
+	chunks := b.SplitRows(workers * 4)
+	if len(chunks) == 0 {
+		return 0, nil
+	}
+	if workers == 1 || len(chunks) == 1 {
+		var total uint64
+		for _, c := range chunks {
+			n, err := r.countChunk(e, c, twoStage)
+			if err != nil {
+				return 0, err
+			}
+			total += n
+		}
+		return total, nil
+	}
+	var total atomic.Uint64
+	var firstErr atomic.Value
+	var wg sync.WaitGroup
+	switch eng.cfg.LoadBalance {
+	case LBSteal:
+		r.batchNo++
+		pool := steal.NewPool(workers, int64(r.m.ID)<<21|int64(r.batchNo))
+		for i, c := range chunks {
+			pool.Deques[i%workers].Push(c)
+		}
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for {
+					task, ok, stole := pool.Next(w)
+					if !ok {
+						return
+					}
+					if stole {
+						eng.cl.Metrics.StealsIntra.Add(1)
+					}
+					n, err := r.countChunk(e, task.(*dataflow.Batch), twoStage)
+					if err != nil {
+						firstErr.CompareAndSwap(nil, err)
+						return
+					}
+					total.Add(n)
+				}
+			}(w)
+		}
+	default:
+		assign := make([][]*dataflow.Batch, workers)
+		for i, c := range chunks {
+			w := i % workers
+			if eng.cfg.LoadBalance == LBPivot && c.Rows() > 0 {
+				w = int(c.Row(0)[0]) % workers
+			}
+			assign[w] = append(assign[w], c)
+		}
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for _, c := range assign[w] {
+					n, err := r.countChunk(e, c, twoStage)
+					if err != nil {
+						firstErr.CompareAndSwap(nil, err)
+						return
+					}
+					total.Add(n)
+				}
+			}(w)
+		}
+	}
+	wg.Wait()
+	if err, _ := firstErr.Load().(error); err != nil {
+		return 0, err
+	}
+	return total.Load(), nil
+}
+
+func (r *machineRun) countChunk(e *dataflow.Extend, c *dataflow.Batch, twoStage bool) (uint64, error) {
+	var lists [][]graph.VertexID
+	var isect graph.IntersectScratch
+	var total uint64
+	for i := 0; i < c.Rows(); i++ {
+		row := c.Row(i)
+		lists = lists[:0]
+		empty := false
+		for _, s := range e.ExtSlots {
+			nb, err := r.neighborsFor(row[s], twoStage)
+			if err != nil {
+				return 0, err
+			}
+			if len(nb) == 0 {
+				empty = true
+				break
+			}
+			lists = append(lists, nb)
+		}
+		if empty {
+			continue
+		}
+		cand := graph.IntersectMany(lists, &isect)
+		if len(e.NewFilters) == 0 {
+			// Fast path: count candidates, subtract the ones that collide
+			// with matched vertices (candidate lists are sorted sets, so a
+			// matched vertex appears at most once).
+			n := uint64(len(cand))
+			for _, u := range row {
+				if graph.ContainsSorted(cand, u) {
+					n--
+				}
+			}
+			total += n
+			continue
+		}
+	candidates:
+		for _, v := range cand {
+			for _, u := range row {
+				if u == v {
+					continue candidates
+				}
+			}
+			for _, f := range e.NewFilters {
+				if f.NewLess {
+					if v >= row[f.Slot] {
+						continue candidates
+					}
+				} else if v <= row[f.Slot] {
+					continue candidates
+				}
+			}
+			total++
+		}
+	}
+	return total, nil
+}

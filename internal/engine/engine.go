@@ -1,0 +1,184 @@
+// Package engine is HUGE's compute engine (Sections 4 and 5 of the paper):
+// it executes a translated dataflow on a simulated cluster with
+//
+//   - two-stage, lock-free, zero-copy PULL-EXTEND over the LRBU cache
+//     (Algorithm 4),
+//   - buffered, disk-spilling PUSH-JOIN (Section 4.3),
+//   - the BFS/DFS-adaptive scheduler with fixed-capacity output queues
+//     (Algorithm 5), which bounds memory per Theorem 5.4,
+//   - two-layer intra-/inter-machine work stealing (Section 5.3).
+package engine
+
+import (
+	"fmt"
+	"hash/maphash"
+	"sync"
+
+	"repro/internal/cluster"
+	"repro/internal/dataflow"
+	"repro/internal/graph"
+	"repro/internal/metrics"
+)
+
+// LoadBalance selects the load-balancing strategy (Exp-8 ablation).
+type LoadBalance int
+
+const (
+	// LBSteal is HUGE's two-layer work stealing.
+	LBSteal LoadBalance = iota
+	// LBStatic disables stealing: chunks are assigned round-robin and
+	// machines never steal (HUGE-NOSTL).
+	LBStatic
+	// LBPivot distributes by the first matched (pivot) vertex, like the
+	// region groups of RADS (HUGE-RGP).
+	LBPivot
+)
+
+// Config controls one engine run.
+type Config struct {
+	// BatchRows is the batch size (paper default 512K rows; tests use less).
+	BatchRows int
+	// QueueRows is the per-operator output-queue capacity in rows.
+	// -1 means unbounded (pure BFS); 0 or 1 yields after every batch
+	// (pure DFS); anything else is the adaptive middle ground.
+	QueueRows int64
+	// LoadBalance picks the Exp-8 strategy. Inter-machine stealing is on
+	// only for LBSteal.
+	LoadBalance LoadBalance
+	// JoinBufferRows is the in-memory threshold of each PUSH-JOIN buffer
+	// before spilling to disk.
+	JoinBufferRows int
+	// OnResult, when set, receives every result row (must be cheap and
+	// safe for concurrent calls). Used by tests and the path examples.
+	OnResult func(row []graph.VertexID)
+	// Compress enables the generic compression optimisation of Qiao et
+	// al. [63], which the paper applies "whenever it is possible in all
+	// implementations": when the final operator before a counting SINK is
+	// a PULL-EXTEND, its matches are counted directly from the candidate
+	// sets instead of being materialised, shuffled and re-counted.
+	// Ignored when OnResult is set (rows must then exist).
+	Compress bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.BatchRows <= 0 {
+		c.BatchRows = 4096
+	}
+	if c.QueueRows == 0 {
+		c.QueueRows = 1 // minimum one batch in flight: DFS
+	}
+	if c.JoinBufferRows <= 0 {
+		c.JoinBufferRows = 1 << 20
+	}
+	return c
+}
+
+// Engine runs one dataflow on one cluster.
+type Engine struct {
+	cl    *cluster.Cluster
+	df    *dataflow.Dataflow
+	cfg   Config
+	joins map[int]*joinBuffers
+	seed  maphash.Seed
+}
+
+// joinBuffers holds the shuffled inputs of one PUSH-JOIN: one Relation per
+// (side, machine).
+type joinBuffers struct {
+	sides [2][]*Relation
+}
+
+// Run executes df on cl and returns the result count.
+func Run(cl *cluster.Cluster, df *dataflow.Dataflow, cfg Config) (uint64, error) {
+	if err := df.Validate(); err != nil {
+		return 0, err
+	}
+	e := &Engine{cl: cl, df: df, cfg: cfg.withDefaults(), joins: map[int]*joinBuffers{}, seed: maphash.MakeSeed()}
+	k := len(cl.Machines)
+	for _, st := range df.Stages {
+		if st.JoinSrc == nil {
+			continue
+		}
+		jb := &joinBuffers{}
+		for side := 0; side < 2; side++ {
+			feeder := st.JoinSrc.LeftStage
+			keys := st.JoinSrc.LeftKey
+			if side == 1 {
+				feeder = st.JoinSrc.RightStage
+				keys = st.JoinSrc.RightKey
+			}
+			width := len(df.Stages[feeder].OutputLayout())
+			for m := 0; m < k; m++ {
+				jb.sides[side] = append(jb.sides[side], NewRelation(width, keys, e.cfg.JoinBufferRows,
+					func(rows int) { cl.Metrics.AddLiveTuples(-int64(rows)) }))
+			}
+		}
+		e.joins[st.ID] = jb
+	}
+	for _, st := range df.Stages {
+		if err := e.runStage(st); err != nil {
+			return 0, err
+		}
+	}
+	return cl.Metrics.Results.Load(), nil
+}
+
+// runStage executes one stage on every machine with a barrier at the end.
+func (e *Engine) runStage(st *dataflow.Stage) error {
+	ex := &stageExec{eng: e, st: st}
+	k := len(e.cl.Machines)
+	ex.sourcesActive.Store(int64(k))
+
+	var iterCleanup []RowIter
+	var bufferedRows int64
+	for _, m := range e.cl.Machines {
+		var src sourceIter
+		if st.Scan != nil {
+			src = newScanIter(m, st.Scan)
+		} else {
+			jb := e.joins[st.ID]
+			bufferedRows += int64(jb.sides[0][m.ID].Rows() + jb.sides[1][m.ID].Rows())
+			li, err := jb.sides[0][m.ID].Finalize()
+			if err != nil {
+				return err
+			}
+			ri, err := jb.sides[1][m.ID].Finalize()
+			if err != nil {
+				return err
+			}
+			iterCleanup = append(iterCleanup, li, ri)
+			src = newJoinIter(st.JoinSrc, li, ri)
+		}
+		ex.runs = append(ex.runs, newMachineRun(ex, m, src))
+	}
+
+	var wg sync.WaitGroup
+	for _, r := range ex.runs {
+		wg.Add(1)
+		go func(r *machineRun) {
+			defer wg.Done()
+			r.loop()
+		}(r)
+	}
+	wg.Wait()
+
+	for _, it := range iterCleanup {
+		if err := it.Close(); err != nil && ex.err() == nil {
+			ex.setErr(err)
+		}
+	}
+	if bufferedRows > 0 {
+		e.cl.Metrics.AddLiveTuples(-bufferedRows)
+	}
+	if err := ex.err(); err != nil {
+		return fmt.Errorf("engine: stage %d: %w", st.ID, err)
+	}
+	if ex.pendingBatches.Load() != 0 || ex.sourcesActive.Load() != 0 {
+		return fmt.Errorf("engine: stage %d terminated with pending work (batches=%d sources=%d)",
+			st.ID, ex.pendingBatches.Load(), ex.sourcesActive.Load())
+	}
+	return nil
+}
+
+// Metrics exposes the cluster's metrics (for reports after Run).
+func (e *Engine) Metrics() *metrics.Metrics { return e.cl.Metrics }

@@ -1,0 +1,272 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/dataflow"
+	"repro/internal/graph"
+	"repro/internal/steal"
+)
+
+// maxRPCBatch caps the number of vertices per GetNbrs call; the fetch stage
+// aggregates requests up to this size (the paper's "merged RPCs sent in
+// bulk", Remark 4.1).
+const maxRPCBatch = 8192
+
+// processExtend runs one PULL-EXTEND over one batch, following Algorithm 4:
+// a fetch stage that collects, deduplicates and bulk-pulls the batch's
+// remote vertices into the cache (sealing them), then a parallel intersect
+// stage with lock-free zero-copy cache reads, and a final Release.
+//
+// With a cache kind whose TwoStage() is false (Cncr-LRU, the Exp-6
+// ablation), the fetch stage is skipped and workers pull on demand during
+// intersection through the locked cache.
+func (r *machineRun) processExtend(e *dataflow.Extend, b *dataflow.Batch) ([]*dataflow.Batch, error) {
+	eng := r.ex.eng
+	twoStage := eng.cl.Cfg.CacheKind.TwoStage()
+	if twoStage {
+		if err := r.fetchStage(e, b); err != nil {
+			return nil, err
+		}
+	}
+	outs, err := r.intersectStage(e, b, twoStage)
+	if twoStage {
+		// Release is a cache write; it runs after the intersect barrier, so
+		// the single-writer invariant holds.
+		r.m.Cache.Release()
+	}
+	return outs, err
+}
+
+// fetchStage scans the batch for remote vertices, seals the cached ones and
+// bulk-fetches the rest (lines 1-9 of Algorithm 4).
+func (r *machineRun) fetchStage(e *dataflow.Extend, b *dataflow.Batch) error {
+	eng := r.ex.eng
+	start := time.Now()
+	defer func() { eng.cl.Metrics.FetchNs.Add(int64(time.Since(start))) }()
+
+	part := r.m.Part
+	seen := map[graph.VertexID]struct{}{}
+	for i := 0; i < b.Rows(); i++ {
+		row := b.Row(i)
+		for _, s := range e.ExtSlots {
+			v := row[s]
+			if part.Owns(v) {
+				continue
+			}
+			seen[v] = struct{}{}
+		}
+	}
+	if len(seen) == 0 {
+		return nil
+	}
+	byOwner := map[int][]graph.VertexID{}
+	for v := range seen {
+		if r.m.Cache.Contains(v) {
+			eng.cl.Metrics.CacheHits.Add(1)
+			r.m.Cache.Seal(v)
+		} else {
+			eng.cl.Metrics.CacheMisses.Add(1)
+			o := eng.cl.Owner(v)
+			byOwner[o] = append(byOwner[o], v)
+		}
+	}
+	// Deterministic request order helps tests; sort each owner's list.
+	for owner, vids := range byOwner {
+		sort.Slice(vids, func(i, j int) bool { return vids[i] < vids[j] })
+		for lo := 0; lo < len(vids); lo += maxRPCBatch {
+			hi := lo + maxRPCBatch
+			if hi > len(vids) {
+				hi = len(vids)
+			}
+			chunk := vids[lo:hi]
+			nbrs := r.m.GetNbrs(owner, chunk)
+			for i, v := range chunk {
+				r.m.Cache.Insert(v, nbrs[i])
+			}
+		}
+	}
+	return nil
+}
+
+// extendScratch is per-worker reusable state for the intersect stage.
+type extendScratch struct {
+	lists   [][]graph.VertexID
+	isect   graph.IntersectScratch
+	out     *dataflow.Batch
+	outs    []*dataflow.Batch
+	rowBuf  []graph.VertexID
+	missErr error
+}
+
+// intersectStage performs the multiway intersections (lines 10-21 of
+// Algorithm 4) in parallel across the machine's workers, with chunk-level
+// intra-machine work stealing per Section 5.3.
+func (r *machineRun) intersectStage(e *dataflow.Extend, b *dataflow.Batch, twoStage bool) ([]*dataflow.Batch, error) {
+	eng := r.ex.eng
+	workers := eng.cl.Cfg.Workers
+	chunks := b.SplitRows(workers * 4)
+	if len(chunks) == 0 {
+		return nil, nil
+	}
+	if workers == 1 || len(chunks) == 1 {
+		sc := &extendScratch{}
+		for _, c := range chunks {
+			r.extendChunk(e, c, twoStage, sc)
+		}
+		return closeScratch(sc), sc.missErr
+	}
+
+	scratches := make([]*extendScratch, workers)
+	for i := range scratches {
+		scratches[i] = &extendScratch{}
+	}
+	var wg sync.WaitGroup
+	switch eng.cfg.LoadBalance {
+	case LBSteal:
+		r.batchNo++
+		pool := steal.NewPool(workers, int64(r.m.ID)<<20|int64(r.batchNo))
+		for i, c := range chunks {
+			pool.Deques[i%workers].Push(c)
+		}
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for {
+					task, ok, stole := pool.Next(w)
+					if !ok {
+						return
+					}
+					if stole {
+						eng.cl.Metrics.StealsIntra.Add(1)
+					}
+					r.extendChunk(e, task.(*dataflow.Batch), twoStage, scratches[w])
+				}
+			}(w)
+		}
+	default:
+		// Static round-robin (HUGE-NOSTL) or pivot-vertex placement
+		// (HUGE-RGP): chunks are bound to workers up front; skew on hub
+		// vertices goes unbalanced, which is what Exp-8 measures.
+		assign := make([][]*dataflow.Batch, workers)
+		for i, c := range chunks {
+			w := i % workers
+			if eng.cfg.LoadBalance == LBPivot && c.Rows() > 0 {
+				w = int(c.Row(0)[0]) % workers
+			}
+			assign[w] = append(assign[w], c)
+		}
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for _, c := range assign[w] {
+					r.extendChunk(e, c, twoStage, scratches[w])
+				}
+			}(w)
+		}
+	}
+	wg.Wait()
+	var outs []*dataflow.Batch
+	var err error
+	for _, sc := range scratches {
+		outs = append(outs, closeScratch(sc)...)
+		if sc.missErr != nil && err == nil {
+			err = sc.missErr
+		}
+	}
+	return outs, err
+}
+
+func closeScratch(sc *extendScratch) []*dataflow.Batch {
+	if sc.out != nil && sc.out.Rows() > 0 {
+		sc.outs = append(sc.outs, sc.out)
+		sc.out = nil
+	}
+	return sc.outs
+}
+
+// neighborsFor resolves adjacency during intersection: local partition,
+// sealed cache entry (two-stage), or an on-demand locked fetch (Cncr-LRU).
+func (r *machineRun) neighborsFor(v graph.VertexID, twoStage bool) ([]graph.VertexID, error) {
+	if twoStage {
+		nb, ok := r.m.NeighborsOf(v)
+		if !ok {
+			return nil, fmt.Errorf("engine: vertex %d missing from cache during intersect (two-stage protocol violated)", v)
+		}
+		return nb, nil
+	}
+	return r.m.FetchDirect(v), nil
+}
+
+// extendChunk applies the extend to every row of one chunk, appending
+// results to the worker's scratch batches.
+func (r *machineRun) extendChunk(e *dataflow.Extend, c *dataflow.Batch, twoStage bool, sc *extendScratch) {
+	eng := r.ex.eng
+	outWidth := len(e.OutLayout)
+	maxRows := eng.cfg.BatchRows
+	if sc.out == nil {
+		sc.out = dataflow.NewBatch(outWidth, maxRows)
+	}
+	for i := 0; i < c.Rows(); i++ {
+		row := c.Row(i)
+		sc.lists = sc.lists[:0]
+		ok := true
+		for _, s := range e.ExtSlots {
+			nb, err := r.neighborsFor(row[s], twoStage)
+			if err != nil {
+				sc.missErr = err
+				return
+			}
+			if len(nb) == 0 {
+				ok = false
+				break
+			}
+			sc.lists = append(sc.lists, nb)
+		}
+		if !ok {
+			continue
+		}
+		cand := graph.IntersectMany(sc.lists, &sc.isect)
+		if e.IsVerify() {
+			if graph.ContainsSorted(cand, row[e.VerifySlot]) {
+				if sc.out.Rows() >= maxRows {
+					sc.outs = append(sc.outs, sc.out)
+					sc.out = dataflow.NewBatch(outWidth, maxRows)
+				}
+				sc.out.Append(row)
+			}
+			continue
+		}
+	candidates:
+		for _, v := range cand {
+			// Injectivity: the new vertex must differ from every matched one.
+			for _, u := range row {
+				if u == v {
+					continue candidates
+				}
+			}
+			// Symmetry-breaking constraints against matched vertices.
+			for _, f := range e.NewFilters {
+				if f.NewLess {
+					if v >= row[f.Slot] {
+						continue candidates
+					}
+				} else if v <= row[f.Slot] {
+					continue candidates
+				}
+			}
+			if sc.out.Rows() >= maxRows {
+				sc.outs = append(sc.outs, sc.out)
+				sc.out = dataflow.NewBatch(outWidth, maxRows)
+			}
+			sc.rowBuf = append(sc.rowBuf[:0], row...)
+			sc.rowBuf = append(sc.rowBuf, v)
+			sc.out.Append(sc.rowBuf)
+		}
+	}
+}

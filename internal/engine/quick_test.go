@@ -1,0 +1,89 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/baseline"
+	"repro/internal/cache"
+	"repro/internal/cluster"
+	"repro/internal/gen"
+	"repro/internal/plan"
+	"repro/internal/query"
+)
+
+// randomConnectedQuery mirrors the query package's random generator (kept
+// local to avoid exporting test helpers).
+func randomConnectedQuery(rng *rand.Rand, n int) *query.Query {
+	var edges [][2]int
+	have := map[[2]int]bool{}
+	add := func(a, b int) {
+		if a > b {
+			a, b = b, a
+		}
+		if a == b || have[[2]int{a, b}] {
+			return
+		}
+		have[[2]int{a, b}] = true
+		edges = append(edges, [2]int{a, b})
+	}
+	for v := 1; v < n; v++ {
+		add(v, rng.Intn(v))
+	}
+	for i := 0; i < rng.Intn(n); i++ {
+		add(rng.Intn(n), rng.Intn(n))
+	}
+	return query.New("random", edges)
+}
+
+// The repository's central property, quick-checked over random queries AND
+// random graphs AND random engine configurations: the distributed engine
+// always reproduces the sequential oracle's count exactly.
+func TestQuickEngineMatchesOracle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property sweep skipped in -short mode")
+	}
+	f := func(seed int64, nRaw, kRaw, qRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := gen.PowerLaw(80+int(nRaw)%120, 2+int(nRaw)%3, seed)
+		q := randomConnectedQuery(rng, 3+int(qRaw)%3) // 3..5 vertices
+		k := 1 + int(kRaw)%4
+		stats := plan.ComputeStats(g)
+		p := plan.Optimize(q, plan.Config{
+			NumMachines: k, GraphEdges: float64(g.NumEdges()),
+			Card: plan.MomentEstimator(stats),
+		})
+		df, err := plan.Translate(p)
+		if err != nil {
+			t.Logf("seed %d: translate: %v", seed, err)
+			return false
+		}
+		kinds := []cache.Kind{cache.LRBU, cache.LRBUCopy, cache.LRUInf, cache.CncrLRU}
+		cl := cluster.New(g, cluster.Config{
+			NumMachines: k, Workers: 1 + int(kRaw)%3,
+			CacheKind: kinds[int(seed&0xff)%len(kinds)], CacheBytes: 1 << (8 + seed%8),
+		})
+		queues := []int64{1, 64, 4096, -1}
+		got, err := Run(cl, df, Config{
+			BatchRows:   16 + int(nRaw)%100,
+			QueueRows:   queues[int(qRaw)%len(queues)],
+			LoadBalance: LoadBalance(int(kRaw) % 3),
+			Compress:    seed%2 == 0,
+		})
+		if err != nil {
+			t.Logf("seed %d: run: %v", seed, err)
+			return false
+		}
+		want := baseline.GroundTruthCount(g, q)
+		if got != want {
+			t.Logf("seed %d: query %v on |V|=%d k=%d: got %d want %d",
+				seed, q.Edges(), g.NumVertices(), k, got, want)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

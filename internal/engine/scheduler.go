@@ -1,0 +1,368 @@
+package engine
+
+import (
+	"hash/maphash"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/dataflow"
+)
+
+// stageExec coordinates one stage across all machines: it tracks global
+// termination (no active source, no pending batch anywhere) so that
+// inter-machine thieves know when to stop.
+type stageExec struct {
+	eng            *Engine
+	st             *dataflow.Stage
+	runs           []*machineRun
+	pendingBatches atomic.Int64 // batches enqueued anywhere, not yet fully processed
+	sourcesActive  atomic.Int64
+	errMu          sync.Mutex
+	firstErr       error
+}
+
+func (ex *stageExec) done() bool {
+	return ex.sourcesActive.Load() == 0 && ex.pendingBatches.Load() == 0 && ex.firstErrFast() == nil
+}
+
+func (ex *stageExec) firstErrFast() error {
+	ex.errMu.Lock()
+	defer ex.errMu.Unlock()
+	return ex.firstErr
+}
+
+func (ex *stageExec) err() error { return ex.firstErrFast() }
+
+func (ex *stageExec) setErr(err error) {
+	ex.errMu.Lock()
+	if ex.firstErr == nil {
+		ex.firstErr = err
+	}
+	ex.errMu.Unlock()
+}
+
+// machineRun executes a stage's line of operators on one machine, under the
+// BFS/DFS-adaptive scheduler of Algorithm 5. Operator indices: 0 = source,
+// 1..E = the E PULL-EXTENDs, E+1 = terminal. queues[i] is the output queue
+// of operator i (input of operator i+1); the terminal has no queue.
+type machineRun struct {
+	ex         *stageExec
+	m          *cluster.Machine
+	source     sourceIter
+	sourceDone bool
+
+	mu     sync.Mutex // guards queues/qrows (scheduler vs inter-machine thieves)
+	queues [][]*dataflow.Batch
+	qrows  []int64
+
+	rng     *rand.Rand
+	batchNo int
+}
+
+func newMachineRun(ex *stageExec, m *cluster.Machine, src sourceIter) *machineRun {
+	e := len(ex.st.Extends)
+	return &machineRun{
+		ex:     ex,
+		m:      m,
+		source: src,
+		queues: make([][]*dataflow.Batch, e+1),
+		qrows:  make([]int64, e+1),
+		rng:    rand.New(rand.NewSource(int64(m.ID)*7919 + 13)),
+	}
+}
+
+func (r *machineRun) capacity() int64 { return r.ex.eng.cfg.QueueRows }
+
+func (r *machineRun) outFull(op int) bool {
+	c := r.capacity()
+	if c < 0 {
+		return false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.qrows[op] >= c
+}
+
+func (r *machineRun) enqueue(op int, b *dataflow.Batch) {
+	rows := int64(b.Rows())
+	r.ex.pendingBatches.Add(1)
+	r.ex.eng.cl.Metrics.AddLiveTuples(rows)
+	r.mu.Lock()
+	r.queues[op] = append(r.queues[op], b)
+	r.qrows[op] += rows
+	r.mu.Unlock()
+}
+
+// enqueueStolen re-homes batches without touching global accounting (they
+// were already pending and live on the victim).
+func (r *machineRun) enqueueStolen(op int, bs []*dataflow.Batch) {
+	r.mu.Lock()
+	for _, b := range bs {
+		r.queues[op] = append(r.queues[op], b)
+		r.qrows[op] += int64(b.Rows())
+	}
+	r.mu.Unlock()
+}
+
+func (r *machineRun) dequeue(op int) *dataflow.Batch {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	q := r.queues[op]
+	if len(q) == 0 {
+		return nil
+	}
+	b := q[0]
+	r.queues[op] = q[1:]
+	r.qrows[op] -= int64(b.Rows())
+	return b
+}
+
+// batchProcessed marks a dequeued batch fully handled: its outputs (if any)
+// were enqueued before this is called, so pendingBatches never dips to zero
+// while work remains.
+func (r *machineRun) batchProcessed(b *dataflow.Batch) {
+	r.ex.eng.cl.Metrics.AddLiveTuples(-int64(b.Rows()))
+	r.ex.pendingBatches.Add(-1)
+}
+
+// pickOp chooses the next operator: the deepest operator with input, else
+// the source if it still has data. This realises Algorithm 5's movement —
+// run forward until the output queue fills, then drain downstream before
+// backtracking — and inherits its memory bound: each queue holds at most
+// capacity + one batch's expansion.
+func (r *machineRun) pickOp() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := len(r.queues); i >= 1; i-- {
+		if len(r.queues[i-1]) > 0 {
+			return i
+		}
+	}
+	if !r.sourceDone {
+		return 0
+	}
+	return -1
+}
+
+// loop is the machine's driver: run local work to completion, then steal
+// from other machines until the stage is globally done (Section 5.3).
+func (r *machineRun) loop() {
+	if err := r.run(); err != nil {
+		r.ex.setErr(err)
+		r.drainOnError()
+		return
+	}
+	if r.ex.eng.cfg.LoadBalance != LBSteal || len(r.ex.runs) == 1 {
+		return
+	}
+	for !r.ex.done() {
+		if r.ex.firstErrFast() != nil {
+			return
+		}
+		if r.stealOnce() {
+			if err := r.run(); err != nil {
+				r.ex.setErr(err)
+				r.drainOnError()
+				return
+			}
+		} else {
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+}
+
+// drainOnError discards queued batches so pending counts reach zero and
+// peer machines terminate.
+func (r *machineRun) drainOnError() {
+	if !r.sourceDone {
+		r.sourceDone = true
+		r.ex.sourcesActive.Add(-1)
+	}
+	for op := range r.queues {
+		for {
+			b := r.dequeue(op)
+			if b == nil {
+				break
+			}
+			r.batchProcessed(b)
+		}
+	}
+}
+
+// run is the Algorithm 5 scheduler loop for local work.
+func (r *machineRun) run() error {
+	for {
+		if r.ex.firstErrFast() != nil {
+			return nil
+		}
+		op := r.pickOp()
+		if op < 0 {
+			return nil
+		}
+		if err := r.runOp(op); err != nil {
+			return err
+		}
+	}
+}
+
+// runOp schedules operator op: it consumes as much input as possible
+// (driving CPU utilisation high) and yields when its output queue is full.
+func (r *machineRun) runOp(op int) error {
+	st := r.ex.st
+	switch {
+	case op == 0:
+		for !r.sourceDone && !r.outFull(0) {
+			b, ok, err := r.source.nextBatch(r.ex.eng.cfg.BatchRows)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				r.sourceDone = true
+				r.ex.sourcesActive.Add(-1)
+				break
+			}
+			r.enqueue(0, b)
+		}
+	case op <= len(st.Extends):
+		e := st.Extends[op-1]
+		compress := r.ex.eng.cfg.Compress && r.ex.eng.cfg.OnResult == nil &&
+			op == len(st.Extends) && st.Terminal.Sink && !e.IsVerify()
+		for !r.outFull(op) {
+			b := r.dequeue(op - 1)
+			if b == nil {
+				break
+			}
+			if compress {
+				// Compression [63]: the final extension's matches are
+				// counted from the candidate sets without materialisation.
+				n, err := r.countExtend(e, b)
+				if err != nil {
+					return err
+				}
+				r.ex.eng.cl.Metrics.Results.Add(n)
+				r.batchProcessed(b)
+				continue
+			}
+			outs, err := r.processExtend(e, b)
+			if err != nil {
+				return err
+			}
+			for _, ob := range outs {
+				if ob.Rows() > 0 {
+					r.enqueue(op, ob)
+				}
+			}
+			r.batchProcessed(b)
+		}
+	default: // terminal
+		for {
+			b := r.dequeue(op - 1)
+			if b == nil {
+				break
+			}
+			if err := r.terminal(b); err != nil {
+				return err
+			}
+			r.batchProcessed(b)
+		}
+	}
+	return nil
+}
+
+// terminal consumes a finished batch: SINK counts results; a join feed
+// shuffles rows to the consumer machines' buffered relations via the
+// router, accounting pushed bytes per destination.
+func (r *machineRun) terminal(b *dataflow.Batch) error {
+	eng := r.ex.eng
+	t := r.ex.st.Terminal
+	if t.Sink {
+		eng.cl.Metrics.Results.Add(uint64(b.Rows()))
+		if eng.cfg.OnResult != nil {
+			for i := 0; i < b.Rows(); i++ {
+				eng.cfg.OnResult(b.Row(i))
+			}
+		}
+		return nil
+	}
+	jb := eng.joins[t.ConsumerStage]
+	k := len(eng.cl.Machines)
+	eng.cl.Metrics.AddLiveTuples(int64(b.Rows()))
+	remoteBytes := make([]uint64, k)
+	var h maphash.Hash
+	for i := 0; i < b.Rows(); i++ {
+		row := b.Row(i)
+		h.SetSeed(eng.seed)
+		for _, ks := range t.KeySlots {
+			v := row[ks]
+			h.WriteByte(byte(v))
+			h.WriteByte(byte(v >> 8))
+			h.WriteByte(byte(v >> 16))
+			h.WriteByte(byte(v >> 24))
+		}
+		dest := int(h.Sum64() % uint64(k))
+		if err := jb.sides[t.Side][dest].Add(row); err != nil {
+			return err
+		}
+		if dest != r.m.ID {
+			remoteBytes[dest] += uint64(len(row)) * 4
+		}
+	}
+	for _, bytes := range remoteBytes {
+		if bytes > 0 {
+			eng.cl.PushBytes(bytes)
+		}
+	}
+	return nil
+}
+
+// stealOnce implements the StealWork RPC: pick a random victim with work
+// and take half the batches from the input of its top-most unfinished
+// operator.
+func (r *machineRun) stealOnce() bool {
+	runs := r.ex.runs
+	n := len(runs)
+	start := r.rng.Intn(n)
+	for i := 0; i < n; i++ {
+		v := runs[(start+i)%n]
+		if v == r {
+			continue
+		}
+		op, batches, bytes := v.stealBatches()
+		if len(batches) == 0 {
+			continue
+		}
+		r.ex.eng.cl.Metrics.StealsInter.Add(1)
+		r.ex.eng.cl.PushBytes(bytes)
+		r.enqueueStolen(op, batches)
+		return true
+	}
+	return false
+}
+
+// stealBatches removes up to half of the batches from this machine's
+// earliest non-empty queue. Returns the queue index, the batches and their
+// wire size.
+func (r *machineRun) stealBatches() (int, []*dataflow.Batch, uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i, q := range r.queues {
+		if len(q) == 0 {
+			continue
+		}
+		take := (len(q) + 1) / 2
+		stolen := make([]*dataflow.Batch, take)
+		copy(stolen, q[:take])
+		r.queues[i] = append([]*dataflow.Batch{}, q[take:]...)
+		var bytes uint64
+		for _, b := range stolen {
+			rows := int64(b.Rows())
+			r.qrows[i] -= rows
+			bytes += uint64(rows) * uint64(b.Width) * 4
+		}
+		return i, stolen, bytes
+	}
+	return 0, nil, 0
+}

@@ -1,0 +1,239 @@
+package engine
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/dataflow"
+	"repro/internal/graph"
+)
+
+// sourceIter produces the batches that drive a stage: either a SCAN over
+// the machine's local partition, or the streaming output of a PUSH-JOIN.
+type sourceIter interface {
+	// nextBatch returns up to maxRows rows; ok=false when exhausted.
+	nextBatch(maxRows int) (b *dataflow.Batch, ok bool, err error)
+}
+
+// scanIter implements SCAN(edge): it emits one tuple (u, w) per ordered
+// local edge, with u a local vertex — so the scan output is partitioned
+// exactly like the graph, as Section 4.2 describes.
+type scanIter struct {
+	m       *cluster.Machine
+	scan    *dataflow.EdgeScan
+	verts   []graph.VertexID
+	vi, ni  int
+	current []graph.VertexID // neighbours of verts[vi]
+}
+
+func newScanIter(m *cluster.Machine, scan *dataflow.EdgeScan) *scanIter {
+	return &scanIter{m: m, scan: scan, verts: m.Part.LocalVertices()}
+}
+
+func (s *scanIter) nextBatch(maxRows int) (*dataflow.Batch, bool, error) {
+	b := dataflow.NewBatch(2, maxRows)
+	row := make([]graph.VertexID, 2)
+	for b.Rows() < maxRows {
+		if s.current == nil {
+			if s.vi >= len(s.verts) {
+				break
+			}
+			s.current = s.m.Part.Neighbors(s.verts[s.vi])
+			s.ni = 0
+		}
+		u := s.verts[s.vi]
+		for s.ni < len(s.current) && b.Rows() < maxRows {
+			w := s.current[s.ni]
+			s.ni++
+			row[0], row[1] = u, w
+			if passOrderFilters(row, s.scan.Filters) {
+				b.Append(row)
+			}
+		}
+		if s.ni >= len(s.current) {
+			s.current = nil
+			s.vi++
+		}
+	}
+	if b.Rows() == 0 {
+		return nil, false, nil
+	}
+	return b, true, nil
+}
+
+func passOrderFilters(row []graph.VertexID, fs []dataflow.OrderFilter) bool {
+	for _, f := range fs {
+		if row[f.SlotA] >= row[f.SlotB] {
+			return false
+		}
+	}
+	return true
+}
+
+// joinIter streams the locally-computed PUSH-JOIN output: a sort-merge join
+// over the two buffered (possibly spilled) relations, reading back in key
+// order (Section 4.3).
+type joinIter struct {
+	j           *dataflow.Join
+	left, right RowIter
+
+	leftRow, rightRow []graph.VertexID
+	leftOK, rightOK   bool
+	started           bool
+
+	groupKey   []graph.VertexID
+	rightGroup []graph.VertexID // row-major buffer of the current key group
+	rightWidth int
+	gi         int // next right-group row for the current left row
+	inGroup    bool
+
+	out []graph.VertexID // scratch output row
+}
+
+func newJoinIter(j *dataflow.Join, left, right RowIter) *joinIter {
+	return &joinIter{j: j, left: left, right: right, out: make([]graph.VertexID, len(j.OutLayout))}
+}
+
+func (it *joinIter) advanceLeft() error {
+	row, ok, err := it.left.Next()
+	if err != nil {
+		return err
+	}
+	if ok {
+		it.leftRow = append(it.leftRow[:0], row...)
+	}
+	it.leftOK = ok
+	return nil
+}
+
+func (it *joinIter) advanceRight() error {
+	row, ok, err := it.right.Next()
+	if err != nil {
+		return err
+	}
+	if ok {
+		it.rightRow = append(it.rightRow[:0], row...)
+	}
+	it.rightOK = ok
+	return nil
+}
+
+func (it *joinIter) cmpKeys() int {
+	for i := range it.j.LeftKey {
+		a, b := it.leftRow[it.j.LeftKey[i]], it.rightRow[it.j.RightKey[i]]
+		if a != b {
+			if a < b {
+				return -1
+			}
+			return 1
+		}
+	}
+	return 0
+}
+
+func (it *joinIter) leftMatchesGroup() bool {
+	for i, k := range it.j.LeftKey {
+		if it.leftRow[k] != it.groupKey[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// combine builds the output row for leftRow x rightGroup[gi]; reports
+// whether it passes the join's cross filters and distinctness checks.
+func (it *joinIter) combine(gi int) bool {
+	n := copy(it.out, it.leftRow)
+	g := it.rightGroup[gi*it.rightWidth : (gi+1)*it.rightWidth]
+	for _, s := range it.j.RightCopy {
+		it.out[n] = g[s]
+		n++
+	}
+	for _, d := range it.j.CrossDistinct {
+		if it.out[d[0]] == it.out[d[1]] {
+			return false
+		}
+	}
+	return passOrderFilters(it.out, it.j.CrossFilters)
+}
+
+func (it *joinIter) nextBatch(maxRows int) (*dataflow.Batch, bool, error) {
+	if !it.started {
+		it.started = true
+		if err := it.advanceLeft(); err != nil {
+			return nil, false, err
+		}
+		if err := it.advanceRight(); err != nil {
+			return nil, false, err
+		}
+	}
+	b := dataflow.NewBatch(len(it.j.OutLayout), maxRows)
+	for b.Rows() < maxRows {
+		if it.inGroup {
+			if it.gi*it.rightWidth < len(it.rightGroup) {
+				gi := it.gi
+				it.gi++
+				if it.combine(gi) {
+					b.Append(it.out)
+				}
+				continue
+			}
+			// Current left row exhausted the group; next left row.
+			if err := it.advanceLeft(); err != nil {
+				return nil, false, err
+			}
+			if it.leftOK && it.leftMatchesGroup() {
+				it.gi = 0
+				continue
+			}
+			it.inGroup = false
+			continue
+		}
+		if !it.leftOK || !it.rightOK {
+			break
+		}
+		switch c := it.cmpKeys(); {
+		case c < 0:
+			if err := it.advanceLeft(); err != nil {
+				return nil, false, err
+			}
+		case c > 0:
+			if err := it.advanceRight(); err != nil {
+				return nil, false, err
+			}
+		default:
+			// Collect the full right group for this key.
+			it.rightWidth = len(it.rightRow)
+			it.groupKey = it.groupKey[:0]
+			for _, k := range it.j.LeftKey {
+				it.groupKey = append(it.groupKey, it.leftRow[k])
+			}
+			it.rightGroup = it.rightGroup[:0]
+			for {
+				it.rightGroup = append(it.rightGroup, it.rightRow...)
+				if err := it.advanceRight(); err != nil {
+					return nil, false, err
+				}
+				if !it.rightOK {
+					break
+				}
+				same := true
+				for i, k := range it.j.RightKey {
+					if it.rightRow[k] != it.groupKey[i] {
+						same = false
+						break
+					}
+				}
+				if !same {
+					break
+				}
+			}
+			it.gi = 0
+			it.inGroup = true
+		}
+	}
+	if b.Rows() == 0 {
+		// The loop only exits with zero rows when both inputs are exhausted
+		// (the in-group branch always continues), so this is the end.
+		return nil, false, nil
+	}
+	return b, true, nil
+}

@@ -1,0 +1,322 @@
+package engine
+
+import (
+	"bufio"
+	"container/heap"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+
+	"repro/internal/graph"
+)
+
+// Relation is the buffered input of one side of a PUSH-JOIN on one machine
+// (Section 4.3): rows are appended by the router; once the in-memory buffer
+// exceeds its threshold, the buffer is sorted by join key and spilled to a
+// temporary file as a sorted run. Finalize sorts the remainder and returns
+// a streaming iterator that merges all runs, so join processing reads the
+// data back in key order with constant memory.
+type Relation struct {
+	mu        sync.Mutex
+	width     int
+	keySlots  []int
+	mem       []graph.VertexID // row-major
+	limitRows int              // spill threshold; <= 0 means never spill
+	file      *os.File         // all sorted runs, appended back to back
+	runs      []runSpan
+	onSpill   func(rows int) // memory-accounting hook
+}
+
+// runSpan is one sorted run inside the shared spill file.
+type runSpan struct{ off, length int64 }
+
+// NewRelation creates a buffered relation. limitRows is the in-memory
+// buffer threshold in rows (the paper's constant buffer size).
+func NewRelation(width int, keySlots []int, limitRows int, onSpill func(rows int)) *Relation {
+	return &Relation{width: width, keySlots: keySlots, limitRows: limitRows, onSpill: onSpill}
+}
+
+// Add appends one row. Safe for concurrent callers (the router's feeders).
+func (r *Relation) Add(row []graph.VertexID) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.mem = append(r.mem, row...)
+	if r.limitRows > 0 && len(r.mem)/r.width >= r.limitRows {
+		return r.spillLocked()
+	}
+	return nil
+}
+
+// Rows returns the number of buffered in-memory rows.
+func (r *Relation) Rows() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.width == 0 {
+		return 0
+	}
+	return len(r.mem) / r.width
+}
+
+func (r *Relation) compare(a, b []graph.VertexID) int {
+	for _, k := range r.keySlots {
+		if a[k] != b[k] {
+			if a[k] < b[k] {
+				return -1
+			}
+			return 1
+		}
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			if a[i] < b[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	return 0
+}
+
+func (r *Relation) sortMem() {
+	rows := len(r.mem) / r.width
+	idx := make([]int, rows)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool {
+		a := r.mem[idx[i]*r.width : (idx[i]+1)*r.width]
+		b := r.mem[idx[j]*r.width : (idx[j]+1)*r.width]
+		return r.compare(a, b) < 0
+	})
+	sorted := make([]graph.VertexID, 0, len(r.mem))
+	for _, i := range idx {
+		sorted = append(sorted, r.mem[i*r.width:(i+1)*r.width]...)
+	}
+	r.mem = sorted
+}
+
+func (r *Relation) spillLocked() error {
+	if len(r.mem) == 0 {
+		return nil
+	}
+	r.sortMem()
+	if r.file == nil {
+		f, err := os.CreateTemp("", "huge-join-spill-*")
+		if err != nil {
+			return fmt.Errorf("engine: creating spill file: %w", err)
+		}
+		r.file = f
+	}
+	off, err := r.file.Seek(0, 2)
+	if err != nil {
+		return fmt.Errorf("engine: seeking spill file: %w", err)
+	}
+	w := bufio.NewWriterSize(r.file, 1<<16)
+	buf := make([]byte, 4)
+	for _, x := range r.mem {
+		binary.LittleEndian.PutUint32(buf, x)
+		if _, err := w.Write(buf); err != nil {
+			return fmt.Errorf("engine: writing spill run: %w", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return fmt.Errorf("engine: flushing spill run: %w", err)
+	}
+	if r.onSpill != nil {
+		r.onSpill(len(r.mem) / r.width)
+	}
+	r.runs = append(r.runs, runSpan{off: off, length: int64(len(r.mem)) * 4})
+	r.mem = r.mem[:0]
+	return nil
+}
+
+// RowIter streams rows in key order.
+type RowIter interface {
+	// Next returns the next row (aliasing internal storage, valid until the
+	// following call) or ok=false at the end.
+	Next() (row []graph.VertexID, ok bool, err error)
+	Close() error
+}
+
+// Finalize sorts any remaining buffer and returns a merged iterator over
+// all runs. The Relation must not be Added to afterwards.
+func (r *Relation) Finalize() (RowIter, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.sortMem()
+	if len(r.runs) == 0 {
+		return &memIter{rel: r, mem: r.mem, width: r.width}, nil
+	}
+	its := make([]rowSource, 0, len(r.runs)+1)
+	for _, span := range r.runs {
+		sr := io.NewSectionReader(r.file, span.off, span.length)
+		its = append(its, &fileSource{r: bufio.NewReaderSize(sr, 1<<16), width: r.width})
+	}
+	its = append(its, &memSource{mem: r.mem, width: r.width})
+	m := &mergeIter{rel: r, cmp: r.compare}
+	for _, src := range its {
+		row, ok, err := src.next()
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			m.h = append(m.h, mergeItem{row: append([]graph.VertexID(nil), row...), src: src})
+		}
+	}
+	heap.Init(&heapAdapter{items: &m.h, cmp: m.cmp})
+	return m, nil
+}
+
+// SpilledRuns reports how many sorted runs went to disk.
+func (r *Relation) SpilledRuns() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.runs)
+}
+
+func (r *Relation) cleanup() {
+	if r.file != nil {
+		name := r.file.Name()
+		r.file.Close()
+		os.Remove(name)
+		r.file = nil
+	}
+	r.runs = nil
+	r.mem = nil
+}
+
+type memIter struct {
+	rel   *Relation
+	mem   []graph.VertexID
+	width int
+	pos   int
+}
+
+func (it *memIter) Next() ([]graph.VertexID, bool, error) {
+	if it.pos*it.width >= len(it.mem) {
+		return nil, false, nil
+	}
+	row := it.mem[it.pos*it.width : (it.pos+1)*it.width]
+	it.pos++
+	return row, true, nil
+}
+
+func (it *memIter) Close() error {
+	it.rel.cleanup()
+	return nil
+}
+
+// rowSource is one sorted run (file or memory) feeding the merge.
+type rowSource interface {
+	next() ([]graph.VertexID, bool, error)
+}
+
+type memSource struct {
+	mem   []graph.VertexID
+	width int
+	pos   int
+}
+
+func (s *memSource) next() ([]graph.VertexID, bool, error) {
+	if s.pos*s.width >= len(s.mem) {
+		return nil, false, nil
+	}
+	row := s.mem[s.pos*s.width : (s.pos+1)*s.width]
+	s.pos++
+	return row, true, nil
+}
+
+type fileSource struct {
+	r     *bufio.Reader
+	width int
+	buf   []byte
+	row   []graph.VertexID
+}
+
+func (s *fileSource) next() ([]graph.VertexID, bool, error) {
+	if s.buf == nil {
+		s.buf = make([]byte, 4*s.width)
+		s.row = make([]graph.VertexID, s.width)
+	}
+	n, err := readFull(s.r, s.buf)
+	if n == 0 {
+		return nil, false, nil
+	}
+	if err != nil || n != len(s.buf) {
+		return nil, false, fmt.Errorf("engine: short read (%d of %d bytes) from spill run", n, len(s.buf))
+	}
+	for i := 0; i < s.width; i++ {
+		s.row[i] = binary.LittleEndian.Uint32(s.buf[4*i:])
+	}
+	return s.row, true, nil
+}
+
+// readFull reads exactly len(buf) bytes or whatever remains before EOF.
+func readFull(r io.Reader, buf []byte) (int, error) {
+	total := 0
+	for total < len(buf) {
+		n, err := r.Read(buf[total:])
+		total += n
+		if err != nil {
+			return total, nil // EOF: caller checks length
+		}
+	}
+	return total, nil
+}
+
+type mergeItem struct {
+	row []graph.VertexID // owned copy of the source's current row
+	src rowSource
+}
+
+// mergeIter is a k-way merge over sorted runs.
+type mergeIter struct {
+	rel *Relation
+	h   []mergeItem
+	cmp func(a, b []graph.VertexID) int
+	out []graph.VertexID
+}
+
+func (it *mergeIter) Next() ([]graph.VertexID, bool, error) {
+	if len(it.h) == 0 {
+		return nil, false, nil
+	}
+	hw := &heapAdapter{items: &it.h, cmp: it.cmp}
+	it.out = append(it.out[:0], it.h[0].row...)
+	row, ok, err := it.h[0].src.next()
+	if err != nil {
+		return nil, false, err
+	}
+	if ok {
+		it.h[0].row = append(it.h[0].row[:0], row...)
+		heap.Fix(hw, 0)
+	} else {
+		heap.Pop(hw)
+	}
+	return it.out, true, nil
+}
+
+func (it *mergeIter) Close() error {
+	it.rel.cleanup()
+	return nil
+}
+
+type heapAdapter struct {
+	items *[]mergeItem
+	cmp   func(a, b []graph.VertexID) int
+}
+
+func (h *heapAdapter) Len() int           { return len(*h.items) }
+func (h *heapAdapter) Less(i, j int) bool { return h.cmp((*h.items)[i].row, (*h.items)[j].row) < 0 }
+func (h *heapAdapter) Swap(i, j int)      { (*h.items)[i], (*h.items)[j] = (*h.items)[j], (*h.items)[i] }
+func (h *heapAdapter) Push(x any)         { *h.items = append(*h.items, x.(mergeItem)) }
+func (h *heapAdapter) Pop() any {
+	old := *h.items
+	n := len(old)
+	it := old[n-1]
+	*h.items = old[:n-1]
+	return it
+}

@@ -1,0 +1,145 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func collectRows(t *testing.T, it RowIter) [][]graph.VertexID {
+	t.Helper()
+	var out [][]graph.VertexID
+	for {
+		row, ok, err := it.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			return out
+		}
+		out = append(out, append([]graph.VertexID(nil), row...))
+	}
+}
+
+func TestRelationInMemorySorted(t *testing.T) {
+	r := NewRelation(2, []int{0}, 0, nil)
+	rows := [][]graph.VertexID{{3, 1}, {1, 2}, {2, 9}, {1, 1}}
+	for _, row := range rows {
+		if err := r.Add(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r.Rows() != 4 {
+		t.Fatalf("Rows = %d", r.Rows())
+	}
+	it, err := r.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	got := collectRows(t, it)
+	for i := 1; i < len(got); i++ {
+		if got[i-1][0] > got[i][0] {
+			t.Fatalf("not key-sorted: %v", got)
+		}
+	}
+	if got[0][0] != 1 || got[len(got)-1][0] != 3 {
+		t.Fatalf("order wrong: %v", got)
+	}
+}
+
+func TestRelationSpillAndMerge(t *testing.T) {
+	const rows = 1000
+	r := NewRelation(3, []int{1}, 64, nil) // spill every 64 rows
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < rows; i++ {
+		if err := r.Add([]graph.VertexID{
+			graph.VertexID(rng.Intn(100)), graph.VertexID(rng.Intn(50)), graph.VertexID(i),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r.SpilledRuns() == 0 {
+		t.Fatal("expected spilled runs")
+	}
+	it, err := r.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := collectRows(t, it)
+	if len(got) != rows {
+		t.Fatalf("merged %d rows, want %d", len(got), rows)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1][1] > got[i][1] {
+			t.Fatalf("merge not key-sorted at %d: %v -> %v", i, got[i-1], got[i])
+		}
+	}
+	// Every original row must survive exactly once (slot 2 is unique).
+	seen := make([]bool, rows)
+	for _, row := range got {
+		if seen[row[2]] {
+			t.Fatalf("row %v duplicated", row)
+		}
+		seen[row[2]] = true
+	}
+	if err := it.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRelationSpillHookAccounting(t *testing.T) {
+	var spilled int
+	r := NewRelation(1, []int{0}, 10, func(rows int) { spilled += rows })
+	for i := 0; i < 35; i++ {
+		if err := r.Add([]graph.VertexID{graph.VertexID(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if spilled < 30 {
+		t.Fatalf("spill hook saw %d rows", spilled)
+	}
+	it, err := r.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	if got := collectRows(t, it); len(got) != 35 {
+		t.Fatalf("rows after spill = %d", len(got))
+	}
+}
+
+func TestRelationEmptyFinalize(t *testing.T) {
+	r := NewRelation(2, []int{0}, 0, nil)
+	it, err := r.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	if got := collectRows(t, it); len(got) != 0 {
+		t.Fatalf("empty relation produced %v", got)
+	}
+}
+
+func TestRelationTieBreakFullRow(t *testing.T) {
+	// Same key: ordering falls back to the whole row, so merge output is
+	// fully deterministic.
+	r := NewRelation(2, []int{0}, 2, nil)
+	for _, row := range [][]graph.VertexID{{5, 3}, {5, 1}, {5, 2}, {5, 0}} {
+		if err := r.Add(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	it, err := r.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	got := collectRows(t, it)
+	for i := 1; i < len(got); i++ {
+		if got[i-1][1] > got[i][1] {
+			t.Fatalf("tie-break not applied: %v", got)
+		}
+	}
+}

@@ -1,0 +1,168 @@
+// Package gen produces the synthetic data graphs that stand in for the
+// paper's seven real-world datasets (Table 3). The paper's experiments
+// depend on degree skew (power-law social graphs), hub-heavy web graphs,
+// and near-uniform road networks; each generator reproduces one of those
+// degree profiles with a documented seed so every run is deterministic.
+package gen
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// PowerLaw generates a preferential-attachment (Barabási–Albert style)
+// graph: n vertices, each new vertex attaching m edges to existing vertices
+// chosen proportionally to degree. This is the stand-in for the social
+// graphs LJ, OR and FS, whose heavy tails drive the paper's load-skew and
+// cache experiments.
+func PowerLaw(n, m int, seed int64) *graph.Graph {
+	if n < 2 {
+		panic("gen: PowerLaw requires n >= 2")
+	}
+	if m < 1 {
+		m = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var b graph.Builder
+	b.SetNumVertices(n)
+	// targets holds one entry per edge endpoint, so sampling uniformly from
+	// it is sampling proportional to degree.
+	targets := make([]graph.VertexID, 0, 2*n*m)
+	b.AddEdge(0, 1)
+	targets = append(targets, 0, 1)
+	for v := 2; v < n; v++ {
+		deg := m
+		if v < m {
+			deg = v
+		}
+		seen := make(map[graph.VertexID]bool, deg)
+		for len(seen) < deg {
+			var t graph.VertexID
+			if rng.Intn(10) == 0 {
+				t = graph.VertexID(rng.Intn(v)) // uniform escape hatch keeps the graph connected-ish
+			} else {
+				t = targets[rng.Intn(len(targets))]
+			}
+			if t == graph.VertexID(v) || seen[t] {
+				continue
+			}
+			seen[t] = true
+			b.AddEdge(graph.VertexID(v), t)
+			targets = append(targets, graph.VertexID(v), t)
+		}
+	}
+	return b.Build()
+}
+
+// Web generates a hub-heavy graph using a copying model: each new vertex
+// either copies the out-neighbourhood of a random prototype (probability
+// copyProb) or links uniformly. Copying produces the very large hubs and
+// dense local clusters characteristic of web graphs (UK, CW) — the paper's
+// out-of-memory scenarios come from exactly these hubs.
+func Web(n, m int, copyProb float64, seed int64) *graph.Graph {
+	if n < 2 {
+		panic("gen: Web requires n >= 2")
+	}
+	if m < 1 {
+		m = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var b graph.Builder
+	b.SetNumVertices(n)
+	adj := make([][]graph.VertexID, n)
+	addEdge := func(u, v graph.VertexID) {
+		if u == v {
+			return
+		}
+		b.AddEdge(u, v)
+		adj[u] = append(adj[u], v)
+		adj[v] = append(adj[v], u)
+	}
+	addEdge(0, 1)
+	for v := 2; v < n; v++ {
+		proto := graph.VertexID(rng.Intn(v))
+		deg := m
+		if v < m {
+			deg = v
+		}
+		for i := 0; i < deg; i++ {
+			if rng.Float64() < copyProb && len(adj[proto]) > 0 {
+				addEdge(graph.VertexID(v), adj[proto][rng.Intn(len(adj[proto]))])
+			} else {
+				addEdge(graph.VertexID(v), graph.VertexID(rng.Intn(v)))
+			}
+		}
+	}
+	return b.Build()
+}
+
+// Road generates a near-planar bounded-degree network: a sqrt(n) x sqrt(n)
+// grid with a small fraction of random shortcuts. This is the stand-in for
+// the EU road network (max degree 20, avg 3.9): low skew, long diameter.
+func Road(n int, shortcutFrac float64, seed int64) *graph.Graph {
+	side := int(math.Sqrt(float64(n)))
+	if side < 2 {
+		side = 2
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var b graph.Builder
+	total := side * side
+	b.SetNumVertices(total)
+	id := func(r, c int) graph.VertexID { return graph.VertexID(r*side + c) }
+	for r := 0; r < side; r++ {
+		for c := 0; c < side; c++ {
+			if c+1 < side {
+				b.AddEdge(id(r, c), id(r, c+1))
+			}
+			if r+1 < side {
+				b.AddEdge(id(r, c), id(r+1, c))
+			}
+			// Diagonals give the grid triangles, as real road networks have.
+			if r+1 < side && c+1 < side && rng.Float64() < 0.3 {
+				b.AddEdge(id(r, c), id(r+1, c+1))
+			}
+		}
+	}
+	shortcuts := int(shortcutFrac * float64(total))
+	for i := 0; i < shortcuts; i++ {
+		b.AddEdge(graph.VertexID(rng.Intn(total)), graph.VertexID(rng.Intn(total)))
+	}
+	return b.Build()
+}
+
+// Dataset names the stand-in datasets used by the benchmark harness, sized
+// to run on one machine while preserving each original's degree profile.
+type Dataset struct {
+	Name string
+	Make func() *graph.Graph
+}
+
+// Catalog returns the stand-in datasets keyed by the paper's names. The
+// scale parameter multiplies vertex counts (1 = quick CI scale).
+func Catalog(scale int) []Dataset {
+	if scale < 1 {
+		scale = 1
+	}
+	s := scale
+	return []Dataset{
+		{Name: "GO", Make: func() *graph.Graph { return PowerLaw(8000*s, 5, 42) }},
+		{Name: "LJ", Make: func() *graph.Graph { return PowerLaw(20000*s, 9, 43) }},
+		{Name: "OR", Make: func() *graph.Graph { return PowerLaw(12000*s, 19, 44) }},
+		{Name: "UK", Make: func() *graph.Graph { return Web(24000*s, 8, 0.6, 45) }},
+		{Name: "EU", Make: func() *graph.Graph { return Road(40000*s, 0.02, 46) }},
+		{Name: "FS", Make: func() *graph.Graph { return PowerLaw(30000*s, 14, 47) }},
+		{Name: "CW", Make: func() *graph.Graph { return Web(60000*s, 10, 0.7, 48) }},
+	}
+}
+
+// ByName returns the named stand-in dataset from Catalog(scale).
+func ByName(name string, scale int) *graph.Graph {
+	for _, d := range Catalog(scale) {
+		if d.Name == name {
+			return d.Make()
+		}
+	}
+	panic("gen: unknown dataset " + name)
+}

@@ -1,0 +1,217 @@
+// Package graph provides the in-memory data-graph representation used by
+// every engine in this repository: an undirected graph in compressed sparse
+// row (CSR) format with sorted adjacency lists, plus the hash partitioner
+// that assigns vertices to machines in the simulated cluster.
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// VertexID identifies a data-graph vertex. IDs are dense in [0, NumVertices).
+type VertexID = uint32
+
+// Graph is an immutable undirected graph in CSR format. Adjacency lists are
+// sorted ascending and contain no self-loops or duplicate edges. A Graph is
+// safe for concurrent readers.
+type Graph struct {
+	offsets []uint64
+	adj     []VertexID
+	numV    int
+	numE    uint64 // undirected edge count; len(adj) == 2*numE
+	maxDeg  int
+}
+
+// NumVertices returns the number of vertices.
+func (g *Graph) NumVertices() int { return g.numV }
+
+// NumEdges returns the number of undirected edges.
+func (g *Graph) NumEdges() uint64 { return g.numE }
+
+// MaxDegree returns the maximum vertex degree D_G.
+func (g *Graph) MaxDegree() int { return g.maxDeg }
+
+// AvgDegree returns the average vertex degree d_G.
+func (g *Graph) AvgDegree() float64 {
+	if g.numV == 0 {
+		return 0
+	}
+	return float64(2*g.numE) / float64(g.numV)
+}
+
+// Degree returns the degree of v.
+func (g *Graph) Degree(v VertexID) int {
+	return int(g.offsets[v+1] - g.offsets[v])
+}
+
+// Neighbors returns the sorted adjacency list of v. The returned slice
+// aliases the graph's internal storage and must not be modified.
+func (g *Graph) Neighbors(v VertexID) []VertexID {
+	return g.adj[g.offsets[v]:g.offsets[v+1]]
+}
+
+// HasEdge reports whether the undirected edge (u, v) exists.
+func (g *Graph) HasEdge(u, v VertexID) bool {
+	nu, nv := g.Neighbors(u), g.Neighbors(v)
+	if len(nu) > len(nv) {
+		nu, v = nv, u
+	}
+	return ContainsSorted(nu, v)
+}
+
+// SizeBytes returns the in-memory size of the CSR arrays, used as |E_G| in
+// the optimiser's pulling-cost term and for cache-capacity budgeting.
+func (g *Graph) SizeBytes() uint64 {
+	return uint64(len(g.offsets))*8 + uint64(len(g.adj))*4
+}
+
+// Builder accumulates edges and produces a Graph. The zero value is ready to
+// use. Duplicate edges and self-loops are dropped at Build time.
+type Builder struct {
+	src, dst []VertexID
+	maxID    VertexID
+	hasEdge  bool
+	numFixed int // explicit vertex count, if set
+}
+
+// SetNumVertices forces the vertex count (useful when trailing vertices are
+// isolated). Build panics if an edge references a vertex >= n.
+func (b *Builder) SetNumVertices(n int) { b.numFixed = n }
+
+// AddEdge records the undirected edge (u, v). Self-loops are ignored.
+func (b *Builder) AddEdge(u, v VertexID) {
+	if u == v {
+		return
+	}
+	b.src = append(b.src, u)
+	b.dst = append(b.dst, v)
+	if u > b.maxID {
+		b.maxID = u
+	}
+	if v > b.maxID {
+		b.maxID = v
+	}
+	b.hasEdge = true
+}
+
+// Build finalises the CSR structure. The Builder must not be reused after.
+func (b *Builder) Build() *Graph {
+	n := 0
+	if b.hasEdge {
+		n = int(b.maxID) + 1
+	}
+	if b.numFixed > 0 {
+		if n > b.numFixed {
+			panic(fmt.Sprintf("graph: edge references vertex %d >= fixed count %d", b.maxID, b.numFixed))
+		}
+		n = b.numFixed
+	}
+	deg := make([]uint64, n+1)
+	for i := range b.src {
+		deg[b.src[i]+1]++
+		deg[b.dst[i]+1]++
+	}
+	for i := 1; i <= n; i++ {
+		deg[i] += deg[i-1]
+	}
+	adj := make([]VertexID, deg[n])
+	cursor := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		cursor[i] = deg[i]
+	}
+	for i := range b.src {
+		u, v := b.src[i], b.dst[i]
+		adj[cursor[u]] = v
+		cursor[u]++
+		adj[cursor[v]] = u
+		cursor[v]++
+	}
+	// Sort and dedupe each adjacency list in place, then recompact.
+	offsets := make([]uint64, n+1)
+	w := uint64(0)
+	maxDeg := 0
+	for v := 0; v < n; v++ {
+		lo, hi := deg[v], deg[v+1]
+		seg := adj[lo:hi]
+		sort.Slice(seg, func(i, j int) bool { return seg[i] < seg[j] })
+		offsets[v] = w
+		var last VertexID
+		first := true
+		for _, u := range seg {
+			if first || u != last {
+				adj[w] = u
+				w++
+				last = u
+				first = false
+			}
+		}
+		if d := int(w - offsets[v]); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	offsets[n] = w
+	adj = adj[:w:w]
+	return &Graph{offsets: offsets, adj: adj, numV: n, numE: w / 2, maxDeg: maxDeg}
+}
+
+// FromEdges builds a graph from an edge list.
+func FromEdges(edges [][2]VertexID) *Graph {
+	var b Builder
+	for _, e := range edges {
+		b.AddEdge(e[0], e[1])
+	}
+	return b.Build()
+}
+
+// ReadEdgeList parses a whitespace-separated edge list ("u v" per line;
+// lines starting with '#' or '%' are comments) and builds a graph.
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	var b Builder
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == '#' || line[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("graph: line %d: expected two fields, got %q", lineNo, line)
+		}
+		u, err := strconv.ParseUint(fields[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: %v", lineNo, err)
+		}
+		v, err := strconv.ParseUint(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: %v", lineNo, err)
+		}
+		b.AddEdge(VertexID(u), VertexID(v))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return b.Build(), nil
+}
+
+// WriteEdgeList writes the graph as "u v" lines with u < v.
+func (g *Graph) WriteEdgeList(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for v := 0; v < g.numV; v++ {
+		for _, u := range g.Neighbors(VertexID(v)) {
+			if VertexID(v) < u {
+				if _, err := fmt.Fprintf(bw, "%d %d\n", v, u); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}

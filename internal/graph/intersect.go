@@ -1,0 +1,133 @@
+package graph
+
+// This file contains the sorted-set kernels that power the worst-case
+// optimal (wco) join: the candidate set of the next query vertex is the
+// intersection of the neighbour lists of all its already-matched neighbours
+// (Equation 2 in the paper).
+
+// ContainsSorted reports whether x occurs in the ascending-sorted slice s,
+// using galloping + binary search.
+func ContainsSorted(s []VertexID, x VertexID) bool {
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(s) && s[lo] == x
+}
+
+// IntersectSorted returns the intersection of two ascending-sorted slices,
+// appending into dst (which may be nil). When the sizes are highly skewed it
+// gallops through the larger list.
+func IntersectSorted(dst, a, b []VertexID) []VertexID {
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	if len(a) == 0 {
+		return dst[:0]
+	}
+	dst = dst[:0]
+	if len(b) >= 32*len(a) {
+		// Galloping: for each element of the small list, binary search the big one.
+		lo := 0
+		for _, x := range a {
+			// Exponential probe from lo.
+			step := 1
+			hi := lo
+			for hi < len(b) && b[hi] < x {
+				lo = hi + 1
+				hi = lo + step
+				step <<= 1
+			}
+			if hi > len(b) {
+				hi = len(b)
+			}
+			// Binary search in [lo, hi).
+			l, h := lo, hi
+			for l < h {
+				mid := int(uint(l+h) >> 1)
+				if b[mid] < x {
+					l = mid + 1
+				} else {
+					h = mid
+				}
+			}
+			lo = l
+			if lo < len(b) && b[lo] == x {
+				dst = append(dst, x)
+				lo++
+			}
+			if lo >= len(b) {
+				break
+			}
+		}
+		return dst
+	}
+	// Merge-style intersection.
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			dst = append(dst, a[i])
+			i++
+			j++
+		}
+	}
+	return dst
+}
+
+// IntersectMany intersects all lists, starting from the two smallest so the
+// running result shrinks as fast as possible, reusing scratch space. The
+// returned slice aliases one of the scratch buffers and is valid until the
+// next call with the same scratch.
+func IntersectMany(lists [][]VertexID, scratch *IntersectScratch) []VertexID {
+	switch len(lists) {
+	case 0:
+		return nil
+	case 1:
+		return lists[0]
+	}
+	min1, min2 := 0, 1
+	if len(lists[min2]) < len(lists[min1]) {
+		min1, min2 = min2, min1
+	}
+	for i := 2; i < len(lists); i++ {
+		if len(lists[i]) < len(lists[min1]) {
+			min2 = min1
+			min1 = i
+		} else if len(lists[i]) < len(lists[min2]) {
+			min2 = i
+		}
+	}
+	cur := IntersectSorted(scratch.a, lists[min1], lists[min2])
+	scratch.a = cur[:0:cap(cur)]
+	other := scratch.b
+	for i := 0; i < len(lists); i++ {
+		if i == min1 || i == min2 {
+			continue
+		}
+		if len(cur) == 0 {
+			return cur
+		}
+		next := IntersectSorted(other, cur, lists[i])
+		other = cur[:0:cap(cur)]
+		cur = next
+	}
+	// Record the (possibly grown) buffers for reuse.
+	scratch.a, scratch.b = cur[:0:cap(cur)], other
+	return cur
+}
+
+// IntersectScratch holds reusable buffers for IntersectMany so the hot path
+// allocates nothing after warm-up.
+type IntersectScratch struct {
+	a, b []VertexID
+}

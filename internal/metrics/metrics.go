@@ -1,0 +1,93 @@
+// Package metrics collects the quantities the paper's evaluation reports:
+// total data transferred (C), communication time (T_C), result counts,
+// cache hit rates, peak intermediate-result memory (M), and work-stealing
+// activity. All counters are atomic; one Metrics instance is shared by all
+// simulated machines of a cluster run.
+package metrics
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Metrics aggregates counters for one query execution.
+type Metrics struct {
+	BytesPushed atomic.Uint64 // shuffled intermediate results (pushing mode)
+	BytesPulled atomic.Uint64 // adjacency pulled via GetNbrs (pulling mode)
+	RPCCalls    atomic.Uint64
+	PushMsgs    atomic.Uint64
+
+	CommTimeNs atomic.Int64 // wall time blocked on communication, summed over callers
+	FetchNs    atomic.Int64 // time in PULL-EXTEND fetch stages (incl. sync)
+
+	Results atomic.Uint64
+
+	CacheHits   atomic.Uint64
+	CacheMisses atomic.Uint64
+
+	// Live intermediate-result tuples across the cluster, and its peak —
+	// the paper's memory axis (M). Batches enqueued anywhere count here.
+	liveTuples atomic.Int64
+	peakTuples atomic.Int64
+
+	StealsIntra atomic.Uint64
+	StealsInter atomic.Uint64
+}
+
+// AddLiveTuples records queued intermediate results and updates the peak.
+func (m *Metrics) AddLiveTuples(n int64) {
+	cur := m.liveTuples.Add(n)
+	for {
+		peak := m.peakTuples.Load()
+		if cur <= peak || m.peakTuples.CompareAndSwap(peak, cur) {
+			return
+		}
+	}
+}
+
+// LiveTuples returns the current number of queued intermediate tuples.
+func (m *Metrics) LiveTuples() int64 { return m.liveTuples.Load() }
+
+// PeakTuples returns the high-water mark of queued intermediate tuples.
+func (m *Metrics) PeakTuples() int64 { return m.peakTuples.Load() }
+
+// TotalBytes returns pushed + pulled communication volume.
+func (m *Metrics) TotalBytes() uint64 { return m.BytesPushed.Load() + m.BytesPulled.Load() }
+
+// HitRate returns the cache hit rate in [0,1], or 0 with no accesses.
+func (m *Metrics) HitRate() float64 {
+	h, mi := m.CacheHits.Load(), m.CacheMisses.Load()
+	if h+mi == 0 {
+		return 0
+	}
+	return float64(h) / float64(h+mi)
+}
+
+// Summary is a point-in-time copy of all counters, for reports and tests.
+type Summary struct {
+	BytesPushed, BytesPulled uint64
+	RPCCalls, PushMsgs       uint64
+	CommTime, FetchTime      time.Duration
+	Results                  uint64
+	CacheHits, CacheMisses   uint64
+	PeakTuples               int64
+	StealsIntra, StealsInter uint64
+}
+
+// Snapshot copies the counters.
+func (m *Metrics) Snapshot() Summary {
+	return Summary{
+		BytesPushed: m.BytesPushed.Load(),
+		BytesPulled: m.BytesPulled.Load(),
+		RPCCalls:    m.RPCCalls.Load(),
+		PushMsgs:    m.PushMsgs.Load(),
+		CommTime:    time.Duration(m.CommTimeNs.Load()),
+		FetchTime:   time.Duration(m.FetchNs.Load()),
+		Results:     m.Results.Load(),
+		CacheHits:   m.CacheHits.Load(),
+		CacheMisses: m.CacheMisses.Load(),
+		PeakTuples:  m.PeakTuples(),
+		StealsIntra: m.StealsIntra.Load(),
+		StealsInter: m.StealsInter.Load(),
+	}
+}

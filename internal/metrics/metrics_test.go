@@ -1,0 +1,75 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestLiveAndPeakTuples(t *testing.T) {
+	var m Metrics
+	m.AddLiveTuples(10)
+	m.AddLiveTuples(5)
+	if m.LiveTuples() != 15 || m.PeakTuples() != 15 {
+		t.Fatalf("live %d peak %d", m.LiveTuples(), m.PeakTuples())
+	}
+	m.AddLiveTuples(-12)
+	if m.LiveTuples() != 3 {
+		t.Fatalf("live %d", m.LiveTuples())
+	}
+	if m.PeakTuples() != 15 {
+		t.Fatalf("peak dropped to %d", m.PeakTuples())
+	}
+	m.AddLiveTuples(20)
+	if m.PeakTuples() != 23 {
+		t.Fatalf("peak %d, want 23", m.PeakTuples())
+	}
+}
+
+func TestPeakTuplesConcurrent(t *testing.T) {
+	var m Metrics
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				m.AddLiveTuples(3)
+				m.AddLiveTuples(-3)
+			}
+		}()
+	}
+	wg.Wait()
+	if m.LiveTuples() != 0 {
+		t.Fatalf("live %d after balanced adds", m.LiveTuples())
+	}
+	if m.PeakTuples() < 3 {
+		t.Fatalf("peak %d", m.PeakTuples())
+	}
+}
+
+func TestHitRate(t *testing.T) {
+	var m Metrics
+	if m.HitRate() != 0 {
+		t.Fatal("hit rate without accesses should be 0")
+	}
+	m.CacheHits.Add(3)
+	m.CacheMisses.Add(1)
+	if r := m.HitRate(); r != 0.75 {
+		t.Fatalf("hit rate %f", r)
+	}
+}
+
+func TestSnapshotAndTotals(t *testing.T) {
+	var m Metrics
+	m.BytesPushed.Add(100)
+	m.BytesPulled.Add(50)
+	m.Results.Add(7)
+	m.AddLiveTuples(9)
+	s := m.Snapshot()
+	if s.BytesPushed != 100 || s.BytesPulled != 50 || s.Results != 7 || s.PeakTuples != 9 {
+		t.Fatalf("snapshot %+v", s)
+	}
+	if m.TotalBytes() != 150 {
+		t.Fatalf("total bytes %d", m.TotalBytes())
+	}
+}

@@ -1,0 +1,121 @@
+package plan
+
+import (
+	"math"
+	"math/bits"
+	"sort"
+
+	"repro/internal/query"
+)
+
+// Config parameterises the optimiser's cost model.
+type Config struct {
+	NumMachines int     // k in the pulling cost k·|E_G| (Algorithm 1 line 8)
+	GraphEdges  float64 // |E_G|
+	Card        CardFunc
+	// ForceAlg / ForceComm, when non-nil, override Equation 3 — used to
+	// derive the restricted plan spaces of the baselines (e.g. SEED is
+	// hash+pushing only).
+	ForceAlg  *JoinAlg
+	ForceComm *CommMode
+	// IgnoreComm drops the communication term from the cost, reproducing
+	// sequential hybrid planners (EmptyHeaded / GraphFlow, Example 3.2)
+	// that consider computation only.
+	IgnoreComm bool
+}
+
+func (c *Config) configure(q *query.Query, l, r *Node) (*Node, *Node, JoinAlg, CommMode) {
+	nl, nr, alg, comm := Configure(q, l, r)
+	if c.ForceAlg != nil {
+		alg = *c.ForceAlg
+	}
+	if c.ForceComm != nil {
+		comm = *c.ForceComm
+	}
+	return nl, nr, alg, comm
+}
+
+// Optimize implements Algorithm 1: a dynamic program over connected
+// sub-queries (represented as edge masks) that minimises the sum of
+// computation cost |R(q')| per produced sub-query and communication cost per
+// join — k·|E_G| when the join is configured to pull (Equation 3), or
+// |R(q'_l)| + |R(q'_r)| when it shuffles.
+func Optimize(q *query.Query, cfg Config) *Plan {
+	if cfg.NumMachines < 1 {
+		cfg.NumMachines = 1
+	}
+	if cfg.Card == nil {
+		panic("plan: Config.Card is required")
+	}
+	full := q.FullEdgeMask()
+
+	// Enumerate connected edge masks, ordered by size.
+	var masks []uint32
+	for em := uint32(1); em <= full; em++ {
+		if q.EdgeMaskConnected(em) {
+			masks = append(masks, em)
+		}
+	}
+	sort.Slice(masks, func(i, j int) bool {
+		ci, cj := bits.OnesCount32(masks[i]), bits.OnesCount32(masks[j])
+		if ci != cj {
+			return ci < cj
+		}
+		return masks[i] < masks[j]
+	})
+
+	type entry struct {
+		cost float64
+		l, r uint32 // 0,0 for join units
+	}
+	table := make(map[uint32]entry, len(masks))
+	pullCost := float64(cfg.NumMachines) * cfg.GraphEdges
+
+	for _, em := range masks {
+		if _, _, isStar := q.StarRoot(em); isStar {
+			table[em] = entry{cost: cfg.Card(q, em)}
+			continue
+		}
+		best := entry{cost: math.Inf(1)}
+		low := em & -em
+		for sub := em & (em - 1); sub != 0; sub = (sub - 1) & em {
+			if sub&low == 0 {
+				continue // canonical orientation: left side holds the lowest edge
+			}
+			l, r := sub, em&^sub
+			el, okL := table[l]
+			er, okR := table[r]
+			if !okL || !okR {
+				continue // a side is disconnected
+			}
+			c := el.cost + er.cost + cfg.Card(q, em)
+			if !cfg.IgnoreComm {
+				_, _, _, comm := cfg.configure(q, &Node{Edges: l}, &Node{Edges: r})
+				if comm == Pulling {
+					c += pullCost
+				} else {
+					c += cfg.Card(q, l) + cfg.Card(q, r)
+				}
+			}
+			if c < best.cost {
+				best = entry{cost: c, l: l, r: r}
+			}
+		}
+		if math.IsInf(best.cost, 1) {
+			panic("plan: no decomposition found for connected sub-query (unreachable)")
+		}
+		table[em] = best
+	}
+
+	var build func(em uint32) *Node
+	build = func(em uint32) *Node {
+		e := table[em]
+		if e.l == 0 {
+			return &Node{Edges: em}
+		}
+		l, r := build(e.l), build(e.r)
+		nl, nr, alg, comm := cfg.configure(q, l, r)
+		return &Node{Edges: em, Left: nl, Right: nr, Alg: alg, Comm: comm}
+	}
+	return &Plan{Q: q, Root: build(full), Cost: table[full].cost, Name: "huge-optimal"}
+}

@@ -1,0 +1,255 @@
+// Package query models query (pattern) graphs: small, connected, unlabelled
+// undirected graphs whose isomorphic embeddings are enumerated in the data
+// graph. It computes automorphism groups and the symmetry-breaking partial
+// orders the paper applies (Section 2, following Grochow–Kellis), and
+// provides the sub-query (edge-subset) helpers the optimiser's dynamic
+// program iterates over.
+package query
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+)
+
+// MaxVertices bounds query size; the optimiser's DP and the automorphism
+// search are exponential in it. 10 covers everything in the paper (q1–q8
+// have at most 6 vertices).
+const MaxVertices = 10
+
+// Order is one symmetry-breaking constraint: the data vertex matched to
+// query vertex A must have a smaller ID than the one matched to B.
+type Order struct{ A, B int }
+
+// Query is an immutable connected query graph. Vertices are 0..N-1.
+type Query struct {
+	n      int
+	edges  [][2]int // canonical: a < b, sorted
+	adj    [][]int  // sorted neighbour lists
+	orders []Order  // symmetry-breaking partial orders
+	name   string
+}
+
+// New builds a query graph from an edge list. Vertices are inferred as
+// 0..max. It panics on self-loops, duplicate edges, disconnected graphs or
+// graphs larger than MaxVertices — query graphs are programmer input.
+func New(name string, edges [][2]int) *Query {
+	n := 0
+	seen := map[[2]int]bool{}
+	canon := make([][2]int, 0, len(edges))
+	for _, e := range edges {
+		a, b := e[0], e[1]
+		if a == b {
+			panic(fmt.Sprintf("query %s: self-loop on %d", name, a))
+		}
+		if a > b {
+			a, b = b, a
+		}
+		if seen[[2]int{a, b}] {
+			panic(fmt.Sprintf("query %s: duplicate edge (%d,%d)", name, a, b))
+		}
+		seen[[2]int{a, b}] = true
+		canon = append(canon, [2]int{a, b})
+		if b+1 > n {
+			n = b + 1
+		}
+	}
+	if n == 0 {
+		panic("query: no edges")
+	}
+	if n > MaxVertices {
+		panic(fmt.Sprintf("query %s: %d vertices exceeds MaxVertices=%d", name, n, MaxVertices))
+	}
+	sort.Slice(canon, func(i, j int) bool {
+		if canon[i][0] != canon[j][0] {
+			return canon[i][0] < canon[j][0]
+		}
+		return canon[i][1] < canon[j][1]
+	})
+	q := &Query{n: n, edges: canon, name: name}
+	q.adj = make([][]int, n)
+	for _, e := range canon {
+		q.adj[e[0]] = append(q.adj[e[0]], e[1])
+		q.adj[e[1]] = append(q.adj[e[1]], e[0])
+	}
+	for _, a := range q.adj {
+		sort.Ints(a)
+	}
+	if !q.connectedMask(q.FullVertexMask()) {
+		panic(fmt.Sprintf("query %s: not connected", name))
+	}
+	q.orders = symmetryBreak(q)
+	return q
+}
+
+// NumVertices returns |V_q|.
+func (q *Query) NumVertices() int { return q.n }
+
+// NumEdges returns |E_q|.
+func (q *Query) NumEdges() int { return len(q.edges) }
+
+// Name returns the query's display name.
+func (q *Query) Name() string { return q.name }
+
+// Edges returns the canonical edge list (a<b, sorted). Do not modify.
+func (q *Query) Edges() [][2]int { return q.edges }
+
+// Adj returns the sorted neighbours of query vertex v. Do not modify.
+func (q *Query) Adj(v int) []int { return q.adj[v] }
+
+// Degree returns the degree of query vertex v.
+func (q *Query) Degree(v int) int { return len(q.adj[v]) }
+
+// HasEdge reports whether (a, b) is a query edge.
+func (q *Query) HasEdge(a, b int) bool {
+	for _, u := range q.adj[a] {
+		if u == b {
+			return true
+		}
+	}
+	return false
+}
+
+// Orders returns the symmetry-breaking partial orders computed at
+// construction. Each embedding of the pattern is counted exactly once when
+// all constraints f(A) < f(B) hold.
+func (q *Query) Orders() []Order { return q.orders }
+
+// SetOrders overrides the automatic symmetry-breaking constraints (used by
+// tests and by baselines that disable symmetry breaking).
+func (q *Query) SetOrders(orders []Order) { q.orders = orders }
+
+// String renders the query for logs: name(v=N, e=M; orders).
+func (q *Query) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s(v=%d,e=%d", q.name, q.n, len(q.edges))
+	if len(q.orders) > 0 {
+		sb.WriteString("; ")
+		for i, o := range q.orders {
+			if i > 0 {
+				sb.WriteString(",")
+			}
+			fmt.Fprintf(&sb, "v%d<v%d", o.A+1, o.B+1)
+		}
+	}
+	sb.WriteString(")")
+	return sb.String()
+}
+
+// FullVertexMask returns the bitmask with all query vertices set.
+func (q *Query) FullVertexMask() uint32 { return (1 << q.n) - 1 }
+
+// FullEdgeMask returns the bitmask with all query edges set.
+func (q *Query) FullEdgeMask() uint32 { return (1 << len(q.edges)) - 1 }
+
+// VerticesOfEdgeMask returns the vertex bitmask covered by an edge subset.
+func (q *Query) VerticesOfEdgeMask(em uint32) uint32 {
+	var vm uint32
+	for em != 0 {
+		i := bits.TrailingZeros32(em)
+		em &= em - 1
+		vm |= 1<<q.edges[i][0] | 1<<q.edges[i][1]
+	}
+	return vm
+}
+
+// EdgeMaskConnected reports whether the subgraph induced by the edge subset
+// em is connected (over the vertices it covers).
+func (q *Query) EdgeMaskConnected(em uint32) bool {
+	if em == 0 {
+		return false
+	}
+	first := bits.TrailingZeros32(em)
+	frontier := uint32(1<<q.edges[first][0] | 1<<q.edges[first][1])
+	remaining := em
+	for {
+		progressed := false
+		rem := remaining
+		for rem != 0 {
+			i := bits.TrailingZeros32(rem)
+			rem &= rem - 1
+			a, b := uint32(1)<<q.edges[i][0], uint32(1)<<q.edges[i][1]
+			if frontier&(a|b) != 0 {
+				frontier |= a | b
+				remaining &^= 1 << i
+				progressed = true
+			}
+		}
+		if remaining == 0 {
+			return true
+		}
+		if !progressed {
+			return false
+		}
+	}
+}
+
+// connectedMask reports whether the vertex set vm is connected in q.
+func (q *Query) connectedMask(vm uint32) bool {
+	if vm == 0 {
+		return false
+	}
+	start := bits.TrailingZeros32(vm)
+	visited := uint32(1) << start
+	stack := []int{start}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, u := range q.adj[v] {
+			b := uint32(1) << u
+			if vm&b != 0 && visited&b == 0 {
+				visited |= b
+				stack = append(stack, u)
+			}
+		}
+	}
+	return visited == vm
+}
+
+// StarRoot inspects the edge subset em. If it forms a star (all edges share
+// one common vertex; a single edge counts as a 1-star rooted at its smaller
+// endpoint), it returns (root, leaves, true); otherwise ok is false.
+func (q *Query) StarRoot(em uint32) (root int, leaves []int, ok bool) {
+	var es [][2]int
+	m := em
+	for m != 0 {
+		i := bits.TrailingZeros32(m)
+		m &= m - 1
+		es = append(es, q.edges[i])
+	}
+	if len(es) == 0 {
+		return 0, nil, false
+	}
+	if len(es) == 1 {
+		return es[0][0], []int{es[0][1]}, true
+	}
+	// Candidate roots are the endpoints of the first edge.
+	for _, r := range []int{es[0][0], es[0][1]} {
+		good := true
+		var ls []int
+		for _, e := range es {
+			switch r {
+			case e[0]:
+				ls = append(ls, e[1])
+			case e[1]:
+				ls = append(ls, e[0])
+			default:
+				good = false
+			}
+			if !good {
+				break
+			}
+		}
+		if good {
+			sort.Ints(ls)
+			return r, ls, true
+		}
+	}
+	return 0, nil, false
+}
+
+// IsClique reports whether q is a complete graph.
+func (q *Query) IsClique() bool {
+	return len(q.edges) == q.n*(q.n-1)/2
+}

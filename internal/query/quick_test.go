@@ -1,0 +1,115 @@
+package query
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomConnectedQuery builds a random connected query graph with n
+// vertices: a random spanning tree plus random extra edges.
+func randomConnectedQuery(rng *rand.Rand, n int) *Query {
+	var edges [][2]int
+	have := map[[2]int]bool{}
+	add := func(a, b int) {
+		if a > b {
+			a, b = b, a
+		}
+		if a == b || have[[2]int{a, b}] {
+			return
+		}
+		have[[2]int{a, b}] = true
+		edges = append(edges, [2]int{a, b})
+	}
+	for v := 1; v < n; v++ {
+		add(v, rng.Intn(v))
+	}
+	extra := rng.Intn(n)
+	for i := 0; i < extra; i++ {
+		add(rng.Intn(n), rng.Intn(n))
+	}
+	return New("random", edges)
+}
+
+// Property: for any connected query graph, the derived symmetry-breaking
+// orders admit exactly one automorphism (the identity's coset
+// representative), so each embedding is counted exactly once.
+func TestQuickSymmetryBreakingUnique(t *testing.T) {
+	f := func(seed int64, sizeRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + int(sizeRaw)%4 // 3..6 vertices
+		q := randomConnectedQuery(rng, n)
+		satisfying := 0
+		for _, p := range Automorphisms(q) {
+			ok := true
+			for _, o := range q.Orders() {
+				if p[o.A] >= p[o.B] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				satisfying++
+			}
+		}
+		return satisfying == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every edge sub-mask classified as a star has a root incident to
+// all of its edges, and EdgeMaskConnected agrees with a reachability check
+// over the mask's edges.
+func TestQuickStarAndConnectivity(t *testing.T) {
+	f := func(seed int64, maskRaw uint32) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := randomConnectedQuery(rng, 3+int(seed%4+3)%4)
+		mask := maskRaw & q.FullEdgeMask()
+		if mask == 0 {
+			return !q.EdgeMaskConnected(mask)
+		}
+		if root, leaves, ok := q.StarRoot(mask); ok {
+			cnt := 0
+			for i, e := range q.Edges() {
+				if mask&(1<<i) == 0 {
+					continue
+				}
+				cnt++
+				if e[0] != root && e[1] != root {
+					return false // an edge not incident to the root
+				}
+			}
+			if cnt != len(leaves) {
+				return false
+			}
+		}
+		// Connectivity cross-check by BFS over the mask's edges.
+		var es [][2]int
+		for i, e := range q.Edges() {
+			if mask&(1<<i) != 0 {
+				es = append(es, e)
+			}
+		}
+		verts := map[int]bool{}
+		for _, e := range es {
+			verts[e[0]], verts[e[1]] = true, true
+		}
+		start := es[0][0]
+		reach := map[int]bool{start: true}
+		for changed := true; changed; {
+			changed = false
+			for _, e := range es {
+				if reach[e[0]] != reach[e[1]] {
+					reach[e[0]], reach[e[1]] = true, true
+					changed = true
+				}
+			}
+		}
+		return q.EdgeMaskConnected(mask) == (len(reach) == len(verts))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

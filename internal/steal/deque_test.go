@@ -1,0 +1,126 @@
+package steal
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestDequeLIFOOwner(t *testing.T) {
+	var d Deque
+	d.Push(1)
+	d.Push(2)
+	d.Push(3)
+	if v, ok := d.Pop(); !ok || v.(int) != 3 {
+		t.Fatalf("Pop = %v %v, want 3", v, ok)
+	}
+	if d.Len() != 2 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+}
+
+func TestDequeStealHalfFromFront(t *testing.T) {
+	var d Deque
+	for i := 1; i <= 4; i++ {
+		d.Push(i)
+	}
+	stolen := d.StealHalf()
+	if len(stolen) != 2 || stolen[0].(int) != 1 || stolen[1].(int) != 2 {
+		t.Fatalf("StealHalf = %v, want [1 2] (oldest half)", stolen)
+	}
+	if d.Len() != 2 {
+		t.Fatalf("Len after steal = %d", d.Len())
+	}
+	// Owner still pops the back.
+	if v, _ := d.Pop(); v.(int) != 4 {
+		t.Fatalf("owner Pop = %v, want 4", v)
+	}
+}
+
+func TestDequeEmpty(t *testing.T) {
+	var d Deque
+	if _, ok := d.Pop(); ok {
+		t.Fatal("Pop on empty succeeded")
+	}
+	if s := d.StealHalf(); s != nil {
+		t.Fatalf("StealHalf on empty = %v", s)
+	}
+}
+
+func TestStealHalfOddCount(t *testing.T) {
+	var d Deque
+	d.Push(1)
+	stolen := d.StealHalf()
+	if len(stolen) != 1 {
+		t.Fatalf("StealHalf of 1 task = %v", stolen)
+	}
+	if d.Len() != 0 {
+		t.Fatal("task duplicated")
+	}
+}
+
+func TestPoolDrainsEverything(t *testing.T) {
+	const workers, tasks = 4, 1000
+	p := NewPool(workers, 42)
+	// All work starts on worker 0 — maximal skew.
+	for i := 0; i < tasks; i++ {
+		p.Deques[0].Push(i)
+	}
+	var processed, steals atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				_, ok, stole := p.Next(w)
+				if !ok {
+					return
+				}
+				if stole {
+					steals.Add(1)
+				}
+				processed.Add(1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if processed.Load() != tasks {
+		t.Fatalf("processed %d of %d tasks", processed.Load(), tasks)
+	}
+	if steals.Load() == 0 {
+		t.Fatal("no steals despite maximal skew")
+	}
+}
+
+func TestPoolNoDuplicates(t *testing.T) {
+	const workers, tasks = 8, 5000
+	p := NewPool(workers, 7)
+	for i := 0; i < tasks; i++ {
+		p.Deques[i%workers].Push(i)
+	}
+	seen := make([]atomic.Bool, tasks)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				task, ok, _ := p.Next(w)
+				if !ok {
+					return
+				}
+				if seen[task.(int)].Swap(true) {
+					t.Errorf("task %d processed twice", task.(int))
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for i := range seen {
+		if !seen[i].Load() {
+			t.Fatalf("task %d never processed", i)
+		}
+	}
+}
