@@ -8,8 +8,11 @@ package repro
 // tuples, hit rates) alongside ns/op.
 
 import (
+	"context"
 	"testing"
+	"time"
 
+	"repro/huge"
 	"repro/internal/baseline"
 	"repro/internal/cache"
 	"repro/internal/cluster"
@@ -272,11 +275,11 @@ func BenchmarkAblation_Compression(b *testing.B) {
 		}
 		b.Run(name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				cl := cluster.New(g, cluster.Config{NumMachines: 2, Workers: 2, CacheKind: cache.LRBU})
-				if _, err := engine.Run(cl, df, engine.Config{BatchRows: 2048, QueueRows: 1 << 16, Compress: compress}); err != nil {
+				ex := cluster.New(g, cluster.Config{NumMachines: 2, Workers: 2, CacheKind: cache.LRBU}).NewExec()
+				if _, err := engine.Run(context.Background(), ex, df, engine.Config{BatchRows: 2048, QueueRows: 1 << 16, Compress: compress}); err != nil {
 					b.Fatal(err)
 				}
-				b.ReportMetric(float64(cl.Metrics.PeakTuples()), "peakTuples")
+				b.ReportMetric(float64(ex.Metrics.PeakTuples()), "peakTuples")
 			}
 		})
 	}
@@ -300,8 +303,8 @@ func BenchmarkAblation_Estimators(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				cl := cluster.New(g, cluster.Config{NumMachines: 3, Workers: 2, CacheKind: cache.LRBU})
-				if _, err := engine.Run(cl, df, engine.Config{BatchRows: 1024, QueueRows: 1 << 16}); err != nil {
+				ex := cluster.New(g, cluster.Config{NumMachines: 3, Workers: 2, CacheKind: cache.LRBU}).NewExec()
+				if _, err := engine.Run(context.Background(), ex, df, engine.Config{BatchRows: 1024, QueueRows: 1 << 16}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -319,4 +322,68 @@ func BenchmarkMicro_GroundTruthTriangles(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		baseline.GroundTruthCount(g, q)
 	}
+}
+
+// BenchmarkServe_RepeatedQuery: the serving-layer benchmark behind the
+// plan cache — one System answering the same pattern over and over, as a
+// production deployment would. The cold run pays the optimiser's dynamic
+// program (Algorithm 1); every warm run resolves the query's canonical
+// fingerprint in the LRU instead. Cold and warm planning times are
+// reported side by side via b.ReportMetric.
+func BenchmarkServe_RepeatedQuery(b *testing.B) {
+	e := tinyEnv()
+	g := e.Dataset("LJ")
+	sys := huge.NewSystem(g, huge.Options{Machines: 3, Workers: 2, QueueRows: 1 << 16})
+	q := query.Q8() // 9 edges: the catalog's most expensive plan search
+
+	coldStart := time.Now()
+	sys.Plan(q)
+	coldPlanNs := float64(time.Since(coldStart).Nanoseconds())
+
+	var warmPlanNs int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		p := sys.Plan(query.Q8()) // fresh instance: full fingerprint + lookup path
+		warmPlanNs += time.Since(t0).Nanoseconds()
+		if _, err := sys.RunPlan(q, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	hits, misses, _ := sys.PlanCacheStats()
+	if misses != 1 {
+		b.Fatalf("plan cache misses = %d, want 1 (the cold run)", misses)
+	}
+	if hits < uint64(b.N) {
+		b.Fatalf("plan cache hits = %d, want >= %d", hits, b.N)
+	}
+	b.ReportMetric(coldPlanNs, "coldPlanNs")
+	b.ReportMetric(float64(warmPlanNs)/float64(b.N), "warmPlanNs/op")
+	b.ReportMetric(coldPlanNs/(float64(warmPlanNs)/float64(b.N)), "planSpeedup")
+}
+
+// BenchmarkServe_ConcurrentSessions drives the System the way heavy-traffic
+// serving does: 8 goroutines issuing the catalog's cheap queries at once on
+// one shared deployment.
+func BenchmarkServe_ConcurrentSessions(b *testing.B) {
+	e := tinyEnv()
+	g := e.Dataset("GO")
+	sys := huge.NewSystem(g, huge.Options{Machines: 3, Workers: 2, QueueRows: 1 << 16})
+	queries := []*query.Query{query.Triangle(), query.Q1(), query.Q2()}
+	b.RunParallel(func(pb *testing.PB) {
+		sess := sys.NewSession()
+		i := 0
+		for pb.Next() {
+			if _, err := sess.Run(context.Background(), queries[i%len(queries)]); err != nil {
+				// b.Fatal must not run on a RunParallel worker goroutine.
+				b.Error(err)
+				return
+			}
+			i++
+		}
+	})
+	hits, misses, _ := sys.PlanCacheStats()
+	b.ReportMetric(float64(hits), "planHits")
+	b.ReportMetric(float64(misses), "planMisses")
 }

@@ -2,10 +2,10 @@
 // and Scalable Subgraph Enumeration System" (Yang, Lai, Lin, Hao, Zhang;
 // SIGMOD 2021, arXiv:2103.14294).
 //
-// The public API lives in repro/huge; the benchmark harness that
-// regenerates every table and figure of the paper's evaluation lives in
-// repro/internal/exp and is timed by the benchmarks in bench_test.go.
-// See README.md for the architecture overview, DESIGN.md for the system
-// inventory and per-experiment index, and EXPERIMENTS.md for the
-// paper-vs-measured record.
+// The public API lives in repro/huge: a concurrent query service with
+// per-run execution contexts and a fingerprint-keyed plan cache. The
+// benchmark harness that regenerates every table and figure of the
+// paper's evaluation lives in repro/internal/exp and is timed by the
+// benchmarks in bench_test.go. See README.md for the architecture
+// overview, including the session/plan-cache layering.
 package repro

@@ -9,10 +9,19 @@
 //	sys := huge.NewSystem(g, huge.Options{Machines: 4})
 //	res, err := sys.Run(huge.Q1())               // square query
 //	fmt.Println(res.Count, res.Metrics.BytesPulled)
+//
+// A System is a concurrent query service: every run executes in its own
+// isolated execution context (metrics, caches, join buffers), so any
+// number of goroutines — or Sessions, the per-client handle — may query
+// one System at once. Optimised plans are memoised in a fingerprint-keyed
+// LRU, so repeated (even relabelled) patterns skip the optimiser.
 package huge
 
 import (
+	"context"
+	"fmt"
 	"io"
+	"sync"
 	"time"
 
 	"repro/internal/cache"
@@ -75,9 +84,16 @@ type Options struct {
 
 	// BatchRows is the batch size (Section 4.2; paper default 512K).
 	BatchRows int
-	// QueueRows is the adaptive scheduler's output-queue capacity
-	// (Section 5.2): -1 = unbounded (BFS), 1 = one batch (DFS),
-	// 0 = the default adaptive capacity.
+	// QueueRows is the adaptive scheduler's output-queue capacity in rows
+	// (Section 5.2). This is the single knob spanning the BFS/DFS spectrum:
+	//
+	//	-1      unbounded queues — pure BFS (maximum parallelism, memory
+	//	        proportional to the largest intermediate result),
+	//	 1      one batch in flight per operator — pure DFS (minimum
+	//	        memory, Theorem 5.4's bound),
+	//	 0      substituted with DefaultQueueRows (1<<20 rows), the
+	//	        adaptive middle ground used by the paper's experiments,
+	//	 other  an explicit adaptive capacity.
 	QueueRows int64
 	// CacheBytes is the LRBU capacity per machine (default: 30% of the
 	// graph, the paper's setting).
@@ -94,7 +110,14 @@ type Options struct {
 	// (counting the final extension from candidate sets); it is enabled by
 	// default, as in the paper's implementations.
 	NoCompress bool
+	// PlanCachePlans bounds the fingerprint-keyed plan cache (number of
+	// plans; 0 = plan.DefaultCacheCapacity, negative = cache disabled).
+	PlanCachePlans int
 }
+
+// DefaultQueueRows is the adaptive queue capacity substituted when
+// Options.QueueRows is 0.
+const DefaultQueueRows = 1 << 20
 
 func (o Options) normalise() Options {
 	if o.Machines < 1 {
@@ -104,18 +127,59 @@ func (o Options) normalise() Options {
 		o.Workers = 1
 	}
 	if o.QueueRows == 0 {
-		o.QueueRows = 1 << 20
+		o.QueueRows = DefaultQueueRows
 	}
 	return o
 }
 
-// System is a data graph deployed on a simulated HUGE cluster.
+// System is a data graph deployed on a simulated HUGE cluster. All methods
+// are safe for concurrent use: per-run mutable state (metrics, adjacency
+// caches, join buffers) lives in a per-run execution context, and the plan
+// cache is thread-safe.
 type System struct {
-	g     *Graph
-	cl    *cluster.Cluster
-	opts  Options
-	stats plan.GraphStats
-	card  plan.CardFunc
+	g       *Graph
+	cl      *cluster.Cluster
+	opts    Options
+	stats   plan.GraphStats
+	statsFP uint64
+	card    plan.CardFunc
+	plans   *plan.Cache // nil when disabled
+
+	// Per-plan-key single-flight: N concurrent cold requests for one
+	// pattern pay the exponential optimiser once, not N times.
+	planMu   sync.Mutex
+	inflight map[string]*keyLock
+}
+
+// keyLock serialises planning per cache key; refs counts holders and
+// waiters so the entry can be removed when the last one leaves.
+type keyLock struct {
+	mu   sync.Mutex
+	refs int
+}
+
+// lockPlanKey blocks until this goroutine owns planning for key.
+func (s *System) lockPlanKey(key string) *keyLock {
+	s.planMu.Lock()
+	kl := s.inflight[key]
+	if kl == nil {
+		kl = &keyLock{}
+		s.inflight[key] = kl
+	}
+	kl.refs++
+	s.planMu.Unlock()
+	kl.mu.Lock()
+	return kl
+}
+
+func (s *System) unlockPlanKey(key string, kl *keyLock) {
+	kl.mu.Unlock()
+	s.planMu.Lock()
+	kl.refs--
+	if kl.refs == 0 {
+		delete(s.inflight, key)
+	}
+	s.planMu.Unlock()
 }
 
 // NewSystem partitions g across the configured machines.
@@ -129,25 +193,34 @@ func NewSystem(g *Graph, opts Options) *System {
 		Latency:     opts.Latency,
 	})
 	stats := plan.ComputeStats(g)
-	return &System{g: g, cl: cl, opts: opts, stats: stats, card: plan.MomentEstimator(stats)}
+	s := &System{
+		g:        g,
+		cl:       cl,
+		opts:     opts,
+		stats:    stats,
+		statsFP:  stats.Fingerprint(),
+		card:     plan.MomentEstimator(stats),
+		inflight: map[string]*keyLock{},
+	}
+	if opts.PlanCachePlans >= 0 {
+		s.plans = plan.NewCache(opts.PlanCachePlans)
+	}
+	return s
 }
 
 // Graph returns the underlying data graph.
 func (s *System) Graph() *Graph { return s.g }
 
-// Plan computes the optimal execution plan for q (Algorithm 1).
-func (s *System) Plan(q *Query) *Plan {
-	return plan.Optimize(q, plan.Config{
-		NumMachines: s.opts.Machines,
-		GraphEdges:  float64(s.g.NumEdges()),
-		Card:        s.card,
-	})
+// planKey builds the composite plan-cache key: the query's canonical
+// (relabelling-invariant) fingerprint, the logical-plan family, the
+// deployment size the optimiser costs against, and the graph-statistics
+// version the estimates were derived from.
+func (s *System) planKey(q *Query, name string) string {
+	return fmt.Sprintf("%s|%s|k=%d|stats=%016x", q.Fingerprint(), name, s.opts.Machines, s.statsFP)
 }
 
-// PlanFor returns a named logical plan reconfigured for HUGE (Remark 3.2):
-// "wco" (HUGE−WCO), "seed", "rads", "benu", "emptyheaded", "graphflow",
-// or "optimal".
-func (s *System) PlanFor(q *Query, name string) *Plan {
+// buildPlan runs the (uncached) planner for one named family.
+func (s *System) buildPlan(q *Query, name string) *Plan {
 	switch name {
 	case "wco":
 		return plan.HugeWcoPlan(q)
@@ -162,8 +235,71 @@ func (s *System) PlanFor(q *Query, name string) *Plan {
 	case "graphflow":
 		return plan.ReconfigurePhysical(plan.GraphFlowPlan(q, s.stats))
 	default:
-		return s.Plan(q)
+		return plan.Optimize(q, plan.Config{
+			NumMachines: s.opts.Machines,
+			GraphEdges:  float64(s.g.NumEdges()),
+			Card:        s.card,
+		})
 	}
+}
+
+// cachedPlan is the single lookup protocol every plan request goes
+// through: single-flight per key (N concurrent cold requests build once),
+// a validity check on hits, and rebuild-and-overwrite on a miss or a
+// rejected entry. An entry is rejected — counted as a miss and replaced —
+// when valid returns false: either its query was mutated via SetOrders
+// after caching (the fingerprint no longer matches the key, and serving it
+// would apply the wrong symmetry-breaking orders), or an enumerating
+// caller needs the exact vertex numbering and the entry is a relabelled
+// twin. The replacement is built from the caller's query, so it satisfies
+// every future lookup the old entry satisfied.
+func (s *System) cachedPlan(key string, valid func(*Plan) bool, build func() *Plan) (p *Plan, cached bool) {
+	if s.plans == nil {
+		return build(), false
+	}
+	kl := s.lockPlanKey(key)
+	defer s.unlockPlanKey(key, kl)
+	if p, ok := s.plans.GetIf(key, valid); ok {
+		return p, true
+	}
+	p = build()
+	s.plans.Put(key, p)
+	return p, false
+}
+
+// planFor returns the plan for (q, name), serving from the plan cache when
+// possible; cached reports whether it was a cache hit.
+func (s *System) planFor(q *Query, name string) (*Plan, bool) {
+	qfp := q.Fingerprint()
+	return s.cachedPlan(s.planKey(q, name),
+		func(p *Plan) bool { return p.Q.Fingerprint() == qfp },
+		func() *Plan { return s.buildPlan(q, name) })
+}
+
+// Plan computes the optimal execution plan for q (Algorithm 1), memoised
+// in the plan cache. The returned plan is shared with the cache and with
+// every other caller of the same pattern — treat it as immutable.
+func (s *System) Plan(q *Query) *Plan {
+	p, _ := s.planFor(q, "optimal")
+	return p
+}
+
+// PlanFor returns a named logical plan reconfigured for HUGE (Remark 3.2):
+// "wco" (HUGE−WCO), "seed", "rads", "benu", "emptyheaded", "graphflow",
+// or "optimal". Like Plan, results are memoised in the plan cache and
+// shared — treat the returned plan as immutable.
+func (s *System) PlanFor(q *Query, name string) *Plan {
+	p, _ := s.planFor(q, name)
+	return p
+}
+
+// PlanCacheStats reports the plan cache's cumulative hits and misses and
+// its current size (all zero when the cache is disabled).
+func (s *System) PlanCacheStats() (hits, misses uint64, size int) {
+	if s.plans == nil {
+		return 0, 0, 0
+	}
+	return s.plans.Stats()
 }
 
 // Result reports one query execution.
@@ -171,24 +307,66 @@ type Result struct {
 	Count   uint64
 	Elapsed time.Duration
 	Metrics Summary
-	Plan    *Plan
+	// Plan is the executed plan. It may be shared with the plan cache and
+	// other runs of the same pattern — treat it as immutable.
+	Plan *Plan
+	// PlanCached reports whether the run reused a memoised plan instead of
+	// invoking the optimiser.
+	PlanCached bool
 }
 
-// Run enumerates q with the optimal plan.
-func (s *System) Run(q *Query) (Result, error) { return s.RunPlan(q, s.Plan(q)) }
+// Run enumerates q with the optimal plan. Safe for concurrent use; equal
+// patterns (even under vertex relabelling) share one cached plan.
+func (s *System) Run(q *Query) (Result, error) {
+	return s.RunConcurrent(context.Background(), q)
+}
+
+// RunConcurrent is Run with a context: cancelling ctx aborts the engine
+// run and returns the context's error. Any number of RunConcurrent calls
+// may execute on one System simultaneously; each gets isolated metrics.
+func (s *System) RunConcurrent(ctx context.Context, q *Query) (Result, error) {
+	p, cached := s.planFor(q, "optimal")
+	res, err := s.runPlan(ctx, q, p, nil)
+	res.PlanCached = cached
+	return res, err
+}
 
 // RunPlan enumerates q with a specific plan.
 func (s *System) RunPlan(q *Query, p *Plan) (Result, error) {
-	return s.runPlan(q, p, nil)
+	return s.runPlan(context.Background(), q, p, nil)
+}
+
+// RunPlanContext is RunPlan with cancellation.
+func (s *System) RunPlanContext(ctx context.Context, q *Query, p *Plan) (Result, error) {
+	return s.runPlan(ctx, q, p, nil)
 }
 
 // Enumerate streams every match to fn (indexed by query vertex; the slice
 // is only valid during the call; fn must be safe for concurrent calls).
+// The plan cache is consulted only when the memoised plan was built for a
+// query with q's exact vertex numbering — a merely isomorphic plan would
+// stream rows in the other query's numbering.
 func (s *System) Enumerate(q *Query, fn func(match []VertexID)) (Result, error) {
-	return s.runPlan(q, s.Plan(q), fn)
+	return s.EnumerateContext(context.Background(), q, fn)
 }
 
-func (s *System) runPlan(q *Query, p *Plan, fn func([]VertexID)) (Result, error) {
+// EnumerateContext is Enumerate with cancellation. Enumeration demands a
+// plan whose vertex numbering matches q verbatim (streamed matches are
+// indexed by query vertex), so the validity check also requires
+// SameNumbering: a cached relabelled twin is rejected and replaced by a
+// plan built from q — which still serves every counting caller, since the
+// fingerprint is unchanged.
+func (s *System) EnumerateContext(ctx context.Context, q *Query, fn func(match []VertexID)) (Result, error) {
+	qfp := q.Fingerprint()
+	p, cached := s.cachedPlan(s.planKey(q, "optimal"),
+		func(p *Plan) bool { return p.Q.Fingerprint() == qfp && p.Q.SameNumbering(q) },
+		func() *Plan { return s.buildPlan(q, "optimal") })
+	res, err := s.runPlan(ctx, q, p, fn)
+	res.PlanCached = cached
+	return res, err
+}
+
+func (s *System) runPlan(ctx context.Context, q *Query, p *Plan, fn func([]VertexID)) (Result, error) {
 	df, err := plan.Translate(p)
 	if err != nil {
 		return Result{}, err
@@ -206,9 +384,11 @@ func (s *System) runPlan(q *Query, p *Plan, fn func([]VertexID)) (Result, error)
 			fn(match)
 		}
 	}
-	s.cl.ResetMetrics()
+	// Per-run execution context: metrics and adjacency caches private to
+	// this query, so concurrent runs never observe each other.
+	ex := s.cl.NewExec()
 	start := time.Now()
-	count, err := engine.Run(s.cl, df, engine.Config{
+	count, err := engine.Run(ctx, ex, df, engine.Config{
 		BatchRows:      s.opts.BatchRows,
 		QueueRows:      s.opts.QueueRows,
 		LoadBalance:    s.opts.LoadBalance,
@@ -222,7 +402,7 @@ func (s *System) runPlan(q *Query, p *Plan, fn func([]VertexID)) (Result, error)
 	return Result{
 		Count:   count,
 		Elapsed: time.Since(start),
-		Metrics: s.cl.Metrics.Snapshot(),
+		Metrics: ex.Metrics.Snapshot(),
 		Plan:    p,
 	}, nil
 }

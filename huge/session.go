@@ -1,0 +1,102 @@
+package huge
+
+// Session is the serving-layer handle of a System: one client's view of
+// the shared query service. Sessions are cheap (no partitioning, no cache
+// allocation — all per-run state is created per query) and safe for
+// concurrent use; a server would typically create one Session per
+// connection and let them all hit the same System, sharing its plan cache
+// while keeping per-run metrics isolated.
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Session is a per-client handle onto a shared System. The zero value is
+// not usable; create one with System.NewSession.
+type Session struct {
+	sys *System
+
+	mu          sync.Mutex
+	queries     uint64
+	errors      uint64
+	results     uint64
+	cachedPlans uint64
+	elapsed     time.Duration
+}
+
+// NewSession creates a client handle. Any number of sessions may run
+// queries concurrently on one System.
+func (s *System) NewSession() *Session { return &Session{sys: s} }
+
+// System returns the shared query service this session runs on.
+func (se *Session) System() *System { return se.sys }
+
+// SessionStats summarises the queries a session has run.
+type SessionStats struct {
+	Queries     uint64 // completed runs (successful or not)
+	Errors      uint64 // runs that returned an error (incl. cancellations)
+	Results     uint64 // total matches across successful runs
+	CachedPlans uint64 // successful runs served with a memoised plan
+	Elapsed     time.Duration
+}
+
+// Stats returns the session's accumulated counters.
+func (se *Session) Stats() SessionStats {
+	se.mu.Lock()
+	defer se.mu.Unlock()
+	return SessionStats{
+		Queries:     se.queries,
+		Errors:      se.errors,
+		Results:     se.results,
+		CachedPlans: se.cachedPlans,
+		Elapsed:     se.elapsed,
+	}
+}
+
+func (se *Session) record(res Result, err error) {
+	se.mu.Lock()
+	defer se.mu.Unlock()
+	se.queries++
+	if err != nil {
+		se.errors++
+		return
+	}
+	se.results += res.Count
+	if res.PlanCached {
+		se.cachedPlans++
+	}
+	se.elapsed += res.Elapsed
+}
+
+// Run enumerates q with the (plan-cache-backed) optimal plan.
+func (se *Session) Run(ctx context.Context, q *Query) (Result, error) {
+	res, err := se.sys.RunConcurrent(ctx, q)
+	se.record(res, err)
+	return res, err
+}
+
+// RunPlan enumerates q with a specific plan.
+func (se *Session) RunPlan(ctx context.Context, q *Query, p *Plan) (Result, error) {
+	res, err := se.sys.RunPlanContext(ctx, q, p)
+	se.record(res, err)
+	return res, err
+}
+
+// Enumerate streams every match to fn (see System.Enumerate).
+func (se *Session) Enumerate(ctx context.Context, q *Query, fn func(match []VertexID)) (Result, error) {
+	res, err := se.sys.EnumerateContext(ctx, q, fn)
+	se.record(res, err)
+	return res, err
+}
+
+// MatchPattern parses a Cypher-flavoured pattern and runs it.
+func (se *Session) MatchPattern(ctx context.Context, name, pattern string) (Result, map[string]int, error) {
+	q, names, err := ParsePattern(name, pattern)
+	if err != nil {
+		return Result{}, nil, err
+	}
+	res, err := se.Run(ctx, q)
+	return res, names, err
+}

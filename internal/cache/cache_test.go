@@ -123,7 +123,7 @@ func TestLRUInfUnbounded(t *testing.T) {
 }
 
 func TestLRUBoundedEviction(t *testing.T) {
-	inner := newLRU(2 * (4 + 48))
+	inner := newLRU(2*(4+48), false)
 	inner.Insert(1, nbrs(1))
 	inner.Insert(2, nbrs(2))
 	// Touch 1 so 2 becomes LRU.

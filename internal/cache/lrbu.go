@@ -84,9 +84,9 @@ func New(k Kind, capacityBytes uint64) Cache {
 	case LRBULock:
 		return &lockedCache{inner: newLRBU(capacityBytes, true)}
 	case LRUInf:
-		return newLRU(0)
+		return newLRU(0, true) // concurrent intersect reads: self-locking recency
 	case CncrLRU:
-		return &lockedCache{inner: newLRU(capacityBytes)}
+		return &lockedCache{inner: newLRU(capacityBytes, false)} // outer lock suffices
 	}
 	panic("cache: unknown kind")
 }

@@ -7,19 +7,39 @@ import (
 )
 
 // lru is a classic move-to-front LRU. With capacity 0 it is unbounded
-// (the LRU-Inf variant of Exp-6). Reads mutate recency, so it is not safe
-// for concurrent readers without the lockedCache wrapper; the engine uses
-// it single-writer/single-reader in two-stage mode (LRU-Inf) or wrapped in
-// a mutex without two-stage execution (Cncr-LRU).
+// (the LRU-Inf variant of Exp-6). Reads mutate recency — the design flaw
+// the paper's LRBU exists to avoid — so when used bare (LRU-Inf) the
+// recency list carries its own mutex: the engine's intersect stage issues
+// Gets from all workers at once, and an unguarded move-to-front would
+// corrupt the list. Paying a lock (and a copy) on every read is precisely
+// the measured cost of this ablation. The Cncr-LRU variant is instead
+// wrapped whole in lockedCache, so it constructs with selfLocking=false to
+// avoid double-locking (which would skew the Exp-6 comparison).
+// Insert-vs-read exclusion for the bare variant is still the caller's job:
+// the two-stage engine inserts only in the fetch stage.
 type lru struct {
-	m          map[graph.VertexID]*entry
-	head, tail *entry // head = most recent
-	capacity   uint64
-	sizeBytes  uint64
+	mu          sync.Mutex // guards the recency list and eviction (if selfLocking)
+	selfLocking bool
+	m           map[graph.VertexID]*entry
+	head, tail  *entry // head = most recent
+	capacity    uint64
+	sizeBytes   uint64
 }
 
-func newLRU(capacityBytes uint64) *lru {
-	return &lru{m: make(map[graph.VertexID]*entry), capacity: capacityBytes}
+func newLRU(capacityBytes uint64, selfLocking bool) *lru {
+	return &lru{m: make(map[graph.VertexID]*entry), capacity: capacityBytes, selfLocking: selfLocking}
+}
+
+func (c *lru) lock() {
+	if c.selfLocking {
+		c.mu.Lock()
+	}
+}
+
+func (c *lru) unlock() {
+	if c.selfLocking {
+		c.mu.Unlock()
+	}
 }
 
 func (c *lru) touch(e *entry) {
@@ -53,7 +73,9 @@ func (c *lru) Get(v graph.VertexID) ([]graph.VertexID, bool) {
 	if !ok {
 		return nil, false
 	}
+	c.lock()
 	c.touch(e)
+	c.unlock()
 	// LRU variants always copy: entries can be evicted at any access, so
 	// zero-copy references would dangle (the paper's "memory copies" cost).
 	cp := make([]graph.VertexID, len(e.nbrs))
@@ -68,9 +90,13 @@ func (c *lru) Contains(v graph.VertexID) bool {
 
 func (c *lru) Insert(v graph.VertexID, nbrs []graph.VertexID) {
 	if e, ok := c.m[v]; ok {
+		c.lock()
 		c.touch(e)
+		c.unlock()
 		return
 	}
+	c.lock()
+	defer c.unlock()
 	need := entryBytes(nbrs)
 	if c.capacity > 0 {
 		for c.sizeBytes+need > c.capacity && c.tail != nil {

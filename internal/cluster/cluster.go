@@ -1,10 +1,19 @@
 // Package cluster simulates the paper's shared-nothing k-machine
-// deployment (Figure 2) inside one process. Each Machine owns a hash
-// partition of the data graph, an LRBU cache, and a worker pool; machines
-// communicate only through the accounted RPC layer (GetNbrs, StealWork) and
-// the router (pushed shuffles), so communication volume — the paper's C
-// column — is measured exactly, and an optional latency model reproduces
-// communication time.
+// deployment (Figure 2) inside one process. The simulation is split into
+// two layers so that many queries can execute concurrently on one
+// deployment:
+//
+//   - Cluster is the immutable topology: the data graph, its hash
+//     partitions, and the configuration. It is safe for concurrent use and
+//     holds no per-query state.
+//   - Exec is one query's isolated execution context: a fresh metrics sink
+//     and a fresh per-machine adjacency cache. Every engine run creates its
+//     own Exec via NewExec, so N concurrent runs never share mutable state.
+//
+// Machines communicate only through the accounted RPC layer (GetNbrs,
+// StealWork) and the router (pushed shuffles), so communication volume —
+// the paper's C column — is measured exactly, and an optional latency
+// model reproduces communication time.
 package cluster
 
 import (
@@ -36,21 +45,13 @@ type Config struct {
 	Latency     LatencyModel
 }
 
-// Cluster is the simulated deployment.
+// Cluster is the simulated deployment: immutable after New, safe to share
+// between any number of concurrent Execs.
 type Cluster struct {
-	Graph    *graph.Graph
-	Machines []*Machine
-	Metrics  *metrics.Metrics
-	Cfg      Config
-	Stats    struct{ EdgeBytes uint64 }
-}
-
-// Machine is one HUGE runtime instance.
-type Machine struct {
-	ID      int
-	Part    *graph.Partition
-	Cache   cache.Cache
-	cluster *Cluster
+	Graph *graph.Graph
+	Parts []*graph.Partition // one hash partition per machine
+	Cfg   Config
+	Stats struct{ EdgeBytes uint64 }
 }
 
 // New partitions g across cfg.NumMachines machines.
@@ -64,48 +65,84 @@ func New(g *graph.Graph, cfg Config) *Cluster {
 	if cfg.CacheBytes == 0 {
 		cfg.CacheBytes = g.SizeBytes() * 3 / 10 // paper default: 30% of the graph
 	}
-	c := &Cluster{Graph: g, Metrics: &metrics.Metrics{}, Cfg: cfg}
+	c := &Cluster{Graph: g, Cfg: cfg}
 	c.Stats.EdgeBytes = g.SizeBytes()
-	parts := graph.Split(g, cfg.NumMachines)
-	for i := 0; i < cfg.NumMachines; i++ {
-		c.Machines = append(c.Machines, &Machine{
-			ID:      i,
-			Part:    parts[i],
-			Cache:   cache.New(cfg.CacheKind, cfg.CacheBytes),
-			cluster: c,
-		})
-	}
+	c.Parts = graph.Split(g, cfg.NumMachines)
 	return c
 }
 
-// ResetMetrics replaces the metrics sink (between experiment runs).
-func (c *Cluster) ResetMetrics() { c.Metrics = &metrics.Metrics{} }
+// NumMachines returns the deployment size.
+func (c *Cluster) NumMachines() int { return len(c.Parts) }
 
 // Owner returns the machine owning v.
-func (c *Cluster) Owner(v graph.VertexID) int { return c.Machines[0].Part.P.Owner(v) }
+func (c *Cluster) Owner(v graph.VertexID) int { return c.Parts[0].P.Owner(v) }
+
+// Exec is the per-run execution context: everything one query execution
+// mutates lives here (metrics, adjacency caches), so concurrent runs on the
+// same Cluster are fully isolated. Create one per run with NewExec.
+type Exec struct {
+	Metrics  *metrics.Metrics
+	Machines []*MachineExec
+	c        *Cluster
+}
+
+// MachineExec is one machine's runtime state for one query execution: the
+// machine's (shared, immutable) partition plus the run-private adjacency
+// cache. The LRBU cache's single-writer contract is therefore scoped to one
+// run, which is what makes concurrent queries race-free.
+type MachineExec struct {
+	ID    int
+	Part  *graph.Partition
+	Cache cache.Cache
+	exec  *Exec
+}
+
+// NewExec creates a fresh execution context with zeroed metrics and cold
+// per-machine caches.
+func (c *Cluster) NewExec() *Exec {
+	x := &Exec{Metrics: &metrics.Metrics{}, c: c}
+	for i, part := range c.Parts {
+		x.Machines = append(x.Machines, &MachineExec{
+			ID:    i,
+			Part:  part,
+			Cache: cache.New(c.Cfg.CacheKind, c.Cfg.CacheBytes),
+			exec:  x,
+		})
+	}
+	return x
+}
+
+// Cluster returns the shared topology this context runs on.
+func (x *Exec) Cluster() *Cluster { return x.c }
+
+// Cfg returns the deployment configuration.
+func (x *Exec) Cfg() Config { return x.c.Cfg }
+
+// Owner returns the machine owning v.
+func (x *Exec) Owner(v graph.VertexID) int { return x.c.Owner(v) }
 
 // GetNbrs is the pulling RPC (Section 4.1): machine m requests the
 // adjacency lists of vertices owned by remote machines. vids must all
 // reside on the target machine. The response slices alias the target's CSR
 // storage (the in-process analogue of a received buffer); byte and time
 // accounting covers both directions.
-func (m *Machine) GetNbrs(target int, vids []graph.VertexID) [][]graph.VertexID {
-	c := m.cluster
-	tm := c.Machines[target]
+func (m *MachineExec) GetNbrs(target int, vids []graph.VertexID) [][]graph.VertexID {
+	x := m.exec
+	tp := x.c.Parts[target]
 	out := make([][]graph.VertexID, len(vids))
 	respBytes := uint64(0)
 	for i, v := range vids {
-		nb := tm.Part.Neighbors(v)
+		nb := tp.Neighbors(v)
 		out[i] = nb
 		respBytes += uint64(len(nb)) * 4
 	}
 	reqBytes := uint64(len(vids)) * 4
-	c.Metrics.RPCCalls.Add(1)
-	c.Metrics.BytesPulled.Add(reqBytes + respBytes)
-	if d := c.Cfg.Latency.cost(reqBytes + respBytes); d > 0 {
+	x.Metrics.RPCCalls.Add(1)
+	x.Metrics.BytesPulled.Add(reqBytes + respBytes)
+	if d := x.c.Cfg.Latency.cost(reqBytes + respBytes); d > 0 {
 		start := time.Now()
 		time.Sleep(d)
-		c.Metrics.CommTimeNs.Add(int64(time.Since(start)))
+		x.Metrics.CommTimeNs.Add(int64(time.Since(start)))
 	}
 	return out
 }
@@ -113,22 +150,22 @@ func (m *Machine) GetNbrs(target int, vids []graph.VertexID) [][]graph.VertexID 
 // PushBytes accounts for a pushed (shuffled) message of the given size —
 // used by the router when feeding PUSH-JOIN inputs and when shipping
 // stolen batches across machines.
-func (c *Cluster) PushBytes(bytes uint64) {
-	c.Metrics.PushMsgs.Add(1)
-	c.Metrics.BytesPushed.Add(bytes)
-	if d := c.Cfg.Latency.cost(bytes); d > 0 {
+func (x *Exec) PushBytes(bytes uint64) {
+	x.Metrics.PushMsgs.Add(1)
+	x.Metrics.BytesPushed.Add(bytes)
+	if d := x.c.Cfg.Latency.cost(bytes); d > 0 {
 		start := time.Now()
 		time.Sleep(d)
-		c.Metrics.CommTimeNs.Add(int64(time.Since(start)))
+		x.Metrics.CommTimeNs.Add(int64(time.Since(start)))
 	}
 }
 
 // NeighborsOf resolves adjacency for machine m during the intersect stage:
-// local partition, else the machine's cache (which the fetch stage must
-// have populated). The bool is false only on a cache miss, which the
-// two-stage protocol should make impossible; callers treat it as a bug.
-// Hit/miss accounting happens in the fetch stage, not here.
-func (m *Machine) NeighborsOf(v graph.VertexID) ([]graph.VertexID, bool) {
+// local partition, else the run's cache (which the fetch stage must have
+// populated). The bool is false only on a cache miss, which the two-stage
+// protocol should make impossible; callers treat it as a bug. Hit/miss
+// accounting happens in the fetch stage, not here.
+func (m *MachineExec) NeighborsOf(v graph.VertexID) ([]graph.VertexID, bool) {
 	if m.Part.Owns(v) {
 		return m.Part.Neighbors(v), true
 	}
@@ -138,16 +175,16 @@ func (m *Machine) NeighborsOf(v graph.VertexID) ([]graph.VertexID, bool) {
 // FetchDirect pulls a single vertex's adjacency on demand (the Cncr-LRU
 // ablation path, bypassing the two-stage protocol): cache lookup under the
 // cache's own lock, RPC on miss, insert.
-func (m *Machine) FetchDirect(v graph.VertexID) []graph.VertexID {
+func (m *MachineExec) FetchDirect(v graph.VertexID) []graph.VertexID {
 	if m.Part.Owns(v) {
 		return m.Part.Neighbors(v)
 	}
 	if nb, ok := m.Cache.Get(v); ok {
-		m.cluster.Metrics.CacheHits.Add(1)
+		m.exec.Metrics.CacheHits.Add(1)
 		return nb
 	}
-	m.cluster.Metrics.CacheMisses.Add(1)
-	nb := m.GetNbrs(m.cluster.Owner(v), []graph.VertexID{v})[0]
+	m.exec.Metrics.CacheMisses.Add(1)
+	nb := m.GetNbrs(m.exec.Owner(v), []graph.VertexID{v})[0]
 	m.Cache.Insert(v, nb)
 	return nb
 }

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"sync"
 	"testing"
 	"time"
 
@@ -18,16 +19,21 @@ func testCluster(t *testing.T, k int, lat LatencyModel) *Cluster {
 func TestNewDefaults(t *testing.T) {
 	g := gen.PowerLaw(100, 2, 1)
 	c := New(g, Config{})
-	if len(c.Machines) != 1 {
-		t.Fatalf("machines = %d", len(c.Machines))
+	if c.NumMachines() != 1 {
+		t.Fatalf("machines = %d", c.NumMachines())
 	}
 	if c.Cfg.CacheBytes != g.SizeBytes()*3/10 {
 		t.Fatalf("default cache bytes %d, want 30%% of graph (%d)", c.Cfg.CacheBytes, g.SizeBytes()*3/10)
+	}
+	x := c.NewExec()
+	if len(x.Machines) != 1 || x.Metrics == nil {
+		t.Fatalf("exec context incomplete: %+v", x)
 	}
 }
 
 func TestGetNbrsAccounting(t *testing.T) {
 	c := testCluster(t, 3, LatencyModel{})
+	x := c.NewExec()
 	// Find a vertex on machine 1 and fetch it from machine 0.
 	var v graph.VertexID
 	found := false
@@ -40,11 +46,11 @@ func TestGetNbrsAccounting(t *testing.T) {
 	if !found {
 		t.Skip("no suitable vertex")
 	}
-	nbrs := c.Machines[0].GetNbrs(1, []graph.VertexID{v})
+	nbrs := x.Machines[0].GetNbrs(1, []graph.VertexID{v})
 	if len(nbrs) != 1 || len(nbrs[0]) != c.Graph.Degree(v) {
 		t.Fatalf("GetNbrs returned %v", nbrs)
 	}
-	s := c.Metrics.Snapshot()
+	s := x.Metrics.Snapshot()
 	wantBytes := uint64(4 + 4*c.Graph.Degree(v))
 	if s.BytesPulled != wantBytes {
 		t.Fatalf("pulled %d bytes, want %d", s.BytesPulled, wantBytes)
@@ -56,6 +62,7 @@ func TestGetNbrsAccounting(t *testing.T) {
 
 func TestLatencyInjected(t *testing.T) {
 	c := testCluster(t, 2, LatencyModel{PerMessage: 2 * time.Millisecond})
+	x := c.NewExec()
 	var v graph.VertexID
 	for u := 0; u < c.Graph.NumVertices(); u++ {
 		if c.Owner(graph.VertexID(u)) == 1 {
@@ -64,19 +71,20 @@ func TestLatencyInjected(t *testing.T) {
 		}
 	}
 	start := time.Now()
-	c.Machines[0].GetNbrs(1, []graph.VertexID{v})
+	x.Machines[0].GetNbrs(1, []graph.VertexID{v})
 	if time.Since(start) < 2*time.Millisecond {
 		t.Fatal("latency not injected")
 	}
-	if c.Metrics.Snapshot().CommTime < 2*time.Millisecond {
+	if x.Metrics.Snapshot().CommTime < 2*time.Millisecond {
 		t.Fatal("comm time not recorded")
 	}
 }
 
 func TestPushBytes(t *testing.T) {
 	c := testCluster(t, 2, LatencyModel{})
-	c.PushBytes(1000)
-	s := c.Metrics.Snapshot()
+	x := c.NewExec()
+	x.PushBytes(1000)
+	s := x.Metrics.Snapshot()
 	if s.BytesPushed != 1000 || s.PushMsgs != 1 {
 		t.Fatalf("push accounting: %+v", s)
 	}
@@ -84,7 +92,8 @@ func TestPushBytes(t *testing.T) {
 
 func TestFetchDirectCaches(t *testing.T) {
 	c := testCluster(t, 2, LatencyModel{})
-	m0 := c.Machines[0]
+	x := c.NewExec()
+	m0 := x.Machines[0]
 	var remote graph.VertexID
 	for u := 0; u < c.Graph.NumVertices(); u++ {
 		if !m0.Part.Owns(graph.VertexID(u)) && c.Graph.Degree(graph.VertexID(u)) > 0 {
@@ -93,15 +102,15 @@ func TestFetchDirectCaches(t *testing.T) {
 		}
 	}
 	nb1 := m0.FetchDirect(remote)
-	calls := c.Metrics.RPCCalls.Load()
+	calls := x.Metrics.RPCCalls.Load()
 	nb2 := m0.FetchDirect(remote) // served from cache
-	if c.Metrics.RPCCalls.Load() != calls {
+	if x.Metrics.RPCCalls.Load() != calls {
 		t.Fatal("second FetchDirect issued an RPC")
 	}
 	if len(nb1) != len(nb2) {
 		t.Fatalf("cached adjacency differs: %v vs %v", nb1, nb2)
 	}
-	if c.Metrics.CacheHits.Load() == 0 || c.Metrics.CacheMisses.Load() == 0 {
+	if x.Metrics.CacheHits.Load() == 0 || x.Metrics.CacheMisses.Load() == 0 {
 		t.Fatal("hit/miss accounting missing")
 	}
 	// Local vertices bypass everything.
@@ -111,14 +120,15 @@ func TestFetchDirectCaches(t *testing.T) {
 		break
 	}
 	m0.FetchDirect(local)
-	if c.Metrics.RPCCalls.Load() != calls {
+	if x.Metrics.RPCCalls.Load() != calls {
 		t.Fatal("local FetchDirect issued an RPC")
 	}
 }
 
 func TestNeighborsOfLocalAndCached(t *testing.T) {
 	c := testCluster(t, 2, LatencyModel{})
-	m0 := c.Machines[0]
+	x := c.NewExec()
+	m0 := x.Machines[0]
 	local := m0.Part.LocalVertices()[0]
 	if _, ok := m0.NeighborsOf(local); !ok {
 		t.Fatal("local NeighborsOf failed")
@@ -139,12 +149,33 @@ func TestNeighborsOfLocalAndCached(t *testing.T) {
 	}
 }
 
-func TestResetMetrics(t *testing.T) {
+// TestExecIsolation is the concurrency contract of the refactor: execution
+// contexts on one cluster never share metrics or caches.
+func TestExecIsolation(t *testing.T) {
 	c := testCluster(t, 2, LatencyModel{})
-	c.PushBytes(10)
-	old := c.Metrics
-	c.ResetMetrics()
-	if c.Metrics == old || c.Metrics.Snapshot().BytesPushed != 0 {
-		t.Fatal("ResetMetrics did not replace the sink")
+	x1, x2 := c.NewExec(), c.NewExec()
+	if x1.Metrics == x2.Metrics {
+		t.Fatal("execs share a metrics sink")
 	}
+	if x1.Machines[0].Cache == x2.Machines[0].Cache {
+		t.Fatal("execs share a cache")
+	}
+	x1.PushBytes(100)
+	if x2.Metrics.BytesPushed.Load() != 0 {
+		t.Fatal("metrics leaked across execs")
+	}
+	// Concurrent traffic on independent execs must be race-free (validated
+	// under -race): hammer GetNbrs/FetchDirect from many execs at once.
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			x := c.NewExec()
+			for u := 0; u < c.Graph.NumVertices(); u++ {
+				x.Machines[0].FetchDirect(graph.VertexID(u))
+			}
+		}()
+	}
+	wg.Wait()
 }

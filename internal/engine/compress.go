@@ -17,7 +17,7 @@ import (
 // identical to the materialising path.
 func (r *machineRun) countExtend(e *dataflow.Extend, b *dataflow.Batch) (uint64, error) {
 	eng := r.ex.eng
-	twoStage := eng.cl.Cfg.CacheKind.TwoStage()
+	twoStage := eng.ex.Cfg().CacheKind.TwoStage()
 	if twoStage {
 		if err := r.fetchStage(e, b); err != nil {
 			return 0, err
@@ -32,7 +32,7 @@ func (r *machineRun) countExtend(e *dataflow.Extend, b *dataflow.Batch) (uint64,
 
 func (r *machineRun) countIntersect(e *dataflow.Extend, b *dataflow.Batch, twoStage bool) (uint64, error) {
 	eng := r.ex.eng
-	workers := eng.cl.Cfg.Workers
+	workers := eng.ex.Cfg().Workers
 	chunks := b.SplitRows(workers * 4)
 	if len(chunks) == 0 {
 		return 0, nil
@@ -68,7 +68,7 @@ func (r *machineRun) countIntersect(e *dataflow.Extend, b *dataflow.Batch, twoSt
 						return
 					}
 					if stole {
-						eng.cl.Metrics.StealsIntra.Add(1)
+						eng.ex.Metrics.StealsIntra.Add(1)
 					}
 					n, err := r.countChunk(e, task.(*dataflow.Batch), twoStage)
 					if err != nil {

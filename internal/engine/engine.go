@@ -7,9 +7,15 @@
 //   - the BFS/DFS-adaptive scheduler with fixed-capacity output queues
 //     (Algorithm 5), which bounds memory per Theorem 5.4,
 //   - two-layer intra-/inter-machine work stealing (Section 5.3).
+//
+// Every run executes against a cluster.Exec — the per-run execution
+// context that owns the metrics sink and the per-machine adjacency caches
+// — so any number of runs may proceed concurrently on one cluster.Cluster.
 package engine
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"hash/maphash"
 	"sync"
@@ -73,9 +79,9 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Engine runs one dataflow on one cluster.
+// Engine runs one dataflow on one execution context.
 type Engine struct {
-	cl    *cluster.Cluster
+	ex    *cluster.Exec
 	df    *dataflow.Dataflow
 	cfg   Config
 	joins map[int]*joinBuffers
@@ -88,13 +94,18 @@ type joinBuffers struct {
 	sides [2][]*Relation
 }
 
-// Run executes df on cl and returns the result count.
-func Run(cl *cluster.Cluster, df *dataflow.Dataflow, cfg Config) (uint64, error) {
+// Run executes df on the per-run context ex and returns the result count.
+// Cancelling ctx aborts the run (queued work is drained and discarded) and
+// Run returns the context's error. ex must not be reused across runs.
+func Run(ctx context.Context, ex *cluster.Exec, df *dataflow.Dataflow, cfg Config) (uint64, error) {
 	if err := df.Validate(); err != nil {
 		return 0, err
 	}
-	e := &Engine{cl: cl, df: df, cfg: cfg.withDefaults(), joins: map[int]*joinBuffers{}, seed: maphash.MakeSeed()}
-	k := len(cl.Machines)
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	e := &Engine{ex: ex, df: df, cfg: cfg.withDefaults(), joins: map[int]*joinBuffers{}, seed: maphash.MakeSeed()}
+	k := len(ex.Machines)
 	for _, st := range df.Stages {
 		if st.JoinSrc == nil {
 			continue
@@ -110,28 +121,45 @@ func Run(cl *cluster.Cluster, df *dataflow.Dataflow, cfg Config) (uint64, error)
 			width := len(df.Stages[feeder].OutputLayout())
 			for m := 0; m < k; m++ {
 				jb.sides[side] = append(jb.sides[side], NewRelation(width, keys, e.cfg.JoinBufferRows,
-					func(rows int) { cl.Metrics.AddLiveTuples(-int64(rows)) }))
+					func(rows int) { ex.Metrics.AddLiveTuples(-int64(rows)) }))
 			}
 		}
 		e.joins[st.ID] = jb
 	}
+	// Whatever path Run exits by — completion, error, cancellation between
+	// stages — every join relation must be released: Discard returns
+	// buffered rows to the live-tuple accounting (via the relation's
+	// release hook) and removes spill files. Relations the consumer stage
+	// already drained are no-ops here.
+	defer func() {
+		for _, jb := range e.joins {
+			for side := range jb.sides {
+				for _, rel := range jb.sides[side] {
+					rel.Discard()
+				}
+			}
+		}
+	}()
 	for _, st := range df.Stages {
-		if err := e.runStage(st); err != nil {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		if err := e.runStage(ctx, st); err != nil {
 			return 0, err
 		}
 	}
-	return cl.Metrics.Results.Load(), nil
+	return ex.Metrics.Results.Load(), nil
 }
 
 // runStage executes one stage on every machine with a barrier at the end.
-func (e *Engine) runStage(st *dataflow.Stage) error {
-	ex := &stageExec{eng: e, st: st}
-	k := len(e.cl.Machines)
+func (e *Engine) runStage(ctx context.Context, st *dataflow.Stage) error {
+	ex := &stageExec{eng: e, st: st, ctx: ctx}
+	k := len(e.ex.Machines)
 	ex.sourcesActive.Store(int64(k))
 
 	var iterCleanup []RowIter
 	var bufferedRows int64
-	for _, m := range e.cl.Machines {
+	for _, m := range e.ex.Machines {
 		var src sourceIter
 		if st.Scan != nil {
 			src = newScanIter(m, st.Scan)
@@ -168,9 +196,15 @@ func (e *Engine) runStage(st *dataflow.Stage) error {
 		}
 	}
 	if bufferedRows > 0 {
-		e.cl.Metrics.AddLiveTuples(-bufferedRows)
+		e.ex.Metrics.AddLiveTuples(-bufferedRows)
 	}
 	if err := ex.err(); err != nil {
+		// Report cancellation plainly only when it is what aborted the
+		// stage; a genuine failure that merely coincides with cancellation
+		// (e.g. disk full while the deadline expires) must not be masked.
+		if ctxErr := ctx.Err(); ctxErr != nil && errors.Is(err, ctxErr) {
+			return ctxErr
+		}
 		return fmt.Errorf("engine: stage %d: %w", st.ID, err)
 	}
 	if ex.pendingBatches.Load() != 0 || ex.sourcesActive.Load() != 0 {
@@ -180,5 +214,5 @@ func (e *Engine) runStage(st *dataflow.Stage) error {
 	return nil
 }
 
-// Metrics exposes the cluster's metrics (for reports after Run).
-func (e *Engine) Metrics() *metrics.Metrics { return e.cl.Metrics }
+// Metrics exposes the run's metrics (for reports after Run).
+func (e *Engine) Metrics() *metrics.Metrics { return e.ex.Metrics }

@@ -1,12 +1,19 @@
 package engine
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/baseline"
 	"repro/internal/cache"
 	"repro/internal/cluster"
+	"repro/internal/dataflow"
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/plan"
@@ -21,8 +28,8 @@ func runOn(t *testing.T, g *graph.Graph, q *query.Query, p *plan.Plan, ccfg clus
 	if err != nil {
 		t.Fatalf("%s/%s: translate: %v", q.Name(), p.Name, err)
 	}
-	cl := cluster.New(g, ccfg)
-	got, err := Run(cl, df, ecfg)
+	cl := cluster.New(g, ccfg).NewExec()
+	got, err := Run(context.Background(), cl, df, ecfg)
 	if err != nil {
 		t.Fatalf("%s/%s: run: %v", q.Name(), p.Name, err)
 	}
@@ -131,8 +138,8 @@ func TestEnginePushJoinSpill(t *testing.T) {
 		t.Skip("SEED plan for q7 has no pushing join on this estimator")
 	}
 	want := baseline.GroundTruthCount(g, q)
-	cl := cluster.New(g, cluster.Config{NumMachines: 3, Workers: 2, CacheKind: cache.LRBU})
-	got, err := Run(cl, df, Config{BatchRows: 64, QueueRows: 512, JoinBufferRows: 256})
+	cl := cluster.New(g, cluster.Config{NumMachines: 3, Workers: 2, CacheKind: cache.LRBU}).NewExec()
+	got, err := Run(context.Background(), cl, df, Config{BatchRows: 64, QueueRows: 512, JoinBufferRows: 256})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,8 +158,8 @@ func TestEngineMemoryAccountingDrains(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cl := cluster.New(g, cluster.Config{NumMachines: 3, Workers: 2, CacheKind: cache.LRBU})
-	if _, err := Run(cl, df, Config{BatchRows: 64, QueueRows: 128}); err != nil {
+	cl := cluster.New(g, cluster.Config{NumMachines: 3, Workers: 2, CacheKind: cache.LRBU}).NewExec()
+	if _, err := Run(context.Background(), cl, df, Config{BatchRows: 64, QueueRows: 128}); err != nil {
 		t.Fatal(err)
 	}
 	if cl.Metrics.LiveTuples() != 0 {
@@ -174,8 +181,8 @@ func TestEngineBoundedMemory(t *testing.T) {
 		t.Fatal(err)
 	}
 	run := func(queueRows int64) (uint64, int64) {
-		cl := cluster.New(g, cluster.Config{NumMachines: 2, Workers: 2, CacheKind: cache.LRBU})
-		n, err := Run(cl, df, Config{BatchRows: 128, QueueRows: queueRows, LoadBalance: LBStatic})
+		cl := cluster.New(g, cluster.Config{NumMachines: 2, Workers: 2, CacheKind: cache.LRBU}).NewExec()
+		n, err := Run(context.Background(), cl, df, Config{BatchRows: 128, QueueRows: queueRows, LoadBalance: LBStatic})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -198,9 +205,9 @@ func TestEngineOnResultCallback(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cl := cluster.New(g, cluster.Config{NumMachines: 1, Workers: 1, CacheKind: cache.LRBU})
+	cl := cluster.New(g, cluster.Config{NumMachines: 1, Workers: 1, CacheKind: cache.LRBU}).NewExec()
 	var rows [][]graph.VertexID
-	_, err = Run(cl, df, Config{BatchRows: 8, QueueRows: -1, OnResult: func(r []graph.VertexID) {
+	_, err = Run(context.Background(), cl, df, Config{BatchRows: 8, QueueRows: -1, OnResult: func(r []graph.VertexID) {
 		rows = append(rows, append([]graph.VertexID(nil), r...))
 	}})
 	if err != nil {
@@ -261,8 +268,8 @@ func TestEngineCommunicationAccounted(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cl := cluster.New(g, cluster.Config{NumMachines: 4, Workers: 1, CacheKind: cache.LRBU})
-	if _, err := Run(cl, df, Config{BatchRows: 64, QueueRows: 256}); err != nil {
+	cl := cluster.New(g, cluster.Config{NumMachines: 4, Workers: 1, CacheKind: cache.LRBU}).NewExec()
+	if _, err := Run(context.Background(), cl, df, Config{BatchRows: 64, QueueRows: 256}); err != nil {
 		t.Fatal(err)
 	}
 	s := cl.Metrics.Snapshot()
@@ -288,8 +295,8 @@ func TestEngineCompressionEquivalence(t *testing.T) {
 		// materialised run's peak includes the final result level, the
 		// compressed run's does not.
 		run := func(compress bool) (uint64, int64) {
-			cl := cluster.New(g, cluster.Config{NumMachines: 1, Workers: 1, CacheKind: cache.LRBU})
-			n, err := Run(cl, df, Config{BatchRows: 64, QueueRows: -1, LoadBalance: LBStatic, Compress: compress})
+			cl := cluster.New(g, cluster.Config{NumMachines: 1, Workers: 1, CacheKind: cache.LRBU}).NewExec()
+			n, err := Run(context.Background(), cl, df, Config{BatchRows: 64, QueueRows: -1, LoadBalance: LBStatic, Compress: compress})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -317,8 +324,8 @@ func TestEngineCompressionWithFilters(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cl := cluster.New(g, cluster.Config{NumMachines: 3, Workers: 2, CacheKind: cache.LRBU})
-	got, err := Run(cl, df, Config{BatchRows: 128, QueueRows: 512, Compress: true})
+	cl := cluster.New(g, cluster.Config{NumMachines: 3, Workers: 2, CacheKind: cache.LRBU}).NewExec()
+	got, err := Run(context.Background(), cl, df, Config{BatchRows: 128, QueueRows: 512, Compress: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -330,8 +337,121 @@ func TestEngineCompressionWithFilters(t *testing.T) {
 func ExampleRun() {
 	g := graph.FromEdges([][2]graph.VertexID{{0, 1}, {1, 2}, {0, 2}})
 	df, _ := plan.Translate(plan.HugeWcoPlan(query.Triangle()))
-	cl := cluster.New(g, cluster.Config{NumMachines: 1, Workers: 1, CacheKind: cache.LRBU})
-	n, _ := Run(cl, df, Config{})
+	cl := cluster.New(g, cluster.Config{NumMachines: 1, Workers: 1, CacheKind: cache.LRBU}).NewExec()
+	n, _ := Run(context.Background(), cl, df, Config{})
 	fmt.Println(n)
 	// Output: 1
+}
+
+// TestEngineContextCancellation: a cancelled context aborts the run with
+// the context's error and drains all queued work (no leaked accounting).
+func TestEngineContextCancellation(t *testing.T) {
+	g := gen.PowerLaw(2000, 8, 17)
+	q := query.Q6() // the long-running memory-crisis query
+	df, err := plan.Translate(plan.HugeWcoPlan(q))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := cluster.New(g, cluster.Config{NumMachines: 2, Workers: 2, CacheKind: cache.LRBU}).NewExec()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := Run(ctx, ex, df, Config{BatchRows: 64, QueueRows: 256})
+		done <- err
+	}()
+	cancel()
+	if err := <-done; err != nil && !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want nil (already finished) or context.Canceled", err)
+	}
+	if live := ex.Metrics.LiveTuples(); live != 0 {
+		t.Fatalf("live tuples = %d after cancellation, want 0", live)
+	}
+}
+
+// TestEngineConcurrentExecs runs several dataflows at once on one shared
+// cluster topology (meaningful under -race): independent exec contexts mean
+// independent metrics and caches.
+func TestEngineConcurrentExecs(t *testing.T) {
+	g := testGraph()
+	cl := cluster.New(g, cluster.Config{NumMachines: 3, Workers: 2, CacheKind: cache.LRBU})
+	queries := []*query.Query{query.Triangle(), query.Q1(), query.Q2(), query.Q3()}
+	want := make([]uint64, len(queries))
+	dfs := make([]*dataflow.Dataflow, len(queries))
+	for i, q := range queries {
+		want[i] = baseline.GroundTruthCount(g, q)
+		df, err := plan.Translate(plan.HugeWcoPlan(q))
+		if err != nil {
+			t.Fatal(err)
+		}
+		dfs[i] = df
+	}
+	var wg sync.WaitGroup
+	for round := 0; round < 2; round++ {
+		for i := range queries {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				ex := cl.NewExec()
+				got, err := Run(context.Background(), ex, dfs[i], Config{BatchRows: 64, QueueRows: 256})
+				if err != nil {
+					t.Errorf("%s: %v", queries[i].Name(), err)
+					return
+				}
+				if got != want[i] {
+					t.Errorf("%s: count %d, want %d", queries[i].Name(), got, want[i])
+				}
+				if ex.Metrics.Results.Load() != want[i] {
+					t.Errorf("%s: results metric %d, want %d (leak across execs?)",
+						queries[i].Name(), ex.Metrics.Results.Load(), want[i])
+				}
+			}(i)
+		}
+	}
+	wg.Wait()
+}
+
+// TestEngineCancellationMultiStage: cancelling between the feeder stages
+// and the joining stage of a PUSH-JOIN plan must release the buffered join
+// relations — live-tuple accounting returns to zero and spill temp files
+// are removed — across a sweep of cancellation points.
+func TestEngineCancellationMultiStage(t *testing.T) {
+	g := gen.PowerLaw(600, 5, 13)
+	q := query.Q7()
+	p := plan.SEEDPlan(q, plan.MomentEstimator(plan.ComputeStats(g))) // pushing hash joins
+	df, err := plan.Translate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spillsBefore := countSpillFiles(t)
+	cl := cluster.New(g, cluster.Config{NumMachines: 2, Workers: 2, CacheKind: cache.LRBU})
+	for _, delay := range []time.Duration{0, 100 * time.Microsecond, time.Millisecond, 5 * time.Millisecond} {
+		ex := cl.NewExec()
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan error, 1)
+		go func() {
+			// Tiny join buffers force spilling before the consumer stage.
+			_, err := Run(ctx, ex, df, Config{BatchRows: 32, QueueRows: 128, JoinBufferRows: 16})
+			done <- err
+		}()
+		time.Sleep(delay)
+		cancel()
+		if err := <-done; err != nil && !errors.Is(err, context.Canceled) {
+			t.Fatalf("delay %v: err = %v", delay, err)
+		}
+		if live := ex.Metrics.LiveTuples(); live != 0 {
+			t.Fatalf("delay %v: live tuples = %d after cancellation, want 0", delay, live)
+		}
+	}
+	if after := countSpillFiles(t); after > spillsBefore {
+		t.Fatalf("spill files leaked: %d before, %d after", spillsBefore, after)
+	}
+}
+
+func countSpillFiles(t *testing.T) int {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(os.TempDir(), "huge-join-spill-*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return len(matches)
 }

@@ -26,7 +26,7 @@ const maxRPCBatch = 8192
 // intersection through the locked cache.
 func (r *machineRun) processExtend(e *dataflow.Extend, b *dataflow.Batch) ([]*dataflow.Batch, error) {
 	eng := r.ex.eng
-	twoStage := eng.cl.Cfg.CacheKind.TwoStage()
+	twoStage := eng.ex.Cfg().CacheKind.TwoStage()
 	if twoStage {
 		if err := r.fetchStage(e, b); err != nil {
 			return nil, err
@@ -46,7 +46,7 @@ func (r *machineRun) processExtend(e *dataflow.Extend, b *dataflow.Batch) ([]*da
 func (r *machineRun) fetchStage(e *dataflow.Extend, b *dataflow.Batch) error {
 	eng := r.ex.eng
 	start := time.Now()
-	defer func() { eng.cl.Metrics.FetchNs.Add(int64(time.Since(start))) }()
+	defer func() { eng.ex.Metrics.FetchNs.Add(int64(time.Since(start))) }()
 
 	part := r.m.Part
 	seen := map[graph.VertexID]struct{}{}
@@ -66,11 +66,11 @@ func (r *machineRun) fetchStage(e *dataflow.Extend, b *dataflow.Batch) error {
 	byOwner := map[int][]graph.VertexID{}
 	for v := range seen {
 		if r.m.Cache.Contains(v) {
-			eng.cl.Metrics.CacheHits.Add(1)
+			eng.ex.Metrics.CacheHits.Add(1)
 			r.m.Cache.Seal(v)
 		} else {
-			eng.cl.Metrics.CacheMisses.Add(1)
-			o := eng.cl.Owner(v)
+			eng.ex.Metrics.CacheMisses.Add(1)
+			o := eng.ex.Owner(v)
 			byOwner[o] = append(byOwner[o], v)
 		}
 	}
@@ -107,7 +107,7 @@ type extendScratch struct {
 // intra-machine work stealing per Section 5.3.
 func (r *machineRun) intersectStage(e *dataflow.Extend, b *dataflow.Batch, twoStage bool) ([]*dataflow.Batch, error) {
 	eng := r.ex.eng
-	workers := eng.cl.Cfg.Workers
+	workers := eng.ex.Cfg().Workers
 	chunks := b.SplitRows(workers * 4)
 	if len(chunks) == 0 {
 		return nil, nil
@@ -142,7 +142,7 @@ func (r *machineRun) intersectStage(e *dataflow.Extend, b *dataflow.Batch, twoSt
 						return
 					}
 					if stole {
-						eng.cl.Metrics.StealsIntra.Add(1)
+						eng.ex.Metrics.StealsIntra.Add(1)
 					}
 					r.extendChunk(e, task.(*dataflow.Batch), twoStage, scratches[w])
 				}

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -60,12 +61,12 @@ func TestQuickEngineMatchesOracle(t *testing.T) {
 			return false
 		}
 		kinds := []cache.Kind{cache.LRBU, cache.LRBUCopy, cache.LRUInf, cache.CncrLRU}
-		cl := cluster.New(g, cluster.Config{
+		ex := cluster.New(g, cluster.Config{
 			NumMachines: k, Workers: 1 + int(kRaw)%3,
 			CacheKind: kinds[int(seed&0xff)%len(kinds)], CacheBytes: 1 << (8 + seed%8),
-		})
+		}).NewExec()
 		queues := []int64{1, 64, 4096, -1}
-		got, err := Run(cl, df, Config{
+		got, err := Run(context.Background(), ex, df, Config{
 			BatchRows:   16 + int(nRaw)%100,
 			QueueRows:   queues[int(qRaw)%len(queues)],
 			LoadBalance: LoadBalance(int(kRaw) % 3),

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"hash/maphash"
 	"math/rand"
 	"sync"
@@ -13,10 +14,12 @@ import (
 
 // stageExec coordinates one stage across all machines: it tracks global
 // termination (no active source, no pending batch anywhere) so that
-// inter-machine thieves know when to stop.
+// inter-machine thieves know when to stop, and watches the run's context
+// so a cancelled query drains instead of completing.
 type stageExec struct {
 	eng            *Engine
 	st             *dataflow.Stage
+	ctx            context.Context
 	runs           []*machineRun
 	pendingBatches atomic.Int64 // batches enqueued anywhere, not yet fully processed
 	sourcesActive  atomic.Int64
@@ -29,6 +32,9 @@ func (ex *stageExec) done() bool {
 }
 
 func (ex *stageExec) firstErrFast() error {
+	if err := ex.ctx.Err(); err != nil {
+		ex.setErr(err)
+	}
 	ex.errMu.Lock()
 	defer ex.errMu.Unlock()
 	return ex.firstErr
@@ -50,7 +56,7 @@ func (ex *stageExec) setErr(err error) {
 // of operator i (input of operator i+1); the terminal has no queue.
 type machineRun struct {
 	ex         *stageExec
-	m          *cluster.Machine
+	m          *cluster.MachineExec
 	source     sourceIter
 	sourceDone bool
 
@@ -62,7 +68,7 @@ type machineRun struct {
 	batchNo int
 }
 
-func newMachineRun(ex *stageExec, m *cluster.Machine, src sourceIter) *machineRun {
+func newMachineRun(ex *stageExec, m *cluster.MachineExec, src sourceIter) *machineRun {
 	e := len(ex.st.Extends)
 	return &machineRun{
 		ex:     ex,
@@ -89,7 +95,7 @@ func (r *machineRun) outFull(op int) bool {
 func (r *machineRun) enqueue(op int, b *dataflow.Batch) {
 	rows := int64(b.Rows())
 	r.ex.pendingBatches.Add(1)
-	r.ex.eng.cl.Metrics.AddLiveTuples(rows)
+	r.ex.eng.ex.Metrics.AddLiveTuples(rows)
 	r.mu.Lock()
 	r.queues[op] = append(r.queues[op], b)
 	r.qrows[op] += rows
@@ -124,7 +130,7 @@ func (r *machineRun) dequeue(op int) *dataflow.Batch {
 // were enqueued before this is called, so pendingBatches never dips to zero
 // while work remains.
 func (r *machineRun) batchProcessed(b *dataflow.Batch) {
-	r.ex.eng.cl.Metrics.AddLiveTuples(-int64(b.Rows()))
+	r.ex.eng.ex.Metrics.AddLiveTuples(-int64(b.Rows()))
 	r.ex.pendingBatches.Add(-1)
 }
 
@@ -155,11 +161,16 @@ func (r *machineRun) loop() {
 		r.drainOnError()
 		return
 	}
+	if r.ex.firstErrFast() != nil {
+		r.drainOnError()
+		return
+	}
 	if r.ex.eng.cfg.LoadBalance != LBSteal || len(r.ex.runs) == 1 {
 		return
 	}
 	for !r.ex.done() {
 		if r.ex.firstErrFast() != nil {
+			r.drainOnError()
 			return
 		}
 		if r.stealOnce() {
@@ -242,7 +253,7 @@ func (r *machineRun) runOp(op int) error {
 				if err != nil {
 					return err
 				}
-				r.ex.eng.cl.Metrics.Results.Add(n)
+				r.ex.eng.ex.Metrics.Results.Add(n)
 				r.batchProcessed(b)
 				continue
 			}
@@ -279,7 +290,7 @@ func (r *machineRun) terminal(b *dataflow.Batch) error {
 	eng := r.ex.eng
 	t := r.ex.st.Terminal
 	if t.Sink {
-		eng.cl.Metrics.Results.Add(uint64(b.Rows()))
+		eng.ex.Metrics.Results.Add(uint64(b.Rows()))
 		if eng.cfg.OnResult != nil {
 			for i := 0; i < b.Rows(); i++ {
 				eng.cfg.OnResult(b.Row(i))
@@ -288,8 +299,8 @@ func (r *machineRun) terminal(b *dataflow.Batch) error {
 		return nil
 	}
 	jb := eng.joins[t.ConsumerStage]
-	k := len(eng.cl.Machines)
-	eng.cl.Metrics.AddLiveTuples(int64(b.Rows()))
+	k := len(eng.ex.Machines)
+	eng.ex.Metrics.AddLiveTuples(int64(b.Rows()))
 	remoteBytes := make([]uint64, k)
 	var h maphash.Hash
 	for i := 0; i < b.Rows(); i++ {
@@ -312,7 +323,7 @@ func (r *machineRun) terminal(b *dataflow.Batch) error {
 	}
 	for _, bytes := range remoteBytes {
 		if bytes > 0 {
-			eng.cl.PushBytes(bytes)
+			eng.ex.PushBytes(bytes)
 		}
 	}
 	return nil
@@ -334,8 +345,8 @@ func (r *machineRun) stealOnce() bool {
 		if len(batches) == 0 {
 			continue
 		}
-		r.ex.eng.cl.Metrics.StealsInter.Add(1)
-		r.ex.eng.cl.PushBytes(bytes)
+		r.ex.eng.ex.Metrics.StealsInter.Add(1)
+		r.ex.eng.ex.PushBytes(bytes)
 		r.enqueueStolen(op, batches)
 		return true
 	}

@@ -17,14 +17,14 @@ type sourceIter interface {
 // local edge, with u a local vertex — so the scan output is partitioned
 // exactly like the graph, as Section 4.2 describes.
 type scanIter struct {
-	m       *cluster.Machine
+	m       *cluster.MachineExec
 	scan    *dataflow.EdgeScan
 	verts   []graph.VertexID
 	vi, ni  int
 	current []graph.VertexID // neighbours of verts[vi]
 }
 
-func newScanIter(m *cluster.Machine, scan *dataflow.EdgeScan) *scanIter {
+func newScanIter(m *cluster.MachineExec, scan *dataflow.EdgeScan) *scanIter {
 	return &scanIter{m: m, scan: scan, verts: m.Part.LocalVertices()}
 }
 

@@ -12,7 +12,7 @@ import (
 
 func TestScanIterEmitsDirectedEdges(t *testing.T) {
 	g := graph.FromEdges([][2]graph.VertexID{{0, 1}, {1, 2}})
-	cl := cluster.New(g, cluster.Config{NumMachines: 1, Workers: 1, CacheKind: cache.LRBU})
+	cl := cluster.New(g, cluster.Config{NumMachines: 1, Workers: 1, CacheKind: cache.LRBU}).NewExec()
 	it := newScanIter(cl.Machines[0], &dataflow.EdgeScan{QA: 0, QB: 1})
 	var rows int
 	for {
@@ -33,7 +33,7 @@ func TestScanIterEmitsDirectedEdges(t *testing.T) {
 
 func TestScanIterOrderFilterHalves(t *testing.T) {
 	g := gen.PowerLaw(100, 3, 1)
-	cl := cluster.New(g, cluster.Config{NumMachines: 1, Workers: 1, CacheKind: cache.LRBU})
+	cl := cluster.New(g, cluster.Config{NumMachines: 1, Workers: 1, CacheKind: cache.LRBU}).NewExec()
 	scanAll := newScanIter(cl.Machines[0], &dataflow.EdgeScan{QA: 0, QB: 1})
 	scanHalf := newScanIter(cl.Machines[0], &dataflow.EdgeScan{
 		QA: 0, QB: 1, Filters: []dataflow.OrderFilter{{SlotA: 0, SlotB: 1}},
@@ -65,7 +65,7 @@ func TestScanIterOrderFilterHalves(t *testing.T) {
 
 func TestScanIterBatchBoundary(t *testing.T) {
 	g := gen.PowerLaw(50, 3, 2)
-	cl := cluster.New(g, cluster.Config{NumMachines: 1, Workers: 1, CacheKind: cache.LRBU})
+	cl := cluster.New(g, cluster.Config{NumMachines: 1, Workers: 1, CacheKind: cache.LRBU}).NewExec()
 	// Batch size 1 forces the iterator to suspend mid-adjacency-list.
 	it := newScanIter(cl.Machines[0], &dataflow.EdgeScan{QA: 0, QB: 1})
 	rows := 0

@@ -177,6 +177,22 @@ func (r *Relation) SpilledRuns() int {
 	return len(r.runs)
 }
 
+// Discard releases a relation that will never be consumed — a cancelled
+// run can exit between the feeder stage and the joining stage, leaving
+// buffered rows and spill files behind. Rows still buffered in memory
+// leave the accounting through the relation's own onSpill hook (the one
+// place that owns "rows released" semantics); then the buffer is dropped
+// and any spill file removed. It is a no-op after the relation's iterator
+// was closed. Callers must have quiesced all feeders first.
+func (r *Relation) Discard() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.onSpill != nil && r.width > 0 && len(r.mem) > 0 {
+		r.onSpill(len(r.mem) / r.width)
+	}
+	r.cleanup()
+}
+
 func (r *Relation) cleanup() {
 	if r.file != nil {
 		name := r.file.Name()

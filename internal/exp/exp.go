@@ -10,6 +10,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/huge"
 	"repro/internal/baseline"
 	"repro/internal/cache"
 	"repro/internal/cluster"
@@ -150,57 +151,48 @@ type HugeOpts struct {
 	Machines    int // 0 = Env.K
 }
 
-// RunHUGE executes q on g with the HUGE engine.
+// RunHUGE executes q on g through the huge.System service layer (so the
+// harness exercises the same per-run execution contexts production code
+// uses). Compression is disabled to keep the measurements comparable with
+// the materialising baselines, as before the serving-layer refactor.
 func (e *Env) RunHUGE(g *graph.Graph, q *query.Query, o HugeOpts) RunResult {
 	k := o.Machines
 	if k == 0 {
 		k = e.K
 	}
-	stats := plan.ComputeStats(g)
-	card := plan.MomentEstimator(stats)
-	var p *plan.Plan
-	switch o.PlanName {
-	case "", "optimal":
-		p = plan.Optimize(q, plan.Config{NumMachines: k, GraphEdges: float64(g.NumEdges()), Card: card})
-	case "wco":
-		p = plan.HugeWcoPlan(q)
-	case "seed":
-		p = plan.SEEDPlan(q, card)
-	case "rads":
-		p = plan.ReconfigurePhysical(plan.RADSPlan(q))
-	case "benu":
-		p = plan.ReconfigurePhysical(plan.BENUPlan(q))
-	case "emptyheaded":
-		p = plan.ReconfigurePhysical(plan.EmptyHeadedPlan(q, card))
-	case "graphflow":
-		p = plan.ReconfigurePhysical(plan.GraphFlowPlan(q, stats))
+	planName := o.PlanName
+	if planName == "" {
+		planName = "optimal"
+	}
+	name := "HUGE"
+	if planName != "optimal" {
+		name = "HUGE-" + planName
+	}
+	switch planName {
+	case "optimal", "wco", "seed", "rads", "benu", "emptyheaded", "graphflow":
 	default:
 		return RunResult{Name: o.PlanName, Err: fmt.Errorf("exp: unknown plan %q", o.PlanName)}
 	}
-	df, err := plan.Translate(p)
-	if err != nil {
-		return RunResult{Name: "HUGE-" + o.PlanName, Err: err}
-	}
-	cl := cluster.New(g, cluster.Config{
-		NumMachines: k, Workers: e.Workers,
-		CacheKind: o.CacheKind, CacheBytes: o.CacheBytes,
-		Latency: e.latency(),
-	})
 	queue := o.QueueRows
 	if queue == 0 {
 		queue = 1 << 16
 	}
-	start := time.Now()
-	count, err := engine.Run(cl, df, engine.Config{
+	sys := huge.NewSystem(g, huge.Options{
+		Machines:    k,
+		Workers:     e.Workers,
 		BatchRows:   o.BatchRows,
 		QueueRows:   queue,
+		CacheKind:   o.CacheKind,
+		CacheBytes:  o.CacheBytes,
 		LoadBalance: o.LoadBalance,
+		Latency:     e.latency(),
+		NoCompress:  true,
 	})
-	name := "HUGE"
-	if o.PlanName != "" && o.PlanName != "optimal" {
-		name = "HUGE-" + o.PlanName
+	res, err := sys.RunPlan(q, sys.PlanFor(q, planName))
+	if err != nil {
+		return RunResult{Name: name, Err: err}
 	}
-	return RunResult{Name: name, Count: count, Elapsed: time.Since(start), Summary: cl.Metrics.Snapshot(), Err: err}
+	return RunResult{Name: name, Count: res.Count, Elapsed: res.Elapsed, Summary: res.Metrics}
 }
 
 // RunBaseline executes one of the paper's competitor systems.

@@ -1,0 +1,131 @@
+package plan
+
+// Plan caching for the serving layer: optimising a query runs an
+// exponential dynamic program (Algorithm 1), so a system answering the
+// same patterns repeatedly — the production workload the ROADMAP targets —
+// should pay for it once. Cache is a thread-safe LRU keyed by the caller's
+// composite key (canonical query fingerprint + graph-stats version +
+// physical configuration) with hit/miss/size statistics.
+
+import (
+	"container/list"
+	"sync"
+)
+
+// DefaultCacheCapacity is the plan-cache size used when callers pass a
+// non-positive capacity to NewCache.
+const DefaultCacheCapacity = 128
+
+// Cache is a bounded, thread-safe LRU of optimised plans. The zero value
+// is not usable; construct with NewCache.
+type Cache struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List // front = most recently used
+	items    map[string]*list.Element
+	hits     uint64
+	misses   uint64
+}
+
+type cacheEntry struct {
+	key  string
+	plan *Plan
+}
+
+// NewCache creates a plan cache holding up to capacity plans
+// (DefaultCacheCapacity if capacity <= 0).
+func NewCache(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = DefaultCacheCapacity
+	}
+	return &Cache{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element, capacity),
+	}
+}
+
+// Get returns the cached plan for key, marking it most recently used.
+// Every call counts as a hit or a miss.
+func (c *Cache) Get(key string) (*Plan, bool) {
+	return c.GetIf(key, nil)
+}
+
+// GetIf is Get with a validity check: a present entry that valid rejects
+// is dropped and counted as a miss (not a hit), since the caller must pay
+// for a fresh optimisation anyway. Used to evict plans whose query was
+// mutated (SetOrders) after caching. valid runs outside the cache lock —
+// it may be expensive (e.g. recomputing a canonical fingerprint) and must
+// not stall other lookups.
+func (c *Cache) GetIf(key string, valid func(*Plan) bool) (*Plan, bool) {
+	c.mu.Lock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		c.mu.Unlock()
+		return nil, false
+	}
+	p := el.Value.(*cacheEntry).plan
+	c.mu.Unlock()
+
+	pass := valid == nil || valid(p)
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	// Re-resolve: the entry may have been evicted or replaced while valid
+	// ran; only act on the entry we actually validated.
+	el2, ok := c.items[key]
+	if !ok || el2 != el || el2.Value.(*cacheEntry).plan != p {
+		c.misses++ // caller rebuilds; a racing replacement is left untouched
+		return nil, false
+	}
+	if !pass {
+		c.ll.Remove(el2)
+		delete(c.items, key)
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el2)
+	return p, true
+}
+
+// Put stores p under key, evicting the least recently used entry when the
+// cache is full. Storing an existing key refreshes its recency and value.
+func (c *Cache) Put(key string, p *Plan) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).plan = p
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, plan: p})
+	if c.ll.Len() > c.capacity {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// Stats returns cumulative hits and misses, and the current entry count.
+func (c *Cache) Stats() (hits, misses uint64, size int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.ll.Len()
+}
+
+// Len returns the current number of cached plans.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Clear drops every entry (statistics are preserved).
+func (c *Cache) Clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	c.items = make(map[string]*list.Element, c.capacity)
+}

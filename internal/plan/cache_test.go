@@ -1,0 +1,165 @@
+package plan
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/query"
+)
+
+func optimizeFor(q *query.Query, card CardFunc) *Plan {
+	return Optimize(q, Config{NumMachines: 3, GraphEdges: 1000, Card: card})
+}
+
+func TestCacheHitMissSizeStats(t *testing.T) {
+	g := gen.PowerLaw(300, 3, 3)
+	stats := ComputeStats(g)
+	card := MomentEstimator(stats)
+	c := NewCache(8)
+
+	key := query.Q1().Fingerprint()
+	if _, ok := c.Get(key); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put(key, optimizeFor(query.Q1(), card))
+	p, ok := c.Get(key)
+	if !ok || p == nil {
+		t.Fatal("miss after Put")
+	}
+	hits, misses, size := c.Stats()
+	if hits != 1 || misses != 1 || size != 1 {
+		t.Fatalf("stats = (%d, %d, %d), want (1, 1, 1)", hits, misses, size)
+	}
+	// A repeated lookup only moves hits.
+	c.Get(key)
+	hits, misses, size = c.Stats()
+	if hits != 2 || misses != 1 || size != 1 {
+		t.Fatalf("stats = (%d, %d, %d), want (2, 1, 1)", hits, misses, size)
+	}
+}
+
+func TestCacheIsomorphicQueriesShareEntry(t *testing.T) {
+	g := gen.PowerLaw(300, 3, 3)
+	card := MomentEstimator(ComputeStats(g))
+	c := NewCache(8)
+
+	a := query.New("sq-a", [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}})
+	// The same square under the relabelling 0->2, 1->0, 2->3, 3->1.
+	b := query.New("sq-b", [][2]int{{2, 0}, {0, 3}, {3, 1}, {1, 2}})
+
+	c.Put(a.Fingerprint(), optimizeFor(a, card))
+	if _, ok := c.Get(b.Fingerprint()); !ok {
+		t.Fatal("relabelled square missed the cached plan")
+	}
+	hits, misses, size := c.Stats()
+	if hits != 1 || misses != 0 || size != 1 {
+		t.Fatalf("stats = (%d, %d, %d), want (1, 0, 1)", hits, misses, size)
+	}
+}
+
+func TestCacheEvictsLRU(t *testing.T) {
+	c := NewCache(2)
+	c.Put("a", &Plan{Name: "a"})
+	c.Put("b", &Plan{Name: "b"})
+	c.Get("a")          // refresh a; b is now LRU
+	c.Put("c", &Plan{}) // evicts b
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("LRU entry survived eviction")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("recently used entry evicted")
+	}
+	if _, ok := c.Get("c"); !ok {
+		t.Fatal("new entry missing")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len = %d, want 2", c.Len())
+	}
+}
+
+func TestCachePutExistingRefreshes(t *testing.T) {
+	c := NewCache(2)
+	c.Put("a", &Plan{Name: "old"})
+	c.Put("b", &Plan{Name: "b"})
+	c.Put("a", &Plan{Name: "new"}) // refresh, not duplicate
+	if c.Len() != 2 {
+		t.Fatalf("len = %d, want 2", c.Len())
+	}
+	c.Put("c", &Plan{}) // should evict b (a was refreshed)
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("refresh did not update recency")
+	}
+	p, _ := c.Get("a")
+	if p.Name != "new" {
+		t.Fatalf("refresh kept the old value %q", p.Name)
+	}
+}
+
+func TestCacheClearKeepsStats(t *testing.T) {
+	c := NewCache(4)
+	c.Put("a", &Plan{})
+	c.Get("a")
+	c.Get("zzz")
+	c.Clear()
+	hits, misses, size := c.Stats()
+	if size != 0 || c.Len() != 0 {
+		t.Fatalf("size = %d after Clear", size)
+	}
+	if hits != 1 || misses != 1 {
+		t.Fatalf("Clear dropped stats: hits=%d misses=%d", hits, misses)
+	}
+}
+
+func TestCacheConcurrentAccess(t *testing.T) {
+	c := NewCache(16)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("k%d", i%24)
+				if _, ok := c.Get(key); !ok {
+					c.Put(key, &Plan{Name: key})
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Len() > 16 {
+		t.Fatalf("capacity exceeded: %d", c.Len())
+	}
+}
+
+func TestGraphStatsFingerprintChanges(t *testing.T) {
+	a := ComputeStats(gen.PowerLaw(300, 3, 3))
+	b := ComputeStats(gen.PowerLaw(300, 3, 4))
+	if a.Fingerprint() != ComputeStats(gen.PowerLaw(300, 3, 3)).Fingerprint() {
+		t.Fatal("stats fingerprint not deterministic")
+	}
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("different graphs share a stats fingerprint")
+	}
+}
+
+func TestCacheGetIfRejectsStaleEntries(t *testing.T) {
+	c := NewCache(4)
+	c.Put("k", &Plan{Name: "stale"})
+	p, ok := c.GetIf("k", func(p *Plan) bool { return p.Name != "stale" })
+	if ok || p != nil {
+		t.Fatal("rejected entry was served")
+	}
+	hits, misses, size := c.Stats()
+	if hits != 0 || misses != 1 || size != 0 {
+		t.Fatalf("stats after reject = (%d, %d, %d), want (0, 1, 0): a stale entry is a miss and is dropped", hits, misses, size)
+	}
+	c.Put("k", &Plan{Name: "fresh"})
+	if _, ok := c.GetIf("k", func(p *Plan) bool { return p.Name == "fresh" }); !ok {
+		t.Fatal("valid entry rejected")
+	}
+	if hits, _, _ := c.Stats(); hits != 1 {
+		t.Fatalf("hits = %d, want 1", hits)
+	}
+}

@@ -23,6 +23,24 @@ type GraphStats struct {
 	MaxDeg  int
 }
 
+// Fingerprint returns a version hash of the statistics: plan-cache keys
+// include it so that plans optimised against stale statistics (a different
+// graph, or a re-computed summary after updates) are never reused.
+func (s GraphStats) Fingerprint() uint64 {
+	h := uint64(1469598103934665603) // FNV-64 offset basis
+	mix := func(v uint64) {
+		h ^= v
+		h *= 1099511628211
+	}
+	mix(uint64(s.N))
+	mix(s.M)
+	mix(uint64(s.MaxDeg))
+	for _, m := range s.Moments {
+		mix(math.Float64bits(m))
+	}
+	return h
+}
+
 // ComputeStats scans the graph once and collects degree moments.
 func ComputeStats(g *graph.Graph) GraphStats {
 	s := GraphStats{

@@ -24,7 +24,10 @@ import (
 // both endpoints are matched; injectivity between join sides becomes
 // cross-distinct checks on the join output.
 func Translate(p *Plan) (*dataflow.Dataflow, error) {
-	t := &translator{q: p.Q}
+	// One orders snapshot for the whole translation: the query's orders are
+	// replaceable (SetOrders), and mixing two generations across operators
+	// would silently mis-count.
+	t := &translator{q: p.Q, orders: p.Q.Orders()}
 	pipe, err := t.node(p.Root)
 	if err != nil {
 		return nil, fmt.Errorf("plan %s: %v", p.Name, err)
@@ -39,6 +42,7 @@ func Translate(p *Plan) (*dataflow.Dataflow, error) {
 
 type translator struct {
 	q      *query.Query
+	orders []query.Order // snapshot of q.Orders() taken once per translation
 	stages []*dataflow.Stage
 }
 
@@ -87,7 +91,7 @@ func (t *translator) scanStar(em uint32) (*openPipe, error) {
 		return nil, fmt.Errorf("join unit edge mask %b is not a star", em)
 	}
 	scan := &dataflow.EdgeScan{QA: root, QB: leaves[0]}
-	for _, o := range t.q.Orders() {
+	for _, o := range t.orders {
 		switch {
 		case o.A == root && o.B == leaves[0]:
 			scan.Filters = append(scan.Filters, dataflow.OrderFilter{SlotA: 0, SlotB: 1})
@@ -111,7 +115,7 @@ func (t *translator) scanStar(em uint32) (*openPipe, error) {
 // already-matched vertex.
 func (t *translator) appendExtend(pipe *openPipe, extSlots []int, target int) {
 	var filters []dataflow.NewFilter
-	for _, o := range t.q.Orders() {
+	for _, o := range t.orders {
 		if o.A == target && pipe.vmask&(1<<o.B) != 0 {
 			filters = append(filters, dataflow.NewFilter{Slot: pipe.slotOf(o.B), NewLess: true})
 		}
@@ -261,7 +265,7 @@ func (t *translator) pushingHash(n *Node) (*openPipe, error) {
 	}
 	// Symmetry-breaking orders spanning the two sides.
 	union := left.vmask | right.vmask
-	for _, o := range t.q.Orders() {
+	for _, o := range t.orders {
 		bothPresent := union&(1<<o.A) != 0 && union&(1<<o.B) != 0
 		inLeft := left.vmask&(1<<o.A) != 0 && left.vmask&(1<<o.B) != 0
 		inRight := right.vmask&(1<<o.A) != 0 && right.vmask&(1<<o.B) != 0

@@ -1,0 +1,155 @@
+package query
+
+// Canonical query fingerprints for plan caching: two queries that are the
+// same pattern under a relabelling of their vertices (and carry equivalent
+// symmetry-breaking constraints) must produce the same fingerprint, so a
+// serving layer can reuse one optimised plan for both. The fingerprint is
+// a canonical form, not a lossy hash: equal fingerprints imply isomorphic
+// query graphs, so a cache keyed on it can never hand back a plan for a
+// structurally different query.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Fingerprint returns the query's canonical, relabelling-invariant cache
+// key. Structure is encoded as the canonical adjacency code (see
+// canonicalCode); auto-derived symmetry-breaking orders are represented by
+// a marker (they are a deterministic function of the structure), while
+// orders overridden via SetOrders are mapped through the canonical
+// labelling and appended verbatim — still sound, though two relabelled
+// queries with hand-written constraints may fingerprint apart (a cache
+// miss, never a wrong hit).
+//
+// The first call computes and memoises the code; the worst-case cost is
+// exponential in MaxVertices but with degree-class and prefix pruning all
+// catalog-sized queries (≤10 vertices) canonicalise in microseconds to
+// milliseconds.
+func (q *Query) Fingerprint() string {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.fp == "" { // every fingerprint starts "v<n>;", so "" means uncomputed
+		q.fp = q.computeFingerprint()
+	}
+	return q.fp
+}
+
+func (q *Query) computeFingerprint() string {
+	code, perm := q.canonicalCode()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "v%d;%s", q.n, code)
+	if !q.customOrders {
+		sb.WriteString(";auto")
+		return sb.String()
+	}
+	// Map the hand-written orders into canonical positions.
+	pos := make([]int, q.n)
+	for i, v := range perm {
+		pos[v] = i
+	}
+	mapped := make([]Order, len(q.orders))
+	for i, o := range q.orders {
+		mapped[i] = Order{A: pos[o.A], B: pos[o.B]}
+	}
+	sortOrders(mapped)
+	sb.WriteString(";orders:")
+	for _, o := range mapped {
+		fmt.Fprintf(&sb, "%d<%d,", o.A, o.B)
+	}
+	return sb.String()
+}
+
+// canonicalCode computes a canonical form of the query graph: the
+// lexicographically smallest row-wise upper-triangle adjacency encoding
+// over all vertex orderings that list degrees in non-increasing order
+// (an isomorphism-invariant family, so the minimum is a canonical form).
+// It returns the code and the vertex permutation that realises it
+// (perm[i] = original vertex placed at canonical position i).
+func (q *Query) canonicalCode() (string, []int) {
+	n := q.n
+	identity := func() []int {
+		p := make([]int, n)
+		for i := range p {
+			p[i] = i
+		}
+		return p
+	}
+	if q.IsClique() {
+		// Every ordering yields the all-ones matrix; skip the search.
+		return fmt.Sprintf("K%d", n), identity()
+	}
+
+	// Canonical positions must list degrees in non-increasing order.
+	degSeq := make([]int, n)
+	byDeg := identity()
+	sort.Slice(byDeg, func(i, j int) bool { return q.Degree(byDeg[i]) > q.Degree(byDeg[j]) })
+	for i, v := range byDeg {
+		degSeq[i] = q.Degree(v)
+	}
+
+	rows := make([]uint16, n) // rows[i]: bit j set iff canonical i ~ canonical j (j < i)
+	perm := make([]int, n)
+	used := make([]bool, n)
+	var best []uint16
+	var bestPerm []int
+
+	var rec func(i int)
+	rec = func(i int) {
+		if i == n {
+			if best == nil || lexLess(rows, best) {
+				best = append([]uint16(nil), rows...)
+				bestPerm = append([]int(nil), perm...)
+			}
+			return
+		}
+		for c := 0; c < n; c++ {
+			if used[c] || q.Degree(c) != degSeq[i] {
+				continue
+			}
+			var row uint16
+			for j := 0; j < i; j++ {
+				if q.HasEdge(c, perm[j]) {
+					row |= 1 << j
+				}
+			}
+			rows[i] = row
+			// Prune any branch whose prefix already exceeds the best code:
+			// the first difference of a lexicographic comparison lies inside
+			// the prefix, so no completion can beat it.
+			if best != nil && prefixGreater(rows[:i+1], best[:i+1]) {
+				continue
+			}
+			perm[i] = c
+			used[c] = true
+			rec(i + 1)
+			used[c] = false
+		}
+	}
+	rec(0)
+
+	var sb strings.Builder
+	for _, r := range best {
+		fmt.Fprintf(&sb, "%03x", r)
+	}
+	return sb.String(), bestPerm
+}
+
+func lexLess(a, b []uint16) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+func prefixGreater(a, b []uint16) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] > b[i]
+		}
+	}
+	return false
+}

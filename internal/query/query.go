@@ -11,6 +11,7 @@ import (
 	"math/bits"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // MaxVertices bounds query size; the optimiser's DP and the automorphism
@@ -24,11 +25,19 @@ type Order struct{ A, B int }
 
 // Query is an immutable connected query graph. Vertices are 0..N-1.
 type Query struct {
-	n      int
-	edges  [][2]int // canonical: a < b, sorted
-	adj    [][]int  // sorted neighbour lists
-	orders []Order  // symmetry-breaking partial orders
-	name   string
+	n     int
+	edges [][2]int // canonical: a < b, sorted
+	adj   [][]int  // sorted neighbour lists
+	name  string
+
+	// mu guards the only post-construction mutable state: the orders
+	// (replaceable via SetOrders), the custom-orders flag, and the memoised
+	// fingerprint — so configuration may race with concurrent runs without
+	// torn reads. Everything else is immutable after New.
+	mu           sync.Mutex
+	orders       []Order // symmetry-breaking partial orders
+	customOrders bool    // orders overridden via SetOrders
+	fp           string  // memoised by Fingerprint, reset by SetOrders
 }
 
 // New builds a query graph from an edge list. Vertices are inferred as
@@ -112,21 +121,60 @@ func (q *Query) HasEdge(a, b int) bool {
 }
 
 // Orders returns the symmetry-breaking partial orders computed at
-// construction. Each embedding of the pattern is counted exactly once when
-// all constraints f(A) < f(B) hold.
-func (q *Query) Orders() []Order { return q.orders }
+// construction (or set via SetOrders). Each embedding of the pattern is
+// counted exactly once when all constraints f(A) < f(B) hold. The returned
+// slice is a consistent snapshot; do not modify it.
+func (q *Query) Orders() []Order {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.orders
+}
 
 // SetOrders overrides the automatic symmetry-breaking constraints (used by
-// tests and by baselines that disable symmetry breaking).
-func (q *Query) SetOrders(orders []Order) { q.orders = orders }
+// tests and by baselines that disable symmetry breaking). Overridden orders
+// become part of the query's Fingerprint, so plan caches never conflate a
+// query with custom constraints with its auto-constrained twin.
+func (q *Query) SetOrders(orders []Order) {
+	q.mu.Lock()
+	q.orders = orders
+	q.customOrders = true
+	q.fp = "" // invalidate the memoised fingerprint
+	q.mu.Unlock()
+}
+
+// SameNumbering reports whether o has exactly the same vertex numbering as
+// q: identical vertex count, edge list and symmetry-breaking orders (names
+// are ignored). Plans built for one are valid verbatim for the other —
+// including the per-query-vertex layout of enumerated matches — whereas a
+// merely isomorphic query shares only the match count.
+func (q *Query) SameNumbering(o *Query) bool {
+	if q.n != o.n || len(q.edges) != len(o.edges) {
+		return false
+	}
+	for i, e := range q.edges {
+		if o.edges[i] != e {
+			return false
+		}
+	}
+	qo, oo := q.Orders(), o.Orders() // separate snapshots: no nested locking
+	if len(qo) != len(oo) {
+		return false
+	}
+	for i, ord := range qo {
+		if oo[i] != ord {
+			return false
+		}
+	}
+	return true
+}
 
 // String renders the query for logs: name(v=N, e=M; orders).
 func (q *Query) String() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "%s(v=%d,e=%d", q.name, q.n, len(q.edges))
-	if len(q.orders) > 0 {
+	if orders := q.Orders(); len(orders) > 0 {
 		sb.WriteString("; ")
-		for i, o := range q.orders {
+		for i, o := range orders {
 			if i > 0 {
 				sb.WriteString(",")
 			}
