@@ -8,6 +8,8 @@
 //	huge -dataset LJ -scale 1 -query q1 -machines 4 -workers 2 -plan optimal
 //	huge -input edges.txt -query triangle
 //	huge -query q1 -repeat 5           # warm runs reuse the cached plan
+//	huge -labels 16 -query triangle -vlabels 2,2,2    # labelled matching
+//	huge -labels 16 -pattern "(a:1)-(b:2), (b:2)-(c:1), (c:1)-(a:1)"
 package main
 
 import (
@@ -15,6 +17,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"repro/huge"
 )
@@ -23,8 +27,11 @@ func main() {
 	var (
 		dataset  = flag.String("dataset", "LJ", "synthetic dataset stand-in: GO LJ OR UK EU FS CW")
 		scale    = flag.Int("scale", 1, "dataset scale multiplier")
-		input    = flag.String("input", "", "edge-list file (overrides -dataset)")
+		input    = flag.String("input", "", "edge-list file, optionally with \"v <id> <label>\" lines (overrides -dataset)")
 		queryArg = flag.String("query", "q1", "query: q1..q8 or triangle")
+		pattern  = flag.String("pattern", "", "Cypher-flavoured pattern, e.g. \"(a:1)-(b:2), (b:2)-(c)\" (overrides -query)")
+		vlabels  = flag.String("vlabels", "", "comma-separated per-vertex label constraints for -query (* = any), e.g. 2,*,2,*")
+		labels   = flag.Int("labels", 0, "attach N Zipf-distributed vertex labels to the generated dataset (0 = unlabelled)")
 		planArg  = flag.String("plan", "optimal", "plan: optimal wco seed rads benu emptyheaded graphflow")
 		machines = flag.Int("machines", 4, "simulated machines")
 		workers  = flag.Int("workers", 2, "workers per machine")
@@ -34,10 +41,32 @@ func main() {
 	)
 	flag.Parse()
 
-	q := huge.QueryByName(*queryArg)
-	if q == nil {
-		fmt.Fprintf(os.Stderr, "unknown query %q\n", *queryArg)
-		os.Exit(2)
+	var q *huge.Query
+	if *pattern != "" {
+		if *vlabels != "" {
+			fmt.Fprintln(os.Stderr, "-vlabels applies to -query only; put labels in the pattern instead, e.g. (a:3)-(b:3)")
+			os.Exit(2)
+		}
+		var err error
+		q, _, err = huge.ParsePattern("pattern", *pattern)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	} else {
+		q = huge.QueryByName(*queryArg)
+		if q == nil {
+			fmt.Fprintf(os.Stderr, "unknown query %q\n", *queryArg)
+			os.Exit(2)
+		}
+		if *vlabels != "" {
+			ls, err := parseVertexLabels(*vlabels, q.NumVertices())
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			q = q.WithVertexLabels(ls)
+		}
 	}
 	var g *huge.Graph
 	if *input != "" {
@@ -46,17 +75,19 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		g, err = huge.LoadEdgeList(f)
+		g, err = huge.LoadLabeledEdgeList(f)
 		f.Close()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+	} else if *labels > 0 {
+		g = huge.GenerateLabeled(*dataset, *scale, *labels)
 	} else {
 		g = huge.Generate(*dataset, *scale)
 	}
-	fmt.Printf("graph: %d vertices, %d edges, max degree %d\n",
-		g.NumVertices(), g.NumEdges(), g.MaxDegree())
+	fmt.Printf("graph: %d vertices, %d edges, max degree %d, labels %d\n",
+		g.NumVertices(), g.NumEdges(), g.MaxDegree(), g.NumLabels())
 
 	sys := huge.NewSystem(g, huge.Options{Machines: *machines, Workers: *workers, QueueRows: *queue})
 	sess := sys.NewSession()
@@ -112,4 +143,26 @@ func maxU(a, b uint64) uint64 {
 		return a
 	}
 	return b
+}
+
+// parseVertexLabels parses "-vlabels 2,*,2,*" into per-vertex constraints.
+func parseVertexLabels(s string, n int) ([]int, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != n {
+		return nil, fmt.Errorf("-vlabels: %d entries for a %d-vertex query", len(parts), n)
+	}
+	out := make([]int, n)
+	for i, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "*" || p == "" {
+			out[i] = huge.AnyLabel
+			continue
+		}
+		l, err := strconv.ParseUint(p, 10, 16)
+		if err != nil {
+			return nil, fmt.Errorf("-vlabels entry %q: %v", p, err)
+		}
+		out[i] = int(l)
+	}
+	return out, nil
 }

@@ -3,9 +3,14 @@
 // SIGMOD 2021, arXiv:2103.14294).
 //
 // The public API lives in repro/huge: a concurrent query service with
-// per-run execution contexts and a fingerprint-keyed plan cache. The
+// per-run execution contexts and a fingerprint-keyed plan cache, serving
+// both unlabelled and label-constrained patterns — vertex labels thread
+// through the whole stack (labelled graphs with a per-label index,
+// label-aware automorphisms and canonical fingerprints, selectivity-driven
+// plans, and label-filtered scans and extensions in the engine). The
 // benchmark harness that regenerates every table and figure of the
 // paper's evaluation lives in repro/internal/exp and is timed by the
 // benchmarks in bench_test.go. See README.md for the architecture
-// overview, including the session/plan-cache layering.
+// overview, including the session/plan-cache layering and the labelled
+// matching workload.
 package repro

@@ -8,7 +8,8 @@ package gpm
 
 import (
 	"fmt"
-	"sort"
+	"slices"
+	"strings"
 
 	"repro/huge"
 )
@@ -51,11 +52,11 @@ func ConnectedPatterns(k int) []*huge.Query {
 		out = append(out, huge.NewQuery(fmt.Sprintf("pattern-%dv-%de-#%d", k, len(edges), len(out)+1), qEdges))
 	}
 	// Deterministic order: by edge count, then canonical form.
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].NumEdges() != out[j].NumEdges() {
-			return out[i].NumEdges() < out[j].NumEdges()
+	slices.SortFunc(out, func(a, b *huge.Query) int {
+		if a.NumEdges() != b.NumEdges() {
+			return a.NumEdges() - b.NumEdges()
 		}
-		return out[i].Name() < out[j].Name()
+		return strings.Compare(a.Name(), b.Name())
 	})
 	return out
 }

@@ -15,6 +15,12 @@
 // number of goroutines — or Sessions, the per-client handle — may query
 // one System at once. Optimised plans are memoised in a fingerprint-keyed
 // LRU, so repeated (even relabelled) patterns skip the optimiser.
+//
+// Queries may carry per-vertex label constraints (NewLabeledQuery, or the
+// ":<label>" pattern syntax) against labelled graphs (GenerateLabeled,
+// LoadLabeledEdgeList, WithLabels): plans exploit label selectivity, scans
+// seed from the per-label index, and the plan cache distinguishes label
+// signatures — with zero API or cache impact on unlabelled callers.
 package huge
 
 import (
@@ -40,6 +46,8 @@ type (
 	Graph = graph.Graph
 	// VertexID identifies a data-graph vertex.
 	VertexID = graph.VertexID
+	// LabelID identifies a vertex label in a labelled data graph.
+	LabelID = graph.LabelID
 	// Query is a connected query (pattern) graph with symmetry-breaking
 	// orders derived from its automorphism group.
 	Query = query.Query
@@ -51,6 +59,18 @@ type (
 
 // NewQuery builds a query graph from an edge list over vertices 0..n-1.
 func NewQuery(name string, edges [][2]int) *Query { return query.New(name, edges) }
+
+// AnyLabel is the wildcard label constraint for NewLabeledQuery.
+const AnyLabel = query.AnyLabel
+
+// NewLabeledQuery builds a label-constrained query graph: labels[v] is the
+// data label query vertex v must match, or AnyLabel for no constraint.
+// Labelled queries run through the same sessions, plan cache and engine as
+// unlabelled ones; their canonical fingerprints encode the label signature,
+// so the cache never conflates differently-labelled twins.
+func NewLabeledQuery(name string, edges [][2]int, labels []int) *Query {
+	return query.NewLabeled(name, edges, labels)
+}
 
 // The paper's benchmark queries (Figure 4) and the triangle.
 func Q1() *Query       { return query.Q1() }
@@ -72,9 +92,26 @@ func FromEdges(edges [][2]VertexID) *Graph { return graph.FromEdges(edges) }
 // LoadEdgeList reads a whitespace-separated edge list ('#' comments).
 func LoadEdgeList(r io.Reader) (*Graph, error) { return graph.ReadEdgeList(r) }
 
+// LoadLabeledEdgeList reads the labelled edge-list format: "u v" edge lines
+// plus "v <id> <label>" vertex-label lines (a strict superset of the plain
+// format — a file without label lines loads as an unlabelled graph).
+func LoadLabeledEdgeList(r io.Reader) (*Graph, error) { return graph.ReadLabeledEdgeList(r) }
+
+// WithLabels attaches per-vertex labels to a graph, sharing its CSR arrays
+// (len(labels) must equal g.NumVertices()).
+func WithLabels(g *Graph, labels []LabelID) *Graph { return graph.WithLabels(g, labels) }
+
 // Generate creates a synthetic stand-in for one of the paper's datasets
 // (GO, LJ, OR, UK, EU, FS, CW) at the given scale multiplier.
 func Generate(dataset string, scale int) *Graph { return gen.ByName(dataset, scale) }
+
+// GenerateLabeled is Generate with Zipf-distributed vertex labels attached:
+// the labelled twin of the named dataset. numLabels <= 0 selects the
+// default alphabet (gen.DefaultNumLabels); label 0 is the frequent head and
+// the last label the rare tail.
+func GenerateLabeled(dataset string, scale, numLabels int) *Graph {
+	return gen.LabeledByName(dataset, scale, numLabels)
+}
 
 // Options configures a System. The zero value gives a single-machine,
 // single-worker system with the paper's default knobs.
@@ -223,7 +260,7 @@ func (s *System) planKey(q *Query, name string) string {
 func (s *System) buildPlan(q *Query, name string) *Plan {
 	switch name {
 	case "wco":
-		return plan.HugeWcoPlan(q)
+		return plan.HugeWcoPlanStats(q, s.stats)
 	case "seed":
 		return plan.SEEDPlan(q, s.card)
 	case "rads":

@@ -6,12 +6,18 @@ package huge
 //
 //	"(a)-(b), (b)-(c), (c)-(a)"        // triangle
 //	"a-b, b-c, c-d, d-a"               // square; parentheses optional
+//	"(a:1)-(b:2), (b:2)-(c)"           // ":<label>" constrains a vertex's label
 //
 // Vertex names are assigned query-vertex IDs in order of first appearance.
+// A label annotation may appear at any occurrence of a vertex but must be
+// consistent across them; unannotated vertices match any label.
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
+
+	"repro/internal/query"
 )
 
 // ParsePattern parses a pattern string into a query graph. It returns the
@@ -20,10 +26,20 @@ import (
 func ParsePattern(name, pattern string) (*Query, map[string]int, error) {
 	names := map[string]int{}
 	var edges [][2]int
+	var labels []int
 	intern := func(tok string) (int, error) {
 		tok = strings.TrimSpace(tok)
 		tok = strings.TrimPrefix(tok, "(")
 		tok = strings.TrimSuffix(tok, ")")
+		label := query.AnyLabel
+		if i := strings.IndexByte(tok, ':'); i >= 0 {
+			l, err := strconv.ParseUint(strings.TrimSpace(tok[i+1:]), 10, 16)
+			if err != nil {
+				return 0, fmt.Errorf("invalid label in %q", tok)
+			}
+			label = int(l)
+			tok = strings.TrimSpace(tok[:i])
+		}
 		if tok == "" {
 			return 0, fmt.Errorf("empty vertex name")
 		}
@@ -33,10 +49,17 @@ func ParsePattern(name, pattern string) (*Query, map[string]int, error) {
 			}
 		}
 		if id, ok := names[tok]; ok {
+			if label != query.AnyLabel {
+				if labels[id] != query.AnyLabel && labels[id] != label {
+					return 0, fmt.Errorf("vertex %q labelled both %d and %d", tok, labels[id], label)
+				}
+				labels[id] = label
+			}
 			return id, nil
 		}
 		id := len(names)
 		names[tok] = id
+		labels = append(labels, label)
 		return id, nil
 	}
 	for i, part := range strings.Split(pattern, ",") {
@@ -69,22 +92,22 @@ func ParsePattern(name, pattern string) (*Query, map[string]int, error) {
 	if len(edges) == 0 {
 		return nil, nil, fmt.Errorf("pattern %s: no edges", name)
 	}
-	q, err := safeNewQuery(name, edges)
+	q, err := safeNewQuery(name, edges, labels)
 	if err != nil {
 		return nil, nil, fmt.Errorf("pattern %s: %v", name, err)
 	}
 	return q, names, nil
 }
 
-// safeNewQuery converts query.New's construction panics (disconnected
-// pattern, too many vertices) into errors for parser callers.
-func safeNewQuery(name string, edges [][2]int) (q *Query, err error) {
+// safeNewQuery converts query construction panics (disconnected pattern,
+// too many vertices) into errors for parser callers.
+func safeNewQuery(name string, edges [][2]int, labels []int) (q *Query, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("%v", r)
 		}
 	}()
-	return NewQuery(name, edges), nil
+	return NewLabeledQuery(name, edges, labels), nil
 }
 
 // MatchPattern parses and runs a pattern in one call.

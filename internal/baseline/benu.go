@@ -53,7 +53,7 @@ func RunBENU(g *graph.Graph, q *query.Query, cfg BENUConfig, m *metrics.Metrics)
 			go func(mi, w int) {
 				defer total.Done()
 				b := &benuWorker{
-					q: q, order: order, pos: pos, store: cfg.Store, cache: c, metrics: m,
+					q: q, g: g, order: order, pos: pos, store: cfg.Store, cache: c, metrics: m,
 					assign: make([]graph.VertexID, q.NumVertices()),
 					used:   map[graph.VertexID]bool{},
 				}
@@ -64,7 +64,7 @@ func RunBENU(g *graph.Graph, q *query.Query, cfg BENUConfig, m *metrics.Metrics)
 					if part.Owner(graph.VertexID(v)) != mi {
 						continue
 					}
-					if stripe%cfg.Workers == w {
+					if stripe%cfg.Workers == w && labelOK(g, q, order[0], graph.VertexID(v)) {
 						b.matchFrom(graph.VertexID(v))
 					}
 					stripe++
@@ -84,6 +84,7 @@ func RunBENU(g *graph.Graph, q *query.Query, cfg BENUConfig, m *metrics.Metrics)
 
 type benuWorker struct {
 	q       *query.Query
+	g       *graph.Graph // label metadata only; adjacency goes through the store
 	order   []int
 	pos     []int
 	store   *kvstore.Store
@@ -132,7 +133,7 @@ func (b *benuWorker) rec(depth int) {
 	// Copy: deeper pulls may recycle the scratch (and evict cache entries).
 	own := append([]graph.VertexID(nil), cands...)
 	for _, c := range own {
-		if b.used[c] {
+		if b.used[c] || !labelOK(b.g, b.q, v, c) {
 			continue
 		}
 		ok := true

@@ -39,7 +39,13 @@ func RunBiGJoin(g *graph.Graph, q *query.Query, cfg BiGJoinConfig, m *metrics.Me
 	v0, v1 := order[0], order[1]
 	var initial []graph.VertexID // row-major pairs, owner = owner(u)
 	for u := 0; u < g.NumVertices(); u++ {
+		if !labelOK(g, q, v0, graph.VertexID(u)) {
+			continue
+		}
 		for _, w := range g.Neighbors(graph.VertexID(u)) {
+			if !labelOK(g, q, v1, w) {
+				continue
+			}
 			row := []graph.VertexID{graph.VertexID(u), w}
 			if checkOrderWith(q, []int{v0}, row[:1], v1, w) && checkOrderWith(q, nil, nil, v0, graph.VertexID(u)) {
 				initial = append(initial, graph.VertexID(u), w)
@@ -143,7 +149,7 @@ func bigjoinExpand(g *graph.Graph, q *query.Query, part graph.Partitioner, order
 		for mi := range tasks {
 			for _, t := range tasks[mi] {
 				for _, c := range t.cands {
-					if containsVal(t.row, c) {
+					if containsVal(t.row, c) || !labelOK(g, q, target, c) {
 						continue
 					}
 					if !checkOrderWith(q, cur.layout, t.row, target, c) {

@@ -87,6 +87,15 @@ func checkOrderWith(q *query.Query, layout []int, row []graph.VertexID, v int, c
 	return true
 }
 
+// labelOK reports whether data vertex c may be matched to query vertex v
+// under q's label constraints. An unlabelled data graph behaves as
+// uniformly label-0, mirroring the engine's semantics, so every executor
+// and the oracle agree on labelled queries over any graph.
+func labelOK(g *graph.Graph, q *query.Query, v int, c graph.VertexID) bool {
+	l := q.Label(v)
+	return l < 0 || int(g.Label(c)) == l
+}
+
 func containsVal(row []graph.VertexID, c graph.VertexID) bool {
 	for _, u := range row {
 		if u == c {

@@ -26,7 +26,9 @@ func GroundTruthCount(g *graph.Graph, q *query.Query) uint64 {
 
 // GroundTruthEnumerate calls fn for every match (indexed by query vertex);
 // fn returning false stops the enumeration. The match slice is reused
-// across calls.
+// across calls. Label constraints are honoured — the oracle cross-checks
+// labelled configurations exactly like unlabelled ones — and the first
+// matched vertex seeds from the graph's per-label index when constrained.
 func GroundTruthEnumerate(g *graph.Graph, q *query.Query, fn func(match []graph.VertexID) bool) {
 	order := plan.MatchingOrder(q)
 	n := q.NumVertices()
@@ -63,15 +65,19 @@ func GroundTruthEnumerate(g *graph.Graph, q *query.Query, fn func(match []graph.
 		var cands []graph.VertexID
 		if len(lists) == 0 {
 			// Only the first vertex in a connected order has no matched
-			// neighbour.
-			for c := 0; c < g.NumVertices(); c++ {
-				cands = append(cands, graph.VertexID(c))
+			// neighbour; seed it from the per-label index when constrained.
+			if l := q.Label(v); l >= 0 && g.Labeled() {
+				cands = g.VerticesWithLabel(graph.LabelID(l))
+			} else {
+				for c := 0; c < g.NumVertices(); c++ {
+					cands = append(cands, graph.VertexID(c))
+				}
 			}
 		} else {
 			cands = graph.IntersectMany(lists, &scratches[depth])
 		}
 		for _, c := range cands {
-			if used[c] {
+			if used[c] || !labelOK(g, q, v, c) {
 				continue
 			}
 			okOrder := true

@@ -1,0 +1,46 @@
+package baseline
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/metrics"
+	"repro/internal/query"
+)
+
+// Every baseline executor must honour label constraints, so the oracle can
+// cross-check labelled configurations against all of them.
+func TestBaselinesHonourLabels(t *testing.T) {
+	lg := gen.ZipfLabels(gen.PowerLaw(400, 3, 5), 6, 1.6, 3)
+	queries := []*query.Query{
+		query.Triangle().WithVertexLabels([]int{0, 0, 0}),
+		query.Triangle().WithVertexLabels([]int{1, query.AnyLabel, 1}),
+		query.Q1().WithVertexLabels([]int{0, 1, 0, query.AnyLabel}),
+	}
+	for _, q := range queries {
+		want := GroundTruthCount(lg, q)
+		m := func() *metrics.Metrics { return &metrics.Metrics{} }
+		if got := RunBENU(lg, q, BENUConfig{NumMachines: 2, Workers: 2}, m()); got != want {
+			t.Errorf("BENU %s: %d, want %d", q, got, want)
+		}
+		if got, err := RunBiGJoin(lg, q, BiGJoinConfig{NumMachines: 2}, m()); err != nil || got != want {
+			t.Errorf("BiGJoin %s: %d (%v), want %d", q, got, err, want)
+		}
+		if got, err := RunRADS(lg, q, RADSConfig{NumMachines: 2}, m()); err != nil || got != want {
+			t.Errorf("RADS %s: %d (%v), want %d", q, got, err, want)
+		}
+		if got, err := RunSEED(lg, q, SEEDConfig{NumMachines: 2}, m()); err != nil || got != want {
+			t.Errorf("SEED %s: %d (%v), want %d", q, got, err, want)
+		}
+	}
+	// A label absent from the graph matches nothing, also on an unlabelled
+	// graph (implicit uniform label 0).
+	none := query.Triangle().WithVertexLabels([]int{5, query.AnyLabel, 5})
+	plain := gen.PowerLaw(200, 3, 5)
+	if got := GroundTruthCount(plain, none); got != 0 {
+		t.Errorf("label-5 triangle on unlabelled graph: %d, want 0", got)
+	}
+	if got := GroundTruthCount(plain, query.Triangle().WithVertexLabels([]int{0, 0, 0})); got != GroundTruthCount(plain, query.Triangle()) {
+		t.Error("label-0 triangle on unlabelled graph differs from unlabelled count")
+	}
+}

@@ -110,7 +110,7 @@ func radsGroup(g *graph.Graph, q *query.Query, part graph.Partitioner, units []u
 		}
 		v := layout[depth]
 		for _, c := range nbrs {
-			if containsVal(row[:depth], c) || !checkOrderWith(q, layout[:depth], row[:depth], v, c) {
+			if containsVal(row[:depth], c) || !labelOK(g, q, v, c) || !checkOrderWith(q, layout[:depth], row[:depth], v, c) {
 				continue
 			}
 			row[depth] = c
@@ -121,7 +121,7 @@ func radsGroup(g *graph.Graph, q *query.Query, part graph.Partitioner, units []u
 		return nil
 	}
 	for _, u := range pivots {
-		if !checkOrderWith(q, nil, nil, root, u) {
+		if !labelOK(g, q, root, u) || !checkOrderWith(q, nil, nil, root, u) {
 			continue
 		}
 		row[0] = u
@@ -184,7 +184,7 @@ func radsGroup(g *graph.Graph, q *query.Query, part graph.Partitioner, units []u
 					}
 					v := nextLayout[depth]
 					for _, c := range nbrs {
-						if containsVal(out[:depth], c) || !checkOrderWith(q, nextLayout[:depth], out[:depth], v, c) {
+						if containsVal(out[:depth], c) || !labelOK(g, q, v, c) || !checkOrderWith(q, nextLayout[:depth], out[:depth], v, c) {
 							continue
 						}
 						out[depth] = c

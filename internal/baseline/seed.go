@@ -224,7 +224,7 @@ func seedStar(g *graph.Graph, q *query.Query, part graph.Partitioner, em uint32,
 		}
 		v := layout[depth]
 		for _, c := range g.Neighbors(u) {
-			if containsVal(row[:depth], c) {
+			if containsVal(row[:depth], c) || !labelOK(g, q, v, c) {
 				continue
 			}
 			if !checkOrderWith(q, layout[:depth], row[:depth], v, c) {
@@ -239,7 +239,7 @@ func seedStar(g *graph.Graph, q *query.Query, part graph.Partitioner, em uint32,
 	}
 	for u := 0; u < g.NumVertices(); u++ {
 		uu := graph.VertexID(u)
-		if !checkOrderWith(q, nil, nil, root, uu) {
+		if !labelOK(g, q, root, uu) || !checkOrderWith(q, nil, nil, root, uu) {
 			continue
 		}
 		row[0] = uu

@@ -33,9 +33,17 @@ type NewFilter struct {
 // with u matched to query vertex QA (slot 0) and v to QB (slot 1), subject
 // to Filters. Every data edge is emitted in both directions unless a filter
 // prunes one.
+//
+// LabelA / LabelB constrain the data labels of the two endpoints (-1 = any
+// label). A label-constrained scan seeds from the graph's per-label vertex
+// index instead of the machine's full vertex range. Note the zero value is
+// label 0, which every vertex of an unlabelled graph carries — harmless
+// there, a genuine constraint on labelled graphs; the planner always sets
+// both fields explicitly.
 type EdgeScan struct {
-	QA, QB  int
-	Filters []OrderFilter
+	QA, QB         int
+	LabelA, LabelB int
+	Filters        []OrderFilter
 }
 
 // Extend is the PULL-EXTEND operator (Section 4.4). For each input tuple p
@@ -50,8 +58,13 @@ type Extend struct {
 	ExtSlots   []int
 	TargetQV   int
 	VerifySlot int
-	NewFilters []NewFilter
-	OutLayout  []int // query vertex held by each output slot
+	// TargetLabel constrains the data label of the newly matched vertex
+	// (-1 = any). Candidates failing it are dropped before injectivity and
+	// order filtering, in both the materialising and the compressed
+	// counting path. Same zero-value caveat as EdgeScan.LabelA.
+	TargetLabel int
+	NewFilters  []NewFilter
+	OutLayout   []int // query vertex held by each output slot
 }
 
 // IsVerify reports whether this extend only verifies connectivity.
@@ -181,7 +194,7 @@ func (d *Dataflow) String() string {
 	for _, s := range d.Stages {
 		fmt.Fprintf(&sb, "stage %d:", s.ID)
 		if s.Scan != nil {
-			fmt.Fprintf(&sb, " SCAN(v%d-v%d)", s.Scan.QA+1, s.Scan.QB+1)
+			fmt.Fprintf(&sb, " SCAN(v%d%s-v%d%s)", s.Scan.QA+1, labelSuffix(s.Scan.LabelA), s.Scan.QB+1, labelSuffix(s.Scan.LabelB))
 		} else {
 			j := s.JoinSrc
 			fmt.Fprintf(&sb, " PUSH-JOIN(stages %d⋈%d)", j.LeftStage, j.RightStage)
@@ -190,7 +203,7 @@ func (d *Dataflow) String() string {
 			if e.IsVerify() {
 				fmt.Fprintf(&sb, " -> VERIFY(%v)", e.ExtSlots)
 			} else {
-				fmt.Fprintf(&sb, " -> PULL-EXTEND(%v=>v%d)", e.ExtSlots, e.TargetQV+1)
+				fmt.Fprintf(&sb, " -> PULL-EXTEND(%v=>v%d%s)", e.ExtSlots, e.TargetQV+1, labelSuffix(e.TargetLabel))
 			}
 		}
 		if s.Terminal.Sink {
@@ -201,4 +214,12 @@ func (d *Dataflow) String() string {
 		sb.WriteString("\n")
 	}
 	return sb.String()
+}
+
+// labelSuffix renders a label constraint for String (empty for wildcards).
+func labelSuffix(l int) string {
+	if l < 0 {
+		return ""
+	}
+	return fmt.Sprintf(":L%d", l)
 }

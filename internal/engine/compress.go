@@ -111,6 +111,10 @@ func (r *machineRun) countIntersect(e *dataflow.Extend, b *dataflow.Batch, twoSt
 }
 
 func (r *machineRun) countChunk(e *dataflow.Extend, c *dataflow.Batch, twoStage bool) (uint64, error) {
+	labels, impossible := r.targetLabels(e.TargetLabel)
+	if impossible {
+		return 0, nil
+	}
 	var lists [][]graph.VertexID
 	var isect graph.IntersectScratch
 	var total uint64
@@ -133,7 +137,7 @@ func (r *machineRun) countChunk(e *dataflow.Extend, c *dataflow.Batch, twoStage 
 			continue
 		}
 		cand := graph.IntersectMany(lists, &isect)
-		if len(e.NewFilters) == 0 {
+		if len(e.NewFilters) == 0 && labels == nil {
 			// Fast path: count candidates, subtract the ones that collide
 			// with matched vertices (candidate lists are sorted sets, so a
 			// matched vertex appears at most once).
@@ -148,6 +152,9 @@ func (r *machineRun) countChunk(e *dataflow.Extend, c *dataflow.Batch, twoStage 
 		}
 	candidates:
 		for _, v := range cand {
+			if labels != nil && int(labels[v]) != e.TargetLabel {
+				continue
+			}
 			for _, u := range row {
 				if u == v {
 					continue candidates

@@ -2,7 +2,7 @@ package engine
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"sync"
 	"time"
 
@@ -76,7 +76,7 @@ func (r *machineRun) fetchStage(e *dataflow.Extend, b *dataflow.Batch) error {
 	}
 	// Deterministic request order helps tests; sort each owner's list.
 	for owner, vids := range byOwner {
-		sort.Slice(vids, func(i, j int) bool { return vids[i] < vids[j] })
+		slices.Sort(vids)
 		for lo := 0; lo < len(vids); lo += maxRPCBatch {
 			hi := lo + maxRPCBatch
 			if hi > len(vids) {
@@ -190,6 +190,22 @@ func closeScratch(sc *extendScratch) []*dataflow.Batch {
 	return sc.outs
 }
 
+// targetLabels resolves label filtering for a PULL-EXTEND target
+// constraint: (nil, false) when no per-candidate check is needed — a
+// wildcard, or label 0 on an unlabelled graph, which every vertex carries
+// implicitly — (labels, false) for a real check against the replicated
+// label array, and (nil, true) when the constraint can never be satisfied
+// (a non-zero label on an unlabelled graph).
+func (r *machineRun) targetLabels(target int) ([]graph.LabelID, bool) {
+	if target < 0 {
+		return nil, false
+	}
+	if g := r.m.Part.Graph(); g.Labeled() {
+		return g.Labels(), false
+	}
+	return nil, target != 0
+}
+
 // neighborsFor resolves adjacency during intersection: local partition,
 // sealed cache entry (two-stage), or an on-demand locked fetch (Cncr-LRU).
 func (r *machineRun) neighborsFor(v graph.VertexID, twoStage bool) ([]graph.VertexID, error) {
@@ -204,13 +220,18 @@ func (r *machineRun) neighborsFor(v graph.VertexID, twoStage bool) ([]graph.Vert
 }
 
 // extendChunk applies the extend to every row of one chunk, appending
-// results to the worker's scratch batches.
+// results to the worker's scratch batches. A target-label constraint drops
+// candidates before the injectivity and symmetry-breaking checks.
 func (r *machineRun) extendChunk(e *dataflow.Extend, c *dataflow.Batch, twoStage bool, sc *extendScratch) {
 	eng := r.ex.eng
 	outWidth := len(e.OutLayout)
 	maxRows := eng.cfg.BatchRows
 	if sc.out == nil {
 		sc.out = dataflow.NewBatch(outWidth, maxRows)
+	}
+	labels, impossible := r.targetLabels(e.TargetLabel)
+	if impossible {
+		return // the constrained label cannot occur in this graph
 	}
 	for i := 0; i < c.Rows(); i++ {
 		row := c.Row(i)
@@ -244,6 +265,10 @@ func (r *machineRun) extendChunk(e *dataflow.Extend, c *dataflow.Batch, twoStage
 		}
 	candidates:
 		for _, v := range cand {
+			// Label constraint on the newly matched vertex.
+			if labels != nil && int(labels[v]) != e.TargetLabel {
+				continue
+			}
 			// Injectivity: the new vertex must differ from every matched one.
 			for _, u := range row {
 				if u == v {

@@ -168,19 +168,32 @@ func (r *machineRun) loop() {
 	if r.ex.eng.cfg.LoadBalance != LBSteal || len(r.ex.runs) == 1 {
 		return
 	}
+	// Idle backoff: when no victim has stealable work, sleep with
+	// exponential growth (reset on a successful steal) instead of spinning
+	// at a fixed 100µs — under high-concurrency serving, dozens of idle
+	// machine loops polling flat-out burn CPU that concurrent queries need.
+	const (
+		idleMin = 100 * time.Microsecond
+		idleMax = time.Millisecond
+	)
+	idle := idleMin
 	for !r.ex.done() {
 		if r.ex.firstErrFast() != nil {
 			r.drainOnError()
 			return
 		}
 		if r.stealOnce() {
+			idle = idleMin
 			if err := r.run(); err != nil {
 				r.ex.setErr(err)
 				r.drainOnError()
 				return
 			}
 		} else {
-			time.Sleep(100 * time.Microsecond)
+			time.Sleep(idle)
+			if idle *= 2; idle > idleMax {
+				idle = idleMax
+			}
 		}
 	}
 }

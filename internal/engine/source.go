@@ -15,17 +15,44 @@ type sourceIter interface {
 
 // scanIter implements SCAN(edge): it emits one tuple (u, w) per ordered
 // local edge, with u a local vertex — so the scan output is partitioned
-// exactly like the graph, as Section 4.2 describes.
+// exactly like the graph, as Section 4.2 describes. A label constraint on
+// the scanned vertex seeds the iteration from the graph's per-label vertex
+// index (restricted to locally-owned vertices) instead of the machine's
+// full vertex range; a constraint on the neighbour side filters emitted
+// tuples. Labels are replicated metadata, so neither check communicates.
 type scanIter struct {
 	m       *cluster.MachineExec
 	scan    *dataflow.EdgeScan
 	verts   []graph.VertexID
 	vi, ni  int
 	current []graph.VertexID // neighbours of verts[vi]
+	labels  []graph.LabelID  // nil when the neighbour side is unconstrained
 }
 
 func newScanIter(m *cluster.MachineExec, scan *dataflow.EdgeScan) *scanIter {
-	return &scanIter{m: m, scan: scan, verts: m.Part.LocalVertices()}
+	s := &scanIter{m: m, scan: scan, verts: m.Part.LocalVertices()}
+	g := m.Part.Graph()
+	if scan.LabelA >= 0 && g.Labeled() {
+		// Per-label index seeding: walk only the vertices carrying the
+		// label, keeping the locally-owned ones. For a selective label this
+		// is a small fraction of the partition.
+		indexed := g.VerticesWithLabel(graph.LabelID(scan.LabelA))
+		local := make([]graph.VertexID, 0, len(indexed)/m.Part.P.NumMachines()+1)
+		for _, v := range indexed {
+			if m.Part.Owns(v) {
+				local = append(local, v)
+			}
+		}
+		s.verts = local
+	} else if scan.LabelA > 0 {
+		s.verts = nil // unlabelled graph holds only the implicit label 0
+	}
+	if scan.LabelB >= 0 && g.Labeled() {
+		s.labels = g.Labels()
+	} else if scan.LabelB > 0 {
+		s.verts = nil
+	}
+	return s
 }
 
 func (s *scanIter) nextBatch(maxRows int) (*dataflow.Batch, bool, error) {
@@ -43,6 +70,9 @@ func (s *scanIter) nextBatch(maxRows int) (*dataflow.Batch, bool, error) {
 		for s.ni < len(s.current) && b.Rows() < maxRows {
 			w := s.current[s.ni]
 			s.ni++
+			if s.labels != nil && int(s.labels[w]) != s.scan.LabelB {
+				continue
+			}
 			row[0], row[1] = u, w
 			if passOrderFilters(row, s.scan.Filters) {
 				b.Append(row)

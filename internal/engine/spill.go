@@ -7,7 +7,7 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"sort"
+	"slices"
 	"sync"
 
 	"repro/internal/graph"
@@ -86,10 +86,8 @@ func (r *Relation) sortMem() {
 	for i := range idx {
 		idx[i] = i
 	}
-	sort.Slice(idx, func(i, j int) bool {
-		a := r.mem[idx[i]*r.width : (idx[i]+1)*r.width]
-		b := r.mem[idx[j]*r.width : (idx[j]+1)*r.width]
-		return r.compare(a, b) < 0
+	slices.SortFunc(idx, func(i, j int) int {
+		return r.compare(r.mem[i*r.width:(i+1)*r.width], r.mem[j*r.width:(j+1)*r.width])
 	})
 	sorted := make([]graph.VertexID, 0, len(r.mem))
 	for _, i := range idx {

@@ -132,6 +132,50 @@ func Road(n int, shortcutFrac float64, seed int64) *graph.Graph {
 	return b.Build()
 }
 
+// ZipfLabels returns a labelled twin of g: every vertex is assigned one of
+// numLabels labels drawn from a Zipf distribution with exponent s (s > 1;
+// larger s = more skew). Label 0 is the frequent head and the last label the
+// rare tail, so label-constrained queries span the full selectivity range —
+// exactly the regime where bounded label statistics pay off. The CSR arrays
+// are shared with g, so the twin costs 2 bytes per vertex.
+func ZipfLabels(g *graph.Graph, numLabels int, s float64, seed int64) *graph.Graph {
+	if numLabels < 1 {
+		numLabels = 1
+	}
+	if numLabels > 1<<16 {
+		panic("gen: ZipfLabels supports at most 65536 labels")
+	}
+	if s <= 1 {
+		s = 1.5
+	}
+	rng := rand.New(rand.NewSource(seed))
+	// rand.Zipf draws from [0, imax] with P(k) ∝ (v+k)^-s; v=1 keeps label 0
+	// the mode.
+	z := rand.NewZipf(rng, s, 1, uint64(numLabels-1))
+	labels := make([]graph.LabelID, g.NumVertices())
+	for v := range labels {
+		labels[v] = graph.LabelID(z.Uint64())
+	}
+	return graph.WithLabels(g, labels)
+}
+
+// DefaultNumLabels is the label-alphabet size LabeledByName assigns.
+const DefaultNumLabels = 16
+
+// LabeledByName returns the named stand-in dataset with Zipfian labels
+// attached — the labelled twin of ByName(name, scale). The label seed is
+// derived from the dataset name so twins are deterministic per dataset.
+func LabeledByName(name string, scale, numLabels int) *graph.Graph {
+	if numLabels < 1 {
+		numLabels = DefaultNumLabels
+	}
+	seed := int64(7)
+	for _, c := range name {
+		seed = seed*31 + int64(c)
+	}
+	return ZipfLabels(ByName(name, scale), numLabels, 1.8, seed)
+}
+
 // Dataset names the stand-in datasets used by the benchmark harness, sized
 // to run on one machine while preserving each original's degree profile.
 type Dataset struct {

@@ -1,14 +1,15 @@
 // Package graph provides the in-memory data-graph representation used by
 // every engine in this repository: an undirected graph in compressed sparse
-// row (CSR) format with sorted adjacency lists, plus the hash partitioner
-// that assigns vertices to machines in the simulated cluster.
+// row (CSR) format with sorted adjacency lists, optional vertex labels with
+// a per-label vertex index, plus the hash partitioner that assigns vertices
+// to machines in the simulated cluster.
 package graph
 
 import (
 	"bufio"
 	"fmt"
 	"io"
-	"sort"
+	"slices"
 	"strconv"
 	"strings"
 )
@@ -16,15 +17,31 @@ import (
 // VertexID identifies a data-graph vertex. IDs are dense in [0, NumVertices).
 type VertexID = uint32
 
+// LabelID identifies a vertex label. Labels are dense in [0, NumLabels).
+// The compact 16-bit representation keeps the label array at 2 bytes per
+// vertex; an unlabelled graph behaves as if every vertex carried label 0.
+type LabelID = uint16
+
 // Graph is an immutable undirected graph in CSR format. Adjacency lists are
 // sorted ascending and contain no self-loops or duplicate edges. A Graph is
 // safe for concurrent readers.
+//
+// A Graph may optionally carry one label per vertex. Labels are metadata
+// replicated on every simulated machine (they are tiny compared to the CSR
+// arrays), so engines may consult them for any vertex without an RPC. The
+// per-label vertex index makes "all vertices with label l" an O(1) slice
+// lookup, which label-constrained SCAN sources seed from.
 type Graph struct {
 	offsets []uint64
 	adj     []VertexID
 	numV    int
 	numE    uint64 // undirected edge count; len(adj) == 2*numE
 	maxDeg  int
+
+	labels     []LabelID  // nil for unlabelled graphs
+	labelOff   []uint32   // CSR offsets into labelVerts; len numLabels+1
+	labelVerts []VertexID // vertices grouped by label, ascending within a label
+	numLabels  int        // 1 for unlabelled graphs (the implicit label 0)
 }
 
 // NumVertices returns the number of vertices.
@@ -66,8 +83,105 @@ func (g *Graph) HasEdge(u, v VertexID) bool {
 
 // SizeBytes returns the in-memory size of the CSR arrays, used as |E_G| in
 // the optimiser's pulling-cost term and for cache-capacity budgeting.
+// Labels are excluded: they are replicated metadata, not partitioned
+// adjacency data, so they affect neither pulling cost nor cache budgets.
 func (g *Graph) SizeBytes() uint64 {
 	return uint64(len(g.offsets))*8 + uint64(len(g.adj))*4
+}
+
+// Labeled reports whether the graph carries an explicit vertex labelling.
+func (g *Graph) Labeled() bool { return g.labels != nil }
+
+// NumLabels returns the number of distinct label IDs (max label + 1).
+// An unlabelled graph reports 1: every vertex implicitly carries label 0.
+func (g *Graph) NumLabels() int {
+	if g.labels == nil {
+		return 1
+	}
+	return g.numLabels
+}
+
+// Label returns the label of v (0 for every vertex of an unlabelled graph).
+func (g *Graph) Label(v VertexID) LabelID {
+	if g.labels == nil {
+		return 0
+	}
+	return g.labels[v]
+}
+
+// Labels returns the per-vertex label array, or nil for an unlabelled
+// graph. The returned slice aliases internal storage; do not modify.
+func (g *Graph) Labels() []LabelID { return g.labels }
+
+// LabelCount returns the number of vertices carrying label l. For an
+// unlabelled graph every vertex carries the implicit label 0.
+func (g *Graph) LabelCount(l LabelID) int {
+	if g.labels == nil {
+		if l == 0 {
+			return g.numV
+		}
+		return 0
+	}
+	if int(l) >= g.numLabels {
+		return 0
+	}
+	return int(g.labelOff[l+1] - g.labelOff[l])
+}
+
+// VerticesWithLabel returns the ascending vertex list for label l — the
+// per-label index that label-constrained scans seed from. It returns nil
+// for an unlabelled graph (callers fall back to the full vertex range) and
+// an empty slice for a label no vertex carries. Do not modify.
+func (g *Graph) VerticesWithLabel(l LabelID) []VertexID {
+	if g.labels == nil {
+		return nil
+	}
+	if int(l) >= g.numLabels {
+		return g.labelVerts[:0]
+	}
+	return g.labelVerts[g.labelOff[l]:g.labelOff[l+1]]
+}
+
+// WithLabels returns a labelled view of g: a new Graph sharing g's CSR
+// arrays with the given per-vertex labels attached (len(labels) must equal
+// g.NumVertices()). The original graph is untouched, so every synthetic
+// dataset gets a labelled twin without copying adjacency.
+func WithLabels(g *Graph, labels []LabelID) *Graph {
+	if len(labels) != g.numV {
+		panic(fmt.Sprintf("graph: WithLabels got %d labels for %d vertices", len(labels), g.numV))
+	}
+	ng := &Graph{offsets: g.offsets, adj: g.adj, numV: g.numV, numE: g.numE, maxDeg: g.maxDeg}
+	ng.attachLabels(append([]LabelID(nil), labels...))
+	return ng
+}
+
+// attachLabels stores the label array and builds the per-label CSR index
+// (counting sort by label, ascending vertex ID within each label) plus the
+// label-frequency view the optimiser's statistics consume.
+func (g *Graph) attachLabels(labels []LabelID) {
+	g.labels = labels
+	maxL := LabelID(0)
+	for _, l := range labels {
+		if l > maxL {
+			maxL = l
+		}
+	}
+	g.numLabels = int(maxL) + 1
+	off := make([]uint32, g.numLabels+1)
+	for _, l := range labels {
+		off[l+1]++
+	}
+	for i := 1; i <= g.numLabels; i++ {
+		off[i] += off[i-1]
+	}
+	verts := make([]VertexID, len(labels))
+	cursor := append([]uint32(nil), off[:g.numLabels]...)
+	for v, l := range labels {
+		verts[cursor[l]] = VertexID(v)
+		cursor[l]++
+	}
+	g.labelOff = off
+	g.labelVerts = verts
 }
 
 // Builder accumulates edges and produces a Graph. The zero value is ready to
@@ -76,12 +190,29 @@ type Builder struct {
 	src, dst []VertexID
 	maxID    VertexID
 	hasEdge  bool
-	numFixed int // explicit vertex count, if set
+	numFixed int       // explicit vertex count, if set
+	labels   []LabelID // sparse until Build; missing entries default to 0
+	labelled bool
 }
 
 // SetNumVertices forces the vertex count (useful when trailing vertices are
 // isolated). Build panics if an edge references a vertex >= n.
 func (b *Builder) SetNumVertices(n int) { b.numFixed = n }
+
+// SetLabel records the label of v. Calling it at least once makes the built
+// graph labelled; vertices never assigned a label default to label 0.
+func (b *Builder) SetLabel(v VertexID, l LabelID) {
+	b.labelled = true
+	if int(v) >= len(b.labels) {
+		grown := make([]LabelID, v+1)
+		copy(grown, b.labels)
+		b.labels = grown
+	}
+	b.labels[v] = l
+	if v > b.maxID {
+		b.maxID = v
+	}
+}
 
 // AddEdge records the undirected edge (u, v). Self-loops are ignored.
 func (b *Builder) AddEdge(u, v VertexID) {
@@ -102,7 +233,7 @@ func (b *Builder) AddEdge(u, v VertexID) {
 // Build finalises the CSR structure. The Builder must not be reused after.
 func (b *Builder) Build() *Graph {
 	n := 0
-	if b.hasEdge {
+	if b.hasEdge || b.labelled {
 		n = int(b.maxID) + 1
 	}
 	if b.numFixed > 0 {
@@ -138,7 +269,7 @@ func (b *Builder) Build() *Graph {
 	for v := 0; v < n; v++ {
 		lo, hi := deg[v], deg[v+1]
 		seg := adj[lo:hi]
-		sort.Slice(seg, func(i, j int) bool { return seg[i] < seg[j] })
+		slices.Sort(seg)
 		offsets[v] = w
 		var last VertexID
 		first := true
@@ -156,7 +287,17 @@ func (b *Builder) Build() *Graph {
 	}
 	offsets[n] = w
 	adj = adj[:w:w]
-	return &Graph{offsets: offsets, adj: adj, numV: n, numE: w / 2, maxDeg: maxDeg}
+	g := &Graph{offsets: offsets, adj: adj, numV: n, numE: w / 2, maxDeg: maxDeg}
+	if b.labelled {
+		labels := b.labels
+		if len(labels) < n {
+			grown := make([]LabelID, n)
+			copy(grown, labels)
+			labels = grown
+		}
+		g.attachLabels(labels[:n:n])
+	}
+	return g
 }
 
 // FromEdges builds a graph from an edge list.
@@ -171,6 +312,19 @@ func FromEdges(edges [][2]VertexID) *Graph {
 // ReadEdgeList parses a whitespace-separated edge list ("u v" per line;
 // lines starting with '#' or '%' are comments) and builds a graph.
 func ReadEdgeList(r io.Reader) (*Graph, error) {
+	return readEdgeList(r, false)
+}
+
+// ReadLabeledEdgeList parses the labelled edge-list format: plain "u v"
+// lines are undirected edges, and lines of the form "v <id> <label>"
+// declare vertex labels ('#'/'%' comments as in ReadEdgeList). A file with
+// no label lines yields an unlabelled graph, so the format is a strict
+// superset of the plain one.
+func ReadLabeledEdgeList(r io.Reader) (*Graph, error) {
+	return readEdgeList(r, true)
+}
+
+func readEdgeList(r io.Reader, labelled bool) (*Graph, error) {
 	var b Builder
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -182,6 +336,21 @@ func ReadEdgeList(r io.Reader) (*Graph, error) {
 			continue
 		}
 		fields := strings.Fields(line)
+		if labelled && fields[0] == "v" {
+			if len(fields) < 3 {
+				return nil, fmt.Errorf("graph: line %d: label line wants \"v <id> <label>\", got %q", lineNo, line)
+			}
+			id, err := strconv.ParseUint(fields[1], 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: %v", lineNo, err)
+			}
+			l, err := strconv.ParseUint(fields[2], 10, 16)
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: %v", lineNo, err)
+			}
+			b.SetLabel(VertexID(id), LabelID(l))
+			continue
+		}
 		if len(fields) < 2 {
 			return nil, fmt.Errorf("graph: line %d: expected two fields, got %q", lineNo, line)
 		}
@@ -201,9 +370,18 @@ func ReadEdgeList(r io.Reader) (*Graph, error) {
 	return b.Build(), nil
 }
 
-// WriteEdgeList writes the graph as "u v" lines with u < v.
+// WriteEdgeList writes the graph as "u v" lines with u < v. For a labelled
+// graph, "v <id> <label>" lines precede the edges (the ReadLabeledEdgeList
+// format); label-0 lines are written too, so the labelling round-trips.
 func (g *Graph) WriteEdgeList(w io.Writer) error {
 	bw := bufio.NewWriter(w)
+	if g.labels != nil {
+		for v, l := range g.labels {
+			if _, err := fmt.Fprintf(bw, "v %d %d\n", v, l); err != nil {
+				return err
+			}
+		}
+	}
 	for v := 0; v < g.numV; v++ {
 		for _, u := range g.Neighbors(VertexID(v)) {
 			if VertexID(v) < u {

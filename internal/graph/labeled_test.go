@@ -1,0 +1,86 @@
+package graph
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestWithLabelsIndex(t *testing.T) {
+	g := FromEdges([][2]VertexID{{0, 1}, {1, 2}, {2, 3}, {3, 0}})
+	if g.Labeled() {
+		t.Fatal("fresh graph reports labelled")
+	}
+	if g.NumLabels() != 1 || g.Label(2) != 0 || g.LabelCount(0) != 4 || g.LabelCount(1) != 0 {
+		t.Fatal("unlabelled graph must behave as uniformly label-0")
+	}
+	if g.VerticesWithLabel(0) != nil {
+		t.Fatal("unlabelled graph should report a nil per-label index")
+	}
+
+	lg := WithLabels(g, []LabelID{2, 0, 2, 1})
+	if !lg.Labeled() || lg.NumLabels() != 3 {
+		t.Fatalf("labelled twin: Labeled=%v NumLabels=%d", lg.Labeled(), lg.NumLabels())
+	}
+	if g.Labeled() {
+		t.Fatal("WithLabels mutated the original graph")
+	}
+	if lg.NumEdges() != g.NumEdges() || lg.MaxDegree() != g.MaxDegree() {
+		t.Fatal("labelled twin changed the structure")
+	}
+	wantCounts := []int{1, 1, 2}
+	for l, want := range wantCounts {
+		if got := lg.LabelCount(LabelID(l)); got != want {
+			t.Errorf("LabelCount(%d) = %d, want %d", l, got, want)
+		}
+	}
+	idx := lg.VerticesWithLabel(2)
+	if len(idx) != 2 || idx[0] != 0 || idx[1] != 2 {
+		t.Errorf("VerticesWithLabel(2) = %v, want [0 2]", idx)
+	}
+	if got := lg.VerticesWithLabel(9); len(got) != 0 {
+		t.Errorf("VerticesWithLabel(9) = %v, want empty", got)
+	}
+}
+
+func TestBuilderSetLabel(t *testing.T) {
+	var b Builder
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.SetLabel(2, 5)
+	b.SetLabel(4, 1) // isolated labelled vertex extends the vertex count
+	g := b.Build()
+	if !g.Labeled() || g.NumVertices() != 5 {
+		t.Fatalf("Labeled=%v NumVertices=%d", g.Labeled(), g.NumVertices())
+	}
+	if g.Label(2) != 5 || g.Label(4) != 1 || g.Label(0) != 0 {
+		t.Fatalf("labels = %v", g.Labels())
+	}
+}
+
+func TestLabeledEdgeListRoundTrip(t *testing.T) {
+	g := WithLabels(FromEdges([][2]VertexID{{0, 1}, {1, 2}, {2, 0}}), []LabelID{7, 0, 7})
+	var buf bytes.Buffer
+	if err := g.WriteEdgeList(&buf); err != nil {
+		t.Fatal(err)
+	}
+	r, err := ReadLabeledEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Labeled() || r.NumVertices() != 3 || r.NumEdges() != 3 {
+		t.Fatalf("round trip lost shape: labelled=%v v=%d e=%d", r.Labeled(), r.NumVertices(), r.NumEdges())
+	}
+	for v := 0; v < 3; v++ {
+		if r.Label(VertexID(v)) != g.Label(VertexID(v)) {
+			t.Errorf("label of %d changed: %d vs %d", v, r.Label(VertexID(v)), g.Label(VertexID(v)))
+		}
+	}
+	// The labelled reader accepts plain edge lists unchanged.
+	plain, err := ReadLabeledEdgeList(bytes.NewReader([]byte("0 1\n1 2\n")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Labeled() {
+		t.Error("plain edge list loaded as labelled")
+	}
+}

@@ -21,6 +21,50 @@ type GraphStats struct {
 	M       uint64    // undirected edges
 	Moments []float64 // Moments[k] = Σ_v d(v)^k, for k = 0..MaxVertices-1
 	MaxDeg  int
+	// LabelCounts[l] is the number of vertices carrying label l; nil for
+	// unlabelled graphs. The optimiser multiplies a sub-query's estimate by
+	// each constrained vertex's label selectivity, which is what makes
+	// rare-label-first plans fall out of the dynamic program.
+	LabelCounts []float64
+}
+
+// LabelShare returns the fraction of vertices carrying label l, treating an
+// unlabelled graph as uniformly label-0. A label no vertex carries reports
+// a half-vertex share rather than zero so costs stay finite and ordered.
+func (s GraphStats) LabelShare(l int) float64 {
+	if s.N == 0 {
+		return 1
+	}
+	if s.LabelCounts == nil {
+		if l == 0 {
+			return 1
+		}
+		return 0.5 / float64(s.N)
+	}
+	cnt := 0.0
+	if l >= 0 && l < len(s.LabelCounts) {
+		cnt = s.LabelCounts[l]
+	}
+	return math.Max(cnt, 0.5) / float64(s.N)
+}
+
+// labelSelectivity is the product of label shares over the constrained
+// vertices covered by edge mask em — the factor by which label constraints
+// shrink a sub-query's match estimate under label/structure independence.
+func labelSelectivity(s GraphStats, q *query.Query, em uint32) float64 {
+	if !q.Labeled() {
+		return 1
+	}
+	sel := 1.0
+	vm := q.VerticesOfEdgeMask(em)
+	for vm != 0 {
+		v := bits.TrailingZeros32(vm)
+		vm &= vm - 1
+		if l := q.Label(v); l >= 0 {
+			sel *= s.LabelShare(l)
+		}
+	}
+	return sel
 }
 
 // Fingerprint returns a version hash of the statistics: plan-cache keys
@@ -37,6 +81,12 @@ func (s GraphStats) Fingerprint() uint64 {
 	mix(uint64(s.MaxDeg))
 	for _, m := range s.Moments {
 		mix(math.Float64bits(m))
+	}
+	// Label frequencies participate only when present, so an unlabelled
+	// graph's fingerprint is unchanged from the label-free format and a
+	// labelled twin never shares plan-cache entries with its base graph.
+	for _, c := range s.LabelCounts {
+		mix(math.Float64bits(c))
 	}
 	return h
 }
@@ -57,6 +107,12 @@ func ComputeStats(g *graph.Graph) GraphStats {
 			p *= d
 		}
 	}
+	if g.Labeled() {
+		s.LabelCounts = make([]float64, g.NumLabels())
+		for l := range s.LabelCounts {
+			s.LabelCounts[l] = float64(g.LabelCount(graph.LabelID(l)))
+		}
+	}
 	return s
 }
 
@@ -67,7 +123,11 @@ func ComputeStats(g *graph.Graph) GraphStats {
 //	Π_{v ∈ V_H} m_{deg_H(v)} / m_1^{|E_H|},   m_k = Σ_i d_i^k.
 //
 // This captures degree skew — the dominant effect in the paper's datasets —
-// and reduces to the Erdős–Rényi estimate on regular graphs.
+// and reduces to the Erdős–Rényi estimate on regular graphs. Each
+// label-constrained vertex covered by em further multiplies the estimate by
+// its label's frequency share (independence of labels and structure), so
+// sub-queries anchored on rare labels cost orders of magnitude less and the
+// optimiser starts plans from them.
 func MomentEstimator(stats GraphStats) CardFunc {
 	return func(q *query.Query, em uint32) float64 {
 		if em == 0 {
@@ -91,7 +151,7 @@ func MomentEstimator(stats GraphStats) CardFunc {
 			}
 		}
 		logEst -= float64(edges) * math.Log(math.Max(stats.Moments[1], 2))
-		est := math.Exp(logEst)
+		est := math.Exp(logEst) * labelSelectivity(stats, q, em)
 		if est < 1 {
 			return 1
 		}
@@ -120,7 +180,7 @@ func ERRandomGraphEstimator(stats GraphStats) CardFunc {
 			logEst += math.Log(n - float64(i))
 		}
 		logEst += float64(e) * math.Log(math.Max(p, 1e-300))
-		est := math.Exp(logEst)
+		est := math.Exp(logEst) * labelSelectivity(stats, q, em)
 		if est < 1 {
 			return 1
 		}

@@ -1,0 +1,106 @@
+package plan
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/query"
+)
+
+func labeledStats(t *testing.T) (GraphStats, GraphStats) {
+	t.Helper()
+	base := gen.PowerLaw(2000, 4, 9)
+	lg := gen.ZipfLabels(base, 8, 1.8, 11)
+	return ComputeStats(base), ComputeStats(lg)
+}
+
+func TestStatsLabelCountsAndFingerprint(t *testing.T) {
+	unlab, lab := labeledStats(t)
+	if unlab.LabelCounts != nil {
+		t.Fatal("unlabelled stats carry label counts")
+	}
+	if len(lab.LabelCounts) == 0 {
+		t.Fatal("labelled stats missing label counts")
+	}
+	total := 0.0
+	for _, c := range lab.LabelCounts {
+		total += c
+	}
+	if int(total) != lab.N {
+		t.Fatalf("label counts sum to %v, want %d", total, lab.N)
+	}
+	if unlab.Fingerprint() == lab.Fingerprint() {
+		t.Error("labelled twin shares the unlabelled stats fingerprint")
+	}
+	if lab.LabelShare(0) <= lab.LabelShare(7) {
+		t.Errorf("Zipf head share %v not above tail share %v", lab.LabelShare(0), lab.LabelShare(7))
+	}
+}
+
+func TestMomentEstimatorLabelSelectivity(t *testing.T) {
+	_, lab := labeledStats(t)
+	card := MomentEstimator(lab)
+	tri := query.Triangle()
+	full := tri.FullEdgeMask()
+	unconstrained := card(tri, full)
+	rare := tri.WithVertexLabels([]int{7, 7, 7})
+	if got := card(rare, full); got >= unconstrained {
+		t.Errorf("rare-label triangle estimate %g not below unconstrained %g", got, unconstrained)
+	}
+	// The more selective the signature, the smaller the estimate.
+	oneRare := card(tri.WithVertexLabels([]int{query.AnyLabel, query.AnyLabel, 7}), full)
+	allRare := card(rare, full)
+	if allRare > oneRare {
+		t.Errorf("fully constrained estimate %g above singly constrained %g", allRare, oneRare)
+	}
+	er := ERRandomGraphEstimator(lab)
+	if er(rare, full) >= er(tri, full) {
+		t.Error("ER estimator ignores label selectivity")
+	}
+}
+
+func TestMatchingOrderStatsRareLabelFirst(t *testing.T) {
+	_, lab := labeledStats(t)
+	// 3-path with the rare label on an endpoint: the labelled order must
+	// start there, the unlabelled one at the high-degree centre.
+	p := query.New("p3", [][2]int{{0, 1}, {1, 2}})
+	if MatchingOrder(p)[0] != 1 {
+		t.Fatalf("unlabelled 3-path order starts at %d, want centre 1", MatchingOrder(p)[0])
+	}
+	lp := p.WithVertexLabels([]int{query.AnyLabel, query.AnyLabel, 7})
+	if got := MatchingOrderStats(lp, lab)[0]; got != 2 {
+		t.Errorf("labelled order starts at %d, want rare-label vertex 2", got)
+	}
+	// Zero stats keep the label-free behaviour.
+	if got := MatchingOrderStats(lp, GraphStats{})[0]; got != 1 {
+		t.Errorf("zero-stats order starts at %d, want 1", got)
+	}
+}
+
+func TestTranslateSetsLabelFields(t *testing.T) {
+	_, lab := labeledStats(t)
+	q := query.Triangle().WithVertexLabels([]int{2, 5, query.AnyLabel})
+	p := Optimize(q, Config{NumMachines: 2, GraphEdges: 1000, Card: MomentEstimator(lab)})
+	df, err := Translate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every scanned/extended query vertex must carry its constraint.
+	for _, st := range df.Stages {
+		if st.Scan != nil {
+			if st.Scan.LabelA != q.Label(st.Scan.QA) || st.Scan.LabelB != q.Label(st.Scan.QB) {
+				t.Errorf("scan labels (%d,%d) for (v%d,v%d), want (%d,%d)",
+					st.Scan.LabelA, st.Scan.LabelB, st.Scan.QA+1, st.Scan.QB+1,
+					q.Label(st.Scan.QA), q.Label(st.Scan.QB))
+			}
+		}
+		for _, e := range st.Extends {
+			if e.IsVerify() {
+				continue
+			}
+			if e.TargetLabel != q.Label(e.TargetQV) {
+				t.Errorf("extend to v%d has label %d, want %d", e.TargetQV+1, e.TargetLabel, q.Label(e.TargetQV))
+			}
+		}
+	}
+}

@@ -19,12 +19,31 @@ import (
 // with the most already-matched neighbours (ties: higher degree, then lower
 // ID). Every prefix is connected.
 func MatchingOrder(q *query.Query) []int {
+	return MatchingOrderStats(q, GraphStats{})
+}
+
+// MatchingOrderStats is MatchingOrder informed by label frequencies:
+// rare-label-first. The start vertex minimises its label share (the
+// fraction of data vertices that can seed it) with degree as the
+// tie-breaker, and each greedy step still maximises matched-neighbour
+// count (connectivity dominates — every extension is an intersection) but
+// breaks ties toward the rarer label before the higher degree. With zero
+// stats (or an unlabelled query) every label share is 1 and the order is
+// identical to the label-free heuristic.
+func MatchingOrderStats(q *query.Query, stats GraphStats) []int {
 	n := q.NumVertices()
+	share := func(v int) float64 {
+		l := q.Label(v)
+		if l < 0 || stats.N == 0 {
+			return 1
+		}
+		return stats.LabelShare(l)
+	}
 	order := make([]int, 0, n)
 	matched := make([]bool, n)
 	start := 0
 	for v := 1; v < n; v++ {
-		if q.Degree(v) > q.Degree(start) {
+		if share(v) < share(start) || (share(v) == share(start) && q.Degree(v) > q.Degree(start)) {
 			start = v
 		}
 	}
@@ -45,7 +64,12 @@ func MatchingOrder(q *query.Query) []int {
 			if conn == 0 {
 				continue
 			}
-			if conn > bestConn || (conn == bestConn && q.Degree(v) > q.Degree(best)) {
+			better := conn > bestConn
+			if conn == bestConn {
+				sv, sb := share(v), share(best)
+				better = sv < sb || (sv == sb && q.Degree(v) > q.Degree(best))
+			}
+			if better {
 				best, bestConn = v, conn
 			}
 		}
@@ -138,6 +162,12 @@ func BENUPlan(q *query.Query) *Plan {
 func HugeWcoPlan(q *query.Query) *Plan {
 	p := &Plan{Q: q, Root: leftDeepWco(q, MatchingOrder(q), Pulling), Name: "huge-wco"}
 	return p
+}
+
+// HugeWcoPlanStats is HugeWcoPlan with a label-frequency-informed matching
+// order (rare-label-first); identical to HugeWcoPlan for unlabelled queries.
+func HugeWcoPlanStats(q *query.Query, stats GraphStats) *Plan {
+	return &Plan{Q: q, Root: leftDeepWco(q, MatchingOrderStats(q, stats), Pulling), Name: "huge-wco"}
 }
 
 // starDecomposition covers the query with stars in RADS's "star-expand"

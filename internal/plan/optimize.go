@@ -3,7 +3,7 @@ package plan
 import (
 	"math"
 	"math/bits"
-	"sort"
+	"slices"
 
 	"repro/internal/query"
 )
@@ -56,12 +56,11 @@ func Optimize(q *query.Query, cfg Config) *Plan {
 			masks = append(masks, em)
 		}
 	}
-	sort.Slice(masks, func(i, j int) bool {
-		ci, cj := bits.OnesCount32(masks[i]), bits.OnesCount32(masks[j])
-		if ci != cj {
-			return ci < cj
+	slices.SortFunc(masks, func(a, b uint32) int {
+		if ca, cb := bits.OnesCount32(a), bits.OnesCount32(b); ca != cb {
+			return ca - cb
 		}
-		return masks[i] < masks[j]
+		return int(a) - int(b)
 	})
 
 	type entry struct {

@@ -90,7 +90,10 @@ func (t *translator) scanStar(em uint32) (*openPipe, error) {
 	if !ok {
 		return nil, fmt.Errorf("join unit edge mask %b is not a star", em)
 	}
-	scan := &dataflow.EdgeScan{QA: root, QB: leaves[0]}
+	scan := &dataflow.EdgeScan{
+		QA: root, QB: leaves[0],
+		LabelA: t.q.Label(root), LabelB: t.q.Label(leaves[0]),
+	}
 	for _, o := range t.orders {
 		switch {
 		case o.A == root && o.B == leaves[0]:
@@ -125,11 +128,12 @@ func (t *translator) appendExtend(pipe *openPipe, extSlots []int, target int) {
 	}
 	out := append(append([]int(nil), pipe.layout...), target)
 	pipe.stage.Extends = append(pipe.stage.Extends, &dataflow.Extend{
-		ExtSlots:   extSlots,
-		TargetQV:   target,
-		VerifySlot: -1,
-		NewFilters: filters,
-		OutLayout:  out,
+		ExtSlots:    extSlots,
+		TargetQV:    target,
+		VerifySlot:  -1,
+		TargetLabel: t.q.Label(target),
+		NewFilters:  filters,
+		OutLayout:   out,
 	})
 	pipe.layout = out
 	pipe.vmask |= 1 << target
@@ -137,10 +141,11 @@ func (t *translator) appendExtend(pipe *openPipe, extSlots []int, target int) {
 
 func (t *translator) appendVerify(pipe *openPipe, extSlots []int, verifySlot int) {
 	pipe.stage.Extends = append(pipe.stage.Extends, &dataflow.Extend{
-		ExtSlots:   extSlots,
-		TargetQV:   -1,
-		VerifySlot: verifySlot,
-		OutLayout:  append([]int(nil), pipe.layout...),
+		ExtSlots:    extSlots,
+		TargetQV:    -1,
+		VerifySlot:  verifySlot,
+		TargetLabel: query.AnyLabel, // the verified vertex is already matched (and label-checked)
+		OutLayout:   append([]int(nil), pipe.layout...),
 	})
 }
 

@@ -3,8 +3,11 @@ package query
 // Automorphism computation and symmetry breaking (Section 2 of the paper,
 // method of Grochow & Kellis [28]): without constraints, each undirected
 // embedding would be discovered once per automorphism of the query graph.
-// We compute Aut(q) by backtracking over degree-compatible permutations and
-// derive partial orders that keep exactly one representative per orbit.
+// We compute Aut(q) by backtracking over degree- and label-compatible
+// permutations and derive partial orders that keep exactly one
+// representative per orbit. For labelled queries an automorphism must
+// preserve label constraints: two vertices with different labels are never
+// symmetric, so labelling shrinks the group (and the derived orders).
 
 // Automorphisms returns all automorphisms of q as permutations p where
 // p[v] is the image of query vertex v. The identity is always included.
@@ -22,7 +25,7 @@ func Automorphisms(q *Query) [][]int {
 			return
 		}
 		for c := 0; c < n; c++ {
-			if used[c] || len(q.adj[c]) != len(q.adj[v]) {
+			if used[c] || len(q.adj[c]) != len(q.adj[v]) || q.Label(c) != q.Label(v) {
 				continue
 			}
 			ok := true

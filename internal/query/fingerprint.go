@@ -7,10 +7,17 @@ package query
 // a canonical form, not a lossy hash: equal fingerprints imply isomorphic
 // query graphs, so a cache keyed on it can never hand back a plan for a
 // structurally different query.
+//
+// Label constraints are part of the canonical form: the label sequence is
+// minimised jointly with the adjacency code and appended to the
+// fingerprint, so two patterns that differ only in their label signature
+// (e.g. a triangle over label 3 vs. over label 7) never share a cache
+// entry, while an unlabelled query's fingerprint is byte-identical to what
+// it was before labels existed — warm caches stay warm.
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 )
 
@@ -65,8 +72,12 @@ func (q *Query) computeFingerprint() string {
 // lexicographically smallest row-wise upper-triangle adjacency encoding
 // over all vertex orderings that list degrees in non-increasing order
 // (an isomorphism-invariant family, so the minimum is a canonical form).
-// It returns the code and the vertex permutation that realises it
-// (perm[i] = original vertex placed at canonical position i).
+// For labelled queries each position's comparison key is the (row, label)
+// pair, so the label sequence is minimised jointly with the structure and
+// the resulting code ends with a ";l:" label-signature suffix. Unlabelled
+// queries produce exactly the code they always did. It returns the code
+// and the vertex permutation that realises it (perm[i] = original vertex
+// placed at canonical position i).
 func (q *Query) canonicalCode() (string, []int) {
 	n := q.n
 	identity := func() []int {
@@ -76,30 +87,38 @@ func (q *Query) canonicalCode() (string, []int) {
 		}
 		return p
 	}
-	if q.IsClique() {
+	if q.IsClique() && !q.Labeled() {
 		// Every ordering yields the all-ones matrix; skip the search.
+		// (A labelled clique still needs the search to canonicalise its
+		// label sequence.)
 		return fmt.Sprintf("K%d", n), identity()
 	}
 
 	// Canonical positions must list degrees in non-increasing order.
 	degSeq := make([]int, n)
 	byDeg := identity()
-	sort.Slice(byDeg, func(i, j int) bool { return q.Degree(byDeg[i]) > q.Degree(byDeg[j]) })
+	slices.SortStableFunc(byDeg, func(a, b int) int { return q.Degree(b) - q.Degree(a) })
 	for i, v := range byDeg {
 		degSeq[i] = q.Degree(v)
 	}
 
-	rows := make([]uint16, n) // rows[i]: bit j set iff canonical i ~ canonical j (j < i)
+	// keys[i] packs (adjacency row, label+1) for canonical position i: the
+	// row in the high bits, the label constraint (AnyLabel → 0) in the low
+	// 20 bits, so lexicographic comparison of keys orders first by
+	// structure, then by label. Unlabelled queries have a constant label
+	// part, making the search identical to the label-free one.
+	labelKey := func(v int) uint64 { return uint64(q.Label(v) + 1) }
+	keys := make([]uint64, n)
 	perm := make([]int, n)
 	used := make([]bool, n)
-	var best []uint16
+	var best []uint64
 	var bestPerm []int
 
 	var rec func(i int)
 	rec = func(i int) {
 		if i == n {
-			if best == nil || lexLess(rows, best) {
-				best = append([]uint16(nil), rows...)
+			if best == nil || lexLess(keys, best) {
+				best = append([]uint64(nil), keys...)
 				bestPerm = append([]int(nil), perm...)
 			}
 			return
@@ -108,17 +127,17 @@ func (q *Query) canonicalCode() (string, []int) {
 			if used[c] || q.Degree(c) != degSeq[i] {
 				continue
 			}
-			var row uint16
+			var row uint64
 			for j := 0; j < i; j++ {
 				if q.HasEdge(c, perm[j]) {
 					row |= 1 << j
 				}
 			}
-			rows[i] = row
+			keys[i] = row<<20 | labelKey(c)
 			// Prune any branch whose prefix already exceeds the best code:
 			// the first difference of a lexicographic comparison lies inside
 			// the prefix, so no completion can beat it.
-			if best != nil && prefixGreater(rows[:i+1], best[:i+1]) {
+			if best != nil && prefixGreater(keys[:i+1], best[:i+1]) {
 				continue
 			}
 			perm[i] = c
@@ -130,13 +149,22 @@ func (q *Query) canonicalCode() (string, []int) {
 	rec(0)
 
 	var sb strings.Builder
-	for _, r := range best {
-		fmt.Fprintf(&sb, "%03x", r)
+	for _, k := range best {
+		fmt.Fprintf(&sb, "%03x", k>>20)
+	}
+	if q.Labeled() {
+		sb.WriteString(";l:")
+		for i, v := range bestPerm {
+			if i > 0 {
+				sb.WriteString(",")
+			}
+			fmt.Fprintf(&sb, "%d", q.Label(v))
+		}
 	}
 	return sb.String(), bestPerm
 }
 
-func lexLess(a, b []uint16) bool {
+func lexLess(a, b []uint64) bool {
 	for i := range a {
 		if a[i] != b[i] {
 			return a[i] < b[i]
@@ -145,7 +173,7 @@ func lexLess(a, b []uint16) bool {
 	return false
 }
 
-func prefixGreater(a, b []uint16) bool {
+func prefixGreater(a, b []uint64) bool {
 	for i := range a {
 		if a[i] != b[i] {
 			return a[i] > b[i]

@@ -1,23 +1,33 @@
-// Package query models query (pattern) graphs: small, connected, unlabelled
-// undirected graphs whose isomorphic embeddings are enumerated in the data
-// graph. It computes automorphism groups and the symmetry-breaking partial
-// orders the paper applies (Section 2, following Grochow–Kellis), and
-// provides the sub-query (edge-subset) helpers the optimiser's dynamic
-// program iterates over.
+// Package query models query (pattern) graphs: small, connected undirected
+// graphs — optionally with per-vertex label constraints — whose isomorphic
+// embeddings are enumerated in the data graph. It computes automorphism
+// groups and the symmetry-breaking partial orders the paper applies
+// (Section 2, following Grochow–Kellis); label-distinguished vertices are
+// never symmetric, so the derived orders stay sound for labelled patterns.
+// It also provides the sub-query (edge-subset) helpers the optimiser's
+// dynamic program iterates over.
 package query
 
 import (
 	"fmt"
 	"math/bits"
-	"sort"
+	"slices"
 	"strings"
 	"sync"
 )
+
+// AnyLabel is the wildcard label constraint: the query vertex matches data
+// vertices of every label.
+const AnyLabel = -1
 
 // MaxVertices bounds query size; the optimiser's DP and the automorphism
 // search are exponential in it. 10 covers everything in the paper (q1–q8
 // have at most 6 vertices).
 const MaxVertices = 10
+
+// MaxLabel bounds label constraints, matching the data graph's 16-bit
+// label space (graph.LabelID).
+const MaxLabel = 1<<16 - 1
 
 // Order is one symmetry-breaking constraint: the data vertex matched to
 // query vertex A must have a smaller ID than the one matched to B.
@@ -25,10 +35,11 @@ type Order struct{ A, B int }
 
 // Query is an immutable connected query graph. Vertices are 0..N-1.
 type Query struct {
-	n     int
-	edges [][2]int // canonical: a < b, sorted
-	adj   [][]int  // sorted neighbour lists
-	name  string
+	n      int
+	edges  [][2]int // canonical: a < b, sorted
+	adj    [][]int  // sorted neighbour lists
+	name   string
+	labels []int // per-vertex label constraint (AnyLabel = wildcard); nil when unconstrained
 
 	// mu guards the only post-construction mutable state: the orders
 	// (replaceable via SetOrders), the custom-orders flag, and the memoised
@@ -44,6 +55,18 @@ type Query struct {
 // 0..max. It panics on self-loops, duplicate edges, disconnected graphs or
 // graphs larger than MaxVertices — query graphs are programmer input.
 func New(name string, edges [][2]int) *Query {
+	return newQuery(name, edges, nil)
+}
+
+// NewLabeled builds a label-constrained query graph: labels[v] is the data
+// label query vertex v must match, or AnyLabel for no constraint. labels
+// must cover every vertex (len(labels) == number of vertices). A labels
+// slice that is nil or all-wildcard yields a plain unlabelled query.
+func NewLabeled(name string, edges [][2]int, labels []int) *Query {
+	return newQuery(name, edges, labels)
+}
+
+func newQuery(name string, edges [][2]int, labels []int) *Query {
 	n := 0
 	seen := map[[2]int]bool{}
 	canon := make([][2]int, 0, len(edges))
@@ -70,26 +93,51 @@ func New(name string, edges [][2]int) *Query {
 	if n > MaxVertices {
 		panic(fmt.Sprintf("query %s: %d vertices exceeds MaxVertices=%d", name, n, MaxVertices))
 	}
-	sort.Slice(canon, func(i, j int) bool {
-		if canon[i][0] != canon[j][0] {
-			return canon[i][0] < canon[j][0]
+	slices.SortFunc(canon, func(a, b [2]int) int {
+		if a[0] != b[0] {
+			return a[0] - b[0]
 		}
-		return canon[i][1] < canon[j][1]
+		return a[1] - b[1]
 	})
 	q := &Query{n: n, edges: canon, name: name}
+	if labels != nil {
+		if len(labels) != n {
+			panic(fmt.Sprintf("query %s: %d labels for %d vertices", name, len(labels), n))
+		}
+		constrained := false
+		for v, l := range labels {
+			if l < AnyLabel || l > MaxLabel {
+				panic(fmt.Sprintf("query %s: vertex %d has invalid label %d", name, v, l))
+			}
+			if l != AnyLabel {
+				constrained = true
+			}
+		}
+		if constrained {
+			q.labels = append([]int(nil), labels...)
+		}
+	}
 	q.adj = make([][]int, n)
 	for _, e := range canon {
 		q.adj[e[0]] = append(q.adj[e[0]], e[1])
 		q.adj[e[1]] = append(q.adj[e[1]], e[0])
 	}
 	for _, a := range q.adj {
-		sort.Ints(a)
+		slices.Sort(a)
 	}
 	if !q.connectedMask(q.FullVertexMask()) {
 		panic(fmt.Sprintf("query %s: not connected", name))
 	}
 	q.orders = symmetryBreak(q)
 	return q
+}
+
+// WithVertexLabels returns a labelled copy of q: same name, edges and
+// vertex numbering, with the given label constraints (see NewLabeled). The
+// copy derives its own symmetry-breaking orders — labelling can break
+// symmetries, so the orders are generally a subset of q's.
+func (q *Query) WithVertexLabels(labels []int) *Query {
+	return newQuery(q.name, q.edges, labels)
 }
 
 // NumVertices returns |V_q|.
@@ -109,6 +157,22 @@ func (q *Query) Adj(v int) []int { return q.adj[v] }
 
 // Degree returns the degree of query vertex v.
 func (q *Query) Degree(v int) int { return len(q.adj[v]) }
+
+// Labeled reports whether any query vertex carries a label constraint.
+func (q *Query) Labeled() bool { return q.labels != nil }
+
+// Label returns the label constraint of query vertex v, or AnyLabel when v
+// (or the whole query) is unconstrained.
+func (q *Query) Label(v int) int {
+	if q.labels == nil {
+		return AnyLabel
+	}
+	return q.labels[v]
+}
+
+// VertexLabels returns the per-vertex label constraints (AnyLabel entries
+// for wildcards), or nil for an unlabelled query. Do not modify.
+func (q *Query) VertexLabels() []int { return q.labels }
 
 // HasEdge reports whether (a, b) is a query edge.
 func (q *Query) HasEdge(a, b int) bool {
@@ -156,6 +220,11 @@ func (q *Query) SameNumbering(o *Query) bool {
 			return false
 		}
 	}
+	for v := 0; v < q.n; v++ {
+		if q.Label(v) != o.Label(v) {
+			return false
+		}
+	}
 	qo, oo := q.Orders(), o.Orders() // separate snapshots: no nested locking
 	if len(qo) != len(oo) {
 		return false
@@ -168,10 +237,23 @@ func (q *Query) SameNumbering(o *Query) bool {
 	return true
 }
 
-// String renders the query for logs: name(v=N, e=M; orders).
+// String renders the query for logs: name(v=N, e=M; labels; orders).
 func (q *Query) String() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "%s(v=%d,e=%d", q.name, q.n, len(q.edges))
+	if q.labels != nil {
+		sb.WriteString("; labels ")
+		for v, l := range q.labels {
+			if v > 0 {
+				sb.WriteString(",")
+			}
+			if l == AnyLabel {
+				sb.WriteString("*")
+			} else {
+				fmt.Fprintf(&sb, "%d", l)
+			}
+		}
+	}
 	if orders := q.Orders(); len(orders) > 0 {
 		sb.WriteString("; ")
 		for i, o := range orders {
@@ -290,7 +372,7 @@ func (q *Query) StarRoot(em uint32) (root int, leaves []int, ok bool) {
 			}
 		}
 		if good {
-			sort.Ints(ls)
+			slices.Sort(ls)
 			return r, ls, true
 		}
 	}
