@@ -1,7 +1,10 @@
 // Command huge runs a single subgraph-enumeration query on a dataset with
 // a chosen plan, printing the count, timings and communication metrics.
 // With -repeat it replays the query through one serving session,
-// demonstrating the fingerprint-keyed plan cache.
+// demonstrating the fingerprint-keyed plan cache. With -updates it replays
+// an insert/delete stream (hugegen -updates emits one) in batches through
+// System.Apply, maintaining the match count with delta-mode enumeration
+// and cross-checking the running total against a final full re-count.
 //
 // Usage:
 //
@@ -10,9 +13,11 @@
 //	huge -query q1 -repeat 5           # warm runs reuse the cached plan
 //	huge -labels 16 -query triangle -vlabels 2,2,2    # labelled matching
 //	huge -labels 16 -pattern "(a:1)-(b:2), (b:2)-(c:1), (c:1)-(a:1)"
+//	huge -input go.txt -query triangle -updates go.txt.updates -update-batch 200
 package main
 
 import (
+	"bufio"
 	"context"
 	"flag"
 	"fmt"
@@ -38,6 +43,8 @@ func main() {
 		queue    = flag.Int64("queue", 0, "scheduler queue capacity in rows (0=default adaptive, 1=DFS, -1=BFS)")
 		repeat   = flag.Int("repeat", 1, "run the query N times through one session (plan cached after run 1)")
 		showPlan = flag.Bool("show-plan", false, "print the execution plan before running")
+		updates  = flag.String("updates", "", "replay an insert/delete stream file (\"+ u v\" / \"- u v\" lines) with delta-mode maintenance")
+		batch    = flag.Int("update-batch", 100, "operations applied per delta batch during -updates replay")
 	)
 	flag.Parse()
 
@@ -125,6 +132,12 @@ func main() {
 		}
 		fmt.Printf("query %s: %d matches in %v%s\n", q.Name(), res.Count, res.Elapsed, cachedNote)
 	}
+	if *updates != "" {
+		if err := replayUpdates(ctx, sys, sess, q, *updates, *batch, res.Count); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 	m := res.Metrics
 	fmt.Printf("comm: pulled %.2fMB pushed %.2fMB rpcs %d hitRate %.1f%%\n",
 		float64(m.BytesPulled)/(1<<20), float64(m.BytesPushed)/(1<<20), m.RPCCalls,
@@ -136,6 +149,97 @@ func main() {
 	st := sess.Stats()
 	fmt.Printf("session: %d queries, %d results, %d served with cached plans\n",
 		st.Queries, st.Results, st.CachedPlans)
+}
+
+// replayUpdates applies the stream in batches, maintaining the match
+// count via delta-mode enumeration and verifying the running total against
+// a full re-enumeration of the final snapshot.
+func replayUpdates(ctx context.Context, sys *huge.System, sess *huge.Session, q *huge.Query, path string, batchSize int, baseCount uint64) error {
+	ops, err := readUpdates(path)
+	if err != nil {
+		return err
+	}
+	if batchSize < 1 {
+		batchSize = 1
+	}
+	running := int64(baseCount)
+	dq := q.Delta()
+	for lo := 0; lo < len(ops); lo += batchSize {
+		hi := lo + batchSize
+		if hi > len(ops) {
+			hi = len(ops)
+		}
+		var d huge.Delta
+		for _, op := range ops[lo:hi] {
+			if op.del {
+				d.Delete = append(d.Delete, [2]huge.VertexID{op.u, op.v})
+			} else {
+				d.Insert = append(d.Insert, [2]huge.VertexID{op.u, op.v})
+			}
+		}
+		epoch := sys.Apply(d)
+		sess.Refresh()
+		res, err := sess.Run(ctx, dq)
+		if err != nil {
+			return err
+		}
+		running += res.Delta
+		fmt.Printf("epoch %d: %d ops, delta %+d (new %d, dead %d) in %v -> %d matches\n",
+			epoch, hi-lo, res.Delta, res.DeltaNew, res.DeltaDead, res.Elapsed, running)
+	}
+	full, err := sess.Run(ctx, q)
+	if err != nil {
+		return err
+	}
+	g := sys.Graph()
+	fmt.Printf("final graph: %d vertices, %d edges (epoch %d)\n", g.NumVertices(), g.NumEdges(), g.Epoch())
+	if uint64(running) != full.Count {
+		return fmt.Errorf("delta maintenance diverged: maintained %d, full re-count %d", running, full.Count)
+	}
+	fmt.Printf("verified: maintained count %d == full re-count %d\n", running, full.Count)
+	return nil
+}
+
+type updateOp struct {
+	del  bool
+	u, v huge.VertexID
+}
+
+// readUpdates parses an update-stream file: "+ u v" inserts, "- u v"
+// deletes, '#' comments.
+func readUpdates(path string) ([]updateOp, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var ops []updateOp
+	sc := bufio.NewScanner(f)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == '#' {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 || (fields[0] != "+" && fields[0] != "-") {
+			return nil, fmt.Errorf("%s:%d: want \"+ u v\" or \"- u v\", got %q", path, lineNo, line)
+		}
+		u, err := strconv.ParseUint(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: %v", path, lineNo, err)
+		}
+		v, err := strconv.ParseUint(fields[2], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: %v", path, lineNo, err)
+		}
+		ops = append(ops, updateOp{del: fields[0] == "-", u: huge.VertexID(u), v: huge.VertexID(v)})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return ops, nil
 }
 
 func maxU(a, b uint64) uint64 {

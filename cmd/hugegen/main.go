@@ -1,11 +1,17 @@
-// Command hugegen writes a synthetic stand-in dataset as an edge list.
+// Command hugegen writes a synthetic stand-in dataset as an edge list,
+// optionally together with a random insert/delete update stream so the
+// delta-maintenance path is drivable end to end (replay it with
+// `huge -updates`).
 //
 // Usage:
 //
 //	hugegen -dataset LJ -scale 2 -out lj.txt
+//	hugegen -dataset GO -out go.txt -updates 1000      # also writes go.txt.updates
+//	hugegen -dataset GO -out go.txt -updates 1000 -updates-out stream.txt
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
@@ -15,9 +21,12 @@ import (
 
 func main() {
 	var (
-		dataset = flag.String("dataset", "LJ", "dataset: GO LJ OR UK EU FS CW")
-		scale   = flag.Int("scale", 1, "scale multiplier")
-		out     = flag.String("out", "", "output file (default stdout)")
+		dataset    = flag.String("dataset", "LJ", "dataset: GO LJ OR UK EU FS CW")
+		scale      = flag.Int("scale", 1, "scale multiplier")
+		out        = flag.String("out", "", "output file (default stdout)")
+		updates    = flag.Int("updates", 0, "also emit a random insert/delete stream of N operations")
+		updatesOut = flag.String("updates-out", "", "update-stream file (default <out>.updates; required with -updates when writing to stdout)")
+		seed       = flag.Int64("seed", 1, "update-stream seed")
 	)
 	flag.Parse()
 	g := gen.ByName(*dataset, *scale)
@@ -37,4 +46,37 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "%s: %d vertices, %d edges, max degree %d\n",
 		*dataset, g.NumVertices(), g.NumEdges(), g.MaxDegree())
+	if *updates <= 0 {
+		return
+	}
+	path := *updatesOut
+	if path == "" {
+		if *out == "" {
+			fmt.Fprintln(os.Stderr, "-updates needs -out or -updates-out to name the stream file")
+			os.Exit(2)
+		}
+		path = *out + ".updates"
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	bw := bufio.NewWriter(f)
+	fmt.Fprintf(bw, "# update stream: %d ops on %s scale %d (seed %d); \"+ u v\" inserts, \"- u v\" deletes\n",
+		*updates, *dataset, *scale, *seed)
+	stream := gen.UpdateStream(g, *updates, *seed)
+	for _, u := range stream {
+		op := "+"
+		if u.Del {
+			op = "-"
+		}
+		fmt.Fprintf(bw, "%s %d %d\n", op, u.U, u.V)
+	}
+	if err := bw.Flush(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "update stream: %d ops -> %s\n", len(stream), path)
 }

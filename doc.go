@@ -7,10 +7,17 @@
 // both unlabelled and label-constrained patterns — vertex labels thread
 // through the whole stack (labelled graphs with a per-label index,
 // label-aware automorphisms and canonical fingerprints, selectivity-driven
-// plans, and label-filtered scans and extensions in the engine). The
-// benchmark harness that regenerates every table and figure of the
-// paper's evaluation lives in repro/internal/exp and is timed by the
-// benchmarks in bench_test.go. See README.md for the architecture
-// overview, including the session/plan-cache layering and the labelled
-// matching workload.
+// plans, and label-filtered scans and extensions in the engine). The data
+// graph is versioned: System.Apply merges edge/label deltas into
+// immutable epoch-stamped snapshots (overlay adjacency for small deltas,
+// CSR compaction past a threshold), Sessions pin the snapshot they opened
+// on, plan-cache keys carry the epoch, and Query.Delta() enumerates only
+// the match delta via difference-based rewriting — full(t) + delta ==
+// full(t+1), oracle-verified. The benchmark harness that regenerates
+// every table and figure of the paper's evaluation lives in
+// repro/internal/exp and is timed by the benchmarks in bench_test.go
+// (BenchmarkDeltaVsFull covers incremental maintenance). See README.md
+// for the architecture overview, including the session/plan-cache
+// layering, the labelled matching workload and the streaming-updates
+// model.
 package repro

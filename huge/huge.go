@@ -21,17 +21,25 @@
 // LoadLabeledEdgeList, WithLabels): plans exploit label selectivity, scans
 // seed from the per-label index, and the plan cache distinguishes label
 // signatures — with zero API or cache impact on unlabelled callers.
+//
+// The data graph is versioned. System.Apply merges a Delta (edge
+// insertions/deletions, label changes) into a new immutable snapshot and
+// returns its epoch; Sessions stay pinned to the snapshot they opened on
+// (Session.Refresh re-pins), and q.Delta() runs enumerate only the match
+// delta of the latest update — full(t) + Result.Delta == full(t+1) — so
+// repeated patterns stay warm while the graph changes underneath.
 package huge
 
 import (
 	"context"
-	"fmt"
+	"errors"
 	"io"
 	"sync"
 	"time"
 
 	"repro/internal/cache"
 	"repro/internal/cluster"
+	"repro/internal/dataflow"
 	"repro/internal/engine"
 	"repro/internal/gen"
 	"repro/internal/graph"
@@ -48,6 +56,11 @@ type (
 	VertexID = graph.VertexID
 	// LabelID identifies a vertex label in a labelled data graph.
 	LabelID = graph.LabelID
+	// Delta is a batch of graph updates (edge insertions/deletions and
+	// label changes) for System.Apply.
+	Delta = graph.Delta
+	// VertexLabel is one label assignment inside a Delta.
+	VertexLabel = graph.VertexLabel
 	// Query is a connected query (pattern) graph with symmetry-breaking
 	// orders derived from its automorphism group.
 	Query = query.Query
@@ -169,23 +182,59 @@ func (o Options) normalise() Options {
 	return o
 }
 
+// snapshot is one immutable version of the deployed data graph: the
+// epoch-stamped graph, its cluster partitioning, the statistics (and their
+// fingerprint, which seasons every plan-cache key), and — for epochs > 0 —
+// the effective edge delta that produced this snapshot plus the previous
+// epoch's cluster, which delta-mode runs enumerate vanished matches on.
+// Snapshots are never mutated after construction: System.Apply swaps in a
+// new one, and Sessions stay pinned to the snapshot they opened on.
+type snapshot struct {
+	g       *Graph
+	cl      *cluster.Cluster
+	stats   plan.GraphStats
+	statsFP uint64
+	card    plan.CardFunc
+
+	inserted *graph.EdgeSet   // edges this epoch added (nil at epoch 0)
+	deleted  *graph.EdgeSet   // edges this epoch removed (nil at epoch 0)
+	prevCl   *cluster.Cluster // previous epoch's cluster (nil at epoch 0)
+}
+
+func (sn *snapshot) epoch() uint64 { return sn.g.Epoch() }
+
 // System is a data graph deployed on a simulated HUGE cluster. All methods
 // are safe for concurrent use: per-run mutable state (metrics, adjacency
 // caches, join buffers) lives in a per-run execution context, and the plan
 // cache is thread-safe.
+//
+// The graph is versioned: Apply merges a Delta into a new snapshot and
+// atomically makes it current. Runs started before an Apply finish on the
+// snapshot they started on, Sessions stay pinned to the snapshot they were
+// opened (or last Refreshed) on, and the plan cache keys on the snapshot's
+// statistics fingerprint — which includes the epoch — so a plan optimised
+// for one version is never served for another.
 type System struct {
-	g       *Graph
-	cl      *cluster.Cluster
-	opts    Options
-	stats   plan.GraphStats
-	statsFP uint64
-	card    plan.CardFunc
-	plans   *plan.Cache // nil when disabled
+	mu   sync.RWMutex // guards snap (swapped by Apply)
+	snap *snapshot
+
+	applyMu sync.Mutex // serialises Apply calls
+
+	opts  Options
+	plans *plan.Cache // nil when disabled
 
 	// Per-plan-key single-flight: N concurrent cold requests for one
 	// pattern pay the exponential optimiser once, not N times.
 	planMu   sync.Mutex
 	inflight map[string]*keyLock
+}
+
+// snapshot returns the current version; runs capture it once and use it
+// throughout, so an Apply mid-run is invisible to them.
+func (s *System) snapshot() *snapshot {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.snap
 }
 
 // keyLock serialises planning per cache key; refs counts holders and
@@ -219,24 +268,38 @@ func (s *System) unlockPlanKey(key string, kl *keyLock) {
 	s.planMu.Unlock()
 }
 
+// clusterConfig maps the options onto a cluster deployment; every
+// snapshot (initial and post-Apply) goes through it so the configuration
+// can never diverge between graph versions.
+func (o Options) clusterConfig() cluster.Config {
+	return cluster.Config{
+		NumMachines: o.Machines,
+		Workers:     o.Workers,
+		CacheKind:   o.CacheKind,
+		CacheBytes:  o.CacheBytes,
+		Latency:     o.Latency,
+	}
+}
+
+// newSnapshot deploys one graph version: partitions, statistics, estimator.
+func newSnapshot(g *Graph, opts Options) *snapshot {
+	cl := cluster.New(g, opts.clusterConfig())
+	stats := plan.ComputeStats(g)
+	return &snapshot{
+		g:       g,
+		cl:      cl,
+		stats:   stats,
+		statsFP: stats.Fingerprint(),
+		card:    plan.MomentEstimator(stats),
+	}
+}
+
 // NewSystem partitions g across the configured machines.
 func NewSystem(g *Graph, opts Options) *System {
 	opts = opts.normalise()
-	cl := cluster.New(g, cluster.Config{
-		NumMachines: opts.Machines,
-		Workers:     opts.Workers,
-		CacheKind:   opts.CacheKind,
-		CacheBytes:  opts.CacheBytes,
-		Latency:     opts.Latency,
-	})
-	stats := plan.ComputeStats(g)
 	s := &System{
-		g:        g,
-		cl:       cl,
+		snap:     newSnapshot(g, opts),
 		opts:     opts,
-		stats:    stats,
-		statsFP:  stats.Fingerprint(),
-		card:     plan.MomentEstimator(stats),
 		inflight: map[string]*keyLock{},
 	}
 	if opts.PlanCachePlans >= 0 {
@@ -245,37 +308,101 @@ func NewSystem(g *Graph, opts Options) *System {
 	return s
 }
 
-// Graph returns the underlying data graph.
-func (s *System) Graph() *Graph { return s.g }
+// Graph returns the current snapshot's data graph.
+func (s *System) Graph() *Graph { return s.snapshot().g }
+
+// Epoch returns the current snapshot version: 0 before any Apply,
+// incremented by each one.
+func (s *System) Epoch() uint64 { return s.snapshot().epoch() }
+
+// Apply merges a batch of graph updates into a new snapshot and makes it
+// current, returning the new epoch. The previous snapshot is untouched:
+// queries already running (and Sessions pinned to it) finish on the
+// version they started with, while new runs observe the update. Statistics
+// are maintained incrementally from the touched vertices, and every plan
+// optimised against the superseded statistics is evicted from the plan
+// cache — its keys could never be served again (the epoch participates in
+// the statistics fingerprint), so keeping them would only crowd out live
+// plans. Applies are serialised; each call costs one repartition of the
+// graph plus work proportional to the delta, not to the graph.
+func (s *System) Apply(d Delta) uint64 {
+	s.applyMu.Lock()
+	defer s.applyMu.Unlock()
+	cur := s.snapshot()
+	ng, applied := graph.Apply(cur.g, d)
+	stats := plan.UpdateStats(cur.stats, cur.g, ng, applied.Touched)
+	cl := cluster.New(ng, s.opts.clusterConfig())
+	inserted, deleted := applied.Inserted, applied.Deleted
+	if len(applied.Relabeled) > 0 {
+		// A label change alters which embeddings match a label-constrained
+		// query without touching any edge, so the pinned sets are augmented
+		// with every edge incident to a relabelled vertex ("label churn").
+		// Every match of a connected query that contains such a vertex uses
+		// at least one incident edge, so matches gained by relabelling are
+		// counted on the inserted side, matches lost on the deleted side,
+		// and matches away from the churn cancel — the differential
+		// identity stays exact under label updates too.
+		insE := append([][2]VertexID(nil), inserted.Edges()...)
+		delE := append([][2]VertexID(nil), deleted.Edges()...)
+		for _, v := range applied.Relabeled {
+			for _, w := range ng.Neighbors(v) {
+				insE = append(insE, [2]VertexID{v, w})
+			}
+			if int(v) < cur.g.NumVertices() {
+				for _, w := range cur.g.Neighbors(v) {
+					delE = append(delE, [2]VertexID{v, w})
+				}
+			}
+		}
+		inserted, deleted = graph.NewEdgeSet(insE), graph.NewEdgeSet(delE)
+	}
+	next := &snapshot{
+		g:        ng,
+		cl:       cl,
+		stats:    stats,
+		statsFP:  stats.Fingerprint(),
+		card:     plan.MomentEstimator(stats),
+		inserted: inserted,
+		deleted:  deleted,
+		prevCl:   cur.cl,
+	}
+	s.mu.Lock()
+	s.snap = next
+	s.mu.Unlock()
+	if s.plans != nil {
+		s.plans.InvalidateGraph(cur.statsFP)
+	}
+	return ng.Epoch()
+}
 
 // planKey builds the composite plan-cache key: the query's canonical
 // (relabelling-invariant) fingerprint, the logical-plan family, the
 // deployment size the optimiser costs against, and the graph-statistics
 // version the estimates were derived from.
-func (s *System) planKey(q *Query, name string) string {
-	return fmt.Sprintf("%s|%s|k=%d|stats=%016x", q.Fingerprint(), name, s.opts.Machines, s.statsFP)
+func (s *System) planKey(sn *snapshot, q *Query, name string) string {
+	return plan.CacheKey(q.Fingerprint(), name, s.opts.Machines, sn.statsFP)
 }
 
 // buildPlan runs the (uncached) planner for one named family.
-func (s *System) buildPlan(q *Query, name string) *Plan {
+func (s *System) buildPlan(sn *snapshot, q *Query, name string) *Plan {
 	switch name {
 	case "wco":
-		return plan.HugeWcoPlanStats(q, s.stats)
+		return plan.HugeWcoPlanStats(q, sn.stats)
 	case "seed":
-		return plan.SEEDPlan(q, s.card)
+		return plan.SEEDPlan(q, sn.card)
 	case "rads":
 		return plan.ReconfigurePhysical(plan.RADSPlan(q))
 	case "benu":
 		return plan.ReconfigurePhysical(plan.BENUPlan(q))
 	case "emptyheaded":
-		return plan.ReconfigurePhysical(plan.EmptyHeadedPlan(q, s.card))
+		return plan.ReconfigurePhysical(plan.EmptyHeadedPlan(q, sn.card))
 	case "graphflow":
-		return plan.ReconfigurePhysical(plan.GraphFlowPlan(q, s.stats))
+		return plan.ReconfigurePhysical(plan.GraphFlowPlan(q, sn.stats))
 	default:
 		return plan.Optimize(q, plan.Config{
 			NumMachines: s.opts.Machines,
-			GraphEdges:  float64(s.g.NumEdges()),
-			Card:        s.card,
+			GraphEdges:  float64(sn.g.NumEdges()),
+			Card:        sn.card,
 		})
 	}
 }
@@ -304,20 +431,20 @@ func (s *System) cachedPlan(key string, valid func(*Plan) bool, build func() *Pl
 	return p, false
 }
 
-// planFor returns the plan for (q, name), serving from the plan cache when
-// possible; cached reports whether it was a cache hit.
-func (s *System) planFor(q *Query, name string) (*Plan, bool) {
+// planFor returns the plan for (q, name) against one snapshot, serving
+// from the plan cache when possible; cached reports whether it was a hit.
+func (s *System) planFor(sn *snapshot, q *Query, name string) (*Plan, bool) {
 	qfp := q.Fingerprint()
-	return s.cachedPlan(s.planKey(q, name),
+	return s.cachedPlan(s.planKey(sn, q, name),
 		func(p *Plan) bool { return p.Q.Fingerprint() == qfp },
-		func() *Plan { return s.buildPlan(q, name) })
+		func() *Plan { return s.buildPlan(sn, q, name) })
 }
 
 // Plan computes the optimal execution plan for q (Algorithm 1), memoised
 // in the plan cache. The returned plan is shared with the cache and with
 // every other caller of the same pattern — treat it as immutable.
 func (s *System) Plan(q *Query) *Plan {
-	p, _ := s.planFor(q, "optimal")
+	p, _ := s.planFor(s.snapshot(), q, "optimal")
 	return p
 }
 
@@ -326,7 +453,7 @@ func (s *System) Plan(q *Query) *Plan {
 // or "optimal". Like Plan, results are memoised in the plan cache and
 // shared — treat the returned plan as immutable.
 func (s *System) PlanFor(q *Query, name string) *Plan {
-	p, _ := s.planFor(q, name)
+	p, _ := s.planFor(s.snapshot(), q, name)
 	return p
 }
 
@@ -345,11 +472,20 @@ type Result struct {
 	Elapsed time.Duration
 	Metrics Summary
 	// Plan is the executed plan. It may be shared with the plan cache and
-	// other runs of the same pattern — treat it as immutable.
+	// other runs of the same pattern — treat it as immutable. Nil for
+	// delta-mode runs, which use the linear difference rewriting instead
+	// of an optimised plan.
 	Plan *Plan
 	// PlanCached reports whether the run reused a memoised plan instead of
 	// invoking the optimiser.
 	PlanCached bool
+	// Delta fields, set only for Query.Delta() runs. Delta is the signed
+	// change in the match count this epoch introduced: DeltaNew matches
+	// containing an inserted edge (Count echoes it) minus DeltaDead old
+	// matches that contained a deleted edge. full(t) + Delta == full(t+1).
+	Delta     int64
+	DeltaNew  uint64
+	DeltaDead uint64
 }
 
 // Run enumerates q with the optimal plan. Safe for concurrent use; equal
@@ -361,21 +497,29 @@ func (s *System) Run(q *Query) (Result, error) {
 // RunConcurrent is Run with a context: cancelling ctx aborts the engine
 // run and returns the context's error. Any number of RunConcurrent calls
 // may execute on one System simultaneously; each gets isolated metrics.
+// A Query.Delta() view enumerates only this epoch's match delta.
 func (s *System) RunConcurrent(ctx context.Context, q *Query) (Result, error) {
-	p, cached := s.planFor(q, "optimal")
-	res, err := s.runPlan(ctx, q, p, nil)
+	return s.runConcurrentOn(ctx, s.snapshot(), q)
+}
+
+func (s *System) runConcurrentOn(ctx context.Context, sn *snapshot, q *Query) (Result, error) {
+	if q.IsDelta() {
+		return s.runDelta(ctx, sn, q, nil)
+	}
+	p, cached := s.planFor(sn, q, "optimal")
+	res, err := s.runPlan(ctx, sn, q, p, nil)
 	res.PlanCached = cached
 	return res, err
 }
 
 // RunPlan enumerates q with a specific plan.
 func (s *System) RunPlan(q *Query, p *Plan) (Result, error) {
-	return s.runPlan(context.Background(), q, p, nil)
+	return s.RunPlanContext(context.Background(), q, p)
 }
 
 // RunPlanContext is RunPlan with cancellation.
 func (s *System) RunPlanContext(ctx context.Context, q *Query, p *Plan) (Result, error) {
-	return s.runPlan(ctx, q, p, nil)
+	return s.runPlan(ctx, s.snapshot(), q, p, nil)
 }
 
 // Enumerate streams every match to fn (indexed by query vertex; the slice
@@ -392,47 +536,71 @@ func (s *System) Enumerate(q *Query, fn func(match []VertexID)) (Result, error) 
 // indexed by query vertex), so the validity check also requires
 // SameNumbering: a cached relabelled twin is rejected and replaced by a
 // plan built from q — which still serves every counting caller, since the
-// fingerprint is unchanged.
+// fingerprint is unchanged. For a Query.Delta() view, fn receives the NEW
+// matches (those containing an inserted edge); vanished matches are only
+// counted, in Result.DeltaDead.
 func (s *System) EnumerateContext(ctx context.Context, q *Query, fn func(match []VertexID)) (Result, error) {
+	return s.enumerateOn(ctx, s.snapshot(), q, fn)
+}
+
+func (s *System) enumerateOn(ctx context.Context, sn *snapshot, q *Query, fn func(match []VertexID)) (Result, error) {
+	if q.IsDelta() {
+		return s.runDelta(ctx, sn, q, fn)
+	}
 	qfp := q.Fingerprint()
-	p, cached := s.cachedPlan(s.planKey(q, "optimal"),
+	p, cached := s.cachedPlan(s.planKey(sn, q, "optimal"),
 		func(p *Plan) bool { return p.Q.Fingerprint() == qfp && p.Q.SameNumbering(q) },
-		func() *Plan { return s.buildPlan(q, "optimal") })
-	res, err := s.runPlan(ctx, q, p, fn)
+		func() *Plan { return s.buildPlan(sn, q, "optimal") })
+	res, err := s.runPlan(ctx, sn, q, p, fn)
 	res.PlanCached = cached
 	return res, err
 }
 
-func (s *System) runPlan(ctx context.Context, q *Query, p *Plan, fn func([]VertexID)) (Result, error) {
-	df, err := plan.Translate(p)
-	if err != nil {
-		return Result{}, err
-	}
-	// Engine rows arrive in slot order; re-index them by query vertex for
-	// the caller.
-	var onResult func([]VertexID)
-	if fn != nil {
-		layout := df.Stages[len(df.Stages)-1].OutputLayout()
-		onResult = func(row []VertexID) {
-			match := make([]VertexID, len(row))
-			for slot, qv := range layout {
-				match[qv] = row[slot]
-			}
-			fn(match)
-		}
-	}
-	// Per-run execution context: metrics and adjacency caches private to
-	// this query, so concurrent runs never observe each other.
-	ex := s.cl.NewExec()
-	start := time.Now()
-	count, err := engine.Run(ctx, ex, df, engine.Config{
+// engineConfig assembles the per-run engine configuration from the
+// system's options.
+func (s *System) engineConfig(onResult func([]VertexID)) engine.Config {
+	return engine.Config{
 		BatchRows:      s.opts.BatchRows,
 		QueueRows:      s.opts.QueueRows,
 		LoadBalance:    s.opts.LoadBalance,
 		JoinBufferRows: s.opts.JoinBufferRows,
 		OnResult:       onResult,
 		Compress:       !s.opts.NoCompress,
-	})
+	}
+}
+
+// reindexed wraps fn to re-index engine rows (slot order) by query vertex.
+func reindexed(df *dataflow.Dataflow, fn func([]VertexID)) func([]VertexID) {
+	if fn == nil {
+		return nil
+	}
+	layout := df.Stages[len(df.Stages)-1].OutputLayout()
+	return func(row []VertexID) {
+		match := make([]VertexID, len(row))
+		for slot, qv := range layout {
+			match[qv] = row[slot]
+		}
+		fn(match)
+	}
+}
+
+func (s *System) runPlan(ctx context.Context, sn *snapshot, q *Query, p *Plan, fn func([]VertexID)) (Result, error) {
+	if q.IsDelta() {
+		// A hand-picked plan enumerates the full result; silently running
+		// it for a delta view would report Delta == 0 and corrupt any
+		// maintained count. Delta mode always uses the difference
+		// rewriting, so route callers to Run/Enumerate.
+		return Result{}, errors.New("huge: delta-mode queries run via Run/Enumerate (difference rewriting), not RunPlan")
+	}
+	df, err := plan.Translate(p)
+	if err != nil {
+		return Result{}, err
+	}
+	// Per-run execution context: metrics and adjacency caches private to
+	// this query, so concurrent runs never observe each other.
+	ex := sn.cl.NewExec()
+	start := time.Now()
+	count, err := engine.Run(ctx, ex, df, s.engineConfig(reindexed(df, fn)))
 	if err != nil {
 		return Result{}, err
 	}
@@ -442,4 +610,74 @@ func (s *System) runPlan(ctx context.Context, q *Query, p *Plan, fn func([]Verte
 		Metrics: ex.Metrics.Snapshot(),
 		Plan:    p,
 	}, nil
+}
+
+// runDelta executes a Query.Delta() view on one snapshot: the difference
+// rewriting of plan.TranslateDelta pins each query edge in turn on the
+// snapshot's inserted set (counting the matches this epoch created) and,
+// against the previous epoch's cluster, on the deleted set (counting the
+// matches it destroyed). The signed difference maintains the full count:
+// full(t) + Delta == full(t+1). At epoch 0 there is no delta and the
+// result is zero. Plans are not cached — the rewriting is linear in the
+// query, and the sets change every epoch anyway.
+func (s *System) runDelta(ctx context.Context, sn *snapshot, q *Query, fn func([]VertexID)) (Result, error) {
+	flows, err := plan.TranslateDelta(q)
+	if err != nil {
+		return Result{}, err
+	}
+	start := time.Now()
+	var res Result
+	runSide := func(cl *cluster.Cluster, set *graph.EdgeSet, fn func([]VertexID)) (uint64, error) {
+		if cl == nil || set.Len() == 0 {
+			return 0, nil
+		}
+		var total uint64
+		for _, df := range flows {
+			ex := cl.NewExec()
+			cfg := s.engineConfig(reindexed(df, fn))
+			cfg.DeltaEdges = set
+			n, err := engine.Run(ctx, ex, df, cfg)
+			if err != nil {
+				return 0, err
+			}
+			total += n
+			res.Metrics = addSummaries(res.Metrics, ex.Metrics.Snapshot())
+		}
+		return total, nil
+	}
+	newCount, err := runSide(sn.cl, sn.inserted, fn)
+	if err != nil {
+		return Result{}, err
+	}
+	deadCount, err := runSide(sn.prevCl, sn.deleted, nil)
+	if err != nil {
+		return Result{}, err
+	}
+	res.Count = newCount
+	res.DeltaNew = newCount
+	res.DeltaDead = deadCount
+	res.Delta = int64(newCount) - int64(deadCount)
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// addSummaries folds the metric summaries of the sequential per-edge delta
+// runs into one report: counters add, the memory high-water mark is the
+// maximum across runs.
+func addSummaries(a, b Summary) Summary {
+	a.BytesPushed += b.BytesPushed
+	a.BytesPulled += b.BytesPulled
+	a.RPCCalls += b.RPCCalls
+	a.PushMsgs += b.PushMsgs
+	a.CommTime += b.CommTime
+	a.FetchTime += b.FetchTime
+	a.Results += b.Results
+	a.CacheHits += b.CacheHits
+	a.CacheMisses += b.CacheMisses
+	if b.PeakTuples > a.PeakTuples {
+		a.PeakTuples = b.PeakTuples
+	}
+	a.StealsIntra += b.StealsIntra
+	a.StealsInter += b.StealsInter
+	return a
 }

@@ -50,7 +50,8 @@ func (s *System) SimplePaths(src, dst VertexID, hops int) (uint64, error) {
 // the bound. (This walks the distributed partitions through the same
 // accounted adjacency access the engine uses.)
 func (s *System) ShortestPath(src, dst VertexID, maxHops int) (int, error) {
-	if int(src) >= s.g.NumVertices() || int(dst) >= s.g.NumVertices() {
+	g := s.snapshot().g // one snapshot for the whole walk
+	if int(src) >= g.NumVertices() || int(dst) >= g.NumVertices() {
 		return 0, fmt.Errorf("huge: vertex out of range")
 	}
 	if src == dst {
@@ -62,7 +63,7 @@ func (s *System) ShortestPath(src, dst VertexID, maxHops int) (int, error) {
 	for depth := 1; depth <= maxHops; depth++ {
 		var next []VertexID
 		for _, u := range frontier {
-			for _, w := range s.g.Neighbors(u) {
+			for _, w := range g.Neighbors(u) {
 				if visited[w] {
 					continue
 				}

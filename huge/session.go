@@ -15,10 +15,16 @@ import (
 
 // Session is a per-client handle onto a shared System. The zero value is
 // not usable; create one with System.NewSession.
+//
+// A Session is pinned to the graph snapshot that was current when it was
+// created: updates applied to the System (System.Apply) are invisible to
+// it until Refresh, so a client always observes one consistent graph
+// version across its queries — repeatable reads at the serving layer.
 type Session struct {
 	sys *System
 
 	mu          sync.Mutex
+	snap        *snapshot // pinned graph version
 	queries     uint64
 	errors      uint64
 	results     uint64
@@ -26,12 +32,33 @@ type Session struct {
 	elapsed     time.Duration
 }
 
-// NewSession creates a client handle. Any number of sessions may run
-// queries concurrently on one System.
-func (s *System) NewSession() *Session { return &Session{sys: s} }
+// NewSession creates a client handle pinned to the current snapshot. Any
+// number of sessions may run queries concurrently on one System.
+func (s *System) NewSession() *Session { return &Session{sys: s, snap: s.snapshot()} }
 
 // System returns the shared query service this session runs on.
 func (se *Session) System() *System { return se.sys }
+
+// pinned returns the session's snapshot.
+func (se *Session) pinned() *snapshot {
+	se.mu.Lock()
+	defer se.mu.Unlock()
+	return se.snap
+}
+
+// Epoch returns the version of the snapshot this session is pinned to.
+func (se *Session) Epoch() uint64 { return se.pinned().epoch() }
+
+// Refresh re-pins the session to the System's current snapshot and
+// returns its epoch. In-flight queries finish on the version they started
+// on; subsequent queries observe every update applied so far.
+func (se *Session) Refresh() uint64 {
+	sn := se.sys.snapshot()
+	se.mu.Lock()
+	se.snap = sn
+	se.mu.Unlock()
+	return sn.epoch()
+}
 
 // SessionStats summarises the queries a session has run.
 type SessionStats struct {
@@ -70,23 +97,26 @@ func (se *Session) record(res Result, err error) {
 	se.elapsed += res.Elapsed
 }
 
-// Run enumerates q with the (plan-cache-backed) optimal plan.
+// Run enumerates q with the (plan-cache-backed) optimal plan, against the
+// session's pinned snapshot. A Query.Delta() view enumerates the match
+// delta of the pinned snapshot's epoch.
 func (se *Session) Run(ctx context.Context, q *Query) (Result, error) {
-	res, err := se.sys.RunConcurrent(ctx, q)
+	res, err := se.sys.runConcurrentOn(ctx, se.pinned(), q)
 	se.record(res, err)
 	return res, err
 }
 
-// RunPlan enumerates q with a specific plan.
+// RunPlan enumerates q with a specific plan against the pinned snapshot.
 func (se *Session) RunPlan(ctx context.Context, q *Query, p *Plan) (Result, error) {
-	res, err := se.sys.RunPlanContext(ctx, q, p)
+	res, err := se.sys.runPlan(ctx, se.pinned(), q, p, nil)
 	se.record(res, err)
 	return res, err
 }
 
-// Enumerate streams every match to fn (see System.Enumerate).
+// Enumerate streams every match to fn (see System.Enumerate), against the
+// session's pinned snapshot.
 func (se *Session) Enumerate(ctx context.Context, q *Query, fn func(match []VertexID)) (Result, error) {
-	res, err := se.sys.EnumerateContext(ctx, q, fn)
+	res, err := se.sys.enumerateOn(ctx, se.pinned(), q, fn)
 	se.record(res, err)
 	return res, err
 }

@@ -24,6 +24,25 @@ func GroundTruthCount(g *graph.Graph, q *query.Query) uint64 {
 	return count
 }
 
+// GroundTruthPinnedCount counts the matches of q in g that use at least
+// one edge from the pinned set — the oracle for delta-mode enumeration:
+// applied to the inserted set on the new snapshot it yields the new
+// matches, applied to the deleted set on the old snapshot the vanished
+// ones, and full(t+1) = full(t) + new − vanished.
+func GroundTruthPinnedCount(g *graph.Graph, q *query.Query, pinned *graph.EdgeSet) uint64 {
+	var count uint64
+	GroundTruthEnumerate(g, q, func(m []graph.VertexID) bool {
+		for _, e := range q.Edges() {
+			if pinned.Has(m[e[0]], m[e[1]]) {
+				count++
+				break
+			}
+		}
+		return true
+	})
+	return count
+}
+
 // GroundTruthEnumerate calls fn for every match (indexed by query vertex);
 // fn returning false stops the enumeration. The match slice is reused
 // across calls. Label constraints are honoured — the oracle cross-checks

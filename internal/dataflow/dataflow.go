@@ -14,6 +14,7 @@ package dataflow
 
 import (
 	"fmt"
+	"slices"
 	"strings"
 )
 
@@ -46,6 +47,19 @@ type EdgeScan struct {
 	Filters        []OrderFilter
 }
 
+// DeltaScan is the SCAN(Δedge) source of delta-mode enumeration: instead of
+// every data edge, it emits one tuple per *delta* edge — the engine run's
+// pinned edge set (engine.Config.DeltaEdges) — in both orientations,
+// subject to the same label constraints and order filters as EdgeScan.
+// Difference-based rewriting pins one query edge on the delta per scan;
+// Extend.OldEdgeSlots excludes delta edges from the earlier query-edge
+// positions so no embedding is counted twice across the rewritten scans.
+type DeltaScan struct {
+	QA, QB         int
+	LabelA, LabelB int
+	Filters        []OrderFilter
+}
+
 // Extend is the PULL-EXTEND operator (Section 4.4). For each input tuple p
 // it computes C = ∩_{s ∈ ExtSlots} N_G(p[s]) — pulling remote adjacency via
 // the cache/RPC layer — and either:
@@ -63,8 +77,16 @@ type Extend struct {
 	// order filtering, in both the materialising and the compressed
 	// counting path. Same zero-value caveat as EdgeScan.LabelA.
 	TargetLabel int
-	NewFilters  []NewFilter
-	OutLayout   []int // query vertex held by each output slot
+	// OldEdgeSlots, for delta-mode dataflows, lists the ext slots s whose
+	// closed data edge (p[s], candidate) must NOT belong to the run's delta
+	// edge set (engine.Config.DeltaEdges): the query edges at positions
+	// before the pinned one are restricted to older-epoch edges, which is
+	// what makes the per-pinned-edge scans a disjoint partition of the new
+	// matches. Every entry must also appear in ExtSlots. Empty outside
+	// delta mode.
+	OldEdgeSlots []int
+	NewFilters   []NewFilter
+	OutLayout    []int // query vertex held by each output slot
 }
 
 // IsVerify reports whether this extend only verifies connectivity.
@@ -96,7 +118,8 @@ type Terminal struct {
 // Stage is one line-graph subplan.
 type Stage struct {
 	ID           int
-	Scan         *EdgeScan // exactly one of Scan / JoinSrc is non-nil
+	Scan         *EdgeScan  // exactly one of Scan / DeltaSrc / JoinSrc is non-nil
+	DeltaSrc     *DeltaScan // delta-mode source over the run's pinned edge set
 	JoinSrc      *Join
 	SourceLayout []int // query vertex per slot of the source output
 	Extends      []*Extend
@@ -127,10 +150,16 @@ func (d *Dataflow) Validate() error {
 		if s.ID != i {
 			return fmt.Errorf("dataflow: stage %d has ID %d", i, s.ID)
 		}
-		if (s.Scan == nil) == (s.JoinSrc == nil) {
+		sources := 0
+		for _, has := range []bool{s.Scan != nil, s.DeltaSrc != nil, s.JoinSrc != nil} {
+			if has {
+				sources++
+			}
+		}
+		if sources != 1 {
 			return fmt.Errorf("dataflow: stage %d must have exactly one source", i)
 		}
-		if s.Scan != nil && len(s.SourceLayout) != 2 {
+		if (s.Scan != nil || s.DeltaSrc != nil) && len(s.SourceLayout) != 2 {
 			return fmt.Errorf("dataflow: stage %d edge scan layout must have 2 slots", i)
 		}
 		if s.JoinSrc != nil {
@@ -176,6 +205,11 @@ func (d *Dataflow) Validate() error {
 					return fmt.Errorf("dataflow: stage %d extend %d filter slot out of range", i, k)
 				}
 			}
+			for _, s := range e.OldEdgeSlots {
+				if !slices.Contains(e.ExtSlots, s) {
+					return fmt.Errorf("dataflow: stage %d extend %d old-edge slot %d not an ext slot", i, k, s)
+				}
+			}
 		}
 		if i == len(d.Stages)-1 {
 			if !s.Terminal.Sink {
@@ -193,17 +227,24 @@ func (d *Dataflow) String() string {
 	var sb strings.Builder
 	for _, s := range d.Stages {
 		fmt.Fprintf(&sb, "stage %d:", s.ID)
-		if s.Scan != nil {
+		switch {
+		case s.Scan != nil:
 			fmt.Fprintf(&sb, " SCAN(v%d%s-v%d%s)", s.Scan.QA+1, labelSuffix(s.Scan.LabelA), s.Scan.QB+1, labelSuffix(s.Scan.LabelB))
-		} else {
+		case s.DeltaSrc != nil:
+			fmt.Fprintf(&sb, " DELTA-SCAN(v%d%s-v%d%s)", s.DeltaSrc.QA+1, labelSuffix(s.DeltaSrc.LabelA), s.DeltaSrc.QB+1, labelSuffix(s.DeltaSrc.LabelB))
+		default:
 			j := s.JoinSrc
 			fmt.Fprintf(&sb, " PUSH-JOIN(stages %d⋈%d)", j.LeftStage, j.RightStage)
 		}
 		for _, e := range s.Extends {
+			old := ""
+			if len(e.OldEdgeSlots) > 0 {
+				old = fmt.Sprintf(" old%v", e.OldEdgeSlots)
+			}
 			if e.IsVerify() {
-				fmt.Fprintf(&sb, " -> VERIFY(%v)", e.ExtSlots)
+				fmt.Fprintf(&sb, " -> VERIFY(%v%s)", e.ExtSlots, old)
 			} else {
-				fmt.Fprintf(&sb, " -> PULL-EXTEND(%v=>v%d%s)", e.ExtSlots, e.TargetQV+1, labelSuffix(e.TargetLabel))
+				fmt.Fprintf(&sb, " -> PULL-EXTEND(%v=>v%d%s%s)", e.ExtSlots, e.TargetQV+1, labelSuffix(e.TargetLabel), old)
 			}
 		}
 		if s.Terminal.Sink {

@@ -137,7 +137,7 @@ func (r *machineRun) countChunk(e *dataflow.Extend, c *dataflow.Batch, twoStage 
 			continue
 		}
 		cand := graph.IntersectMany(lists, &isect)
-		if len(e.NewFilters) == 0 && labels == nil {
+		if len(e.NewFilters) == 0 && labels == nil && len(e.OldEdgeSlots) == 0 {
 			// Fast path: count candidates, subtract the ones that collide
 			// with matched vertices (candidate lists are sorted sets, so a
 			// matched vertex appears at most once).
@@ -153,6 +153,9 @@ func (r *machineRun) countChunk(e *dataflow.Extend, c *dataflow.Batch, twoStage 
 	candidates:
 		for _, v := range cand {
 			if labels != nil && int(labels[v]) != e.TargetLabel {
+				continue
+			}
+			if !oldEdgesOK(e, r.ex.eng.cfg.DeltaEdges, row, v) {
 				continue
 			}
 			for _, u := range row {

@@ -64,6 +64,12 @@ type Config struct {
 	// sets instead of being materialised, shuffled and re-counted.
 	// Ignored when OnResult is set (rows must then exist).
 	Compress bool
+	// DeltaEdges is the pinned edge set of a delta-mode run: DeltaScan
+	// sources iterate it (instead of the full edge set) and
+	// Extend.OldEdgeSlots constraints exclude its members from earlier
+	// query-edge positions. Must be non-nil when the dataflow contains a
+	// DeltaScan; ignored otherwise.
+	DeltaEdges *graph.EdgeSet
 }
 
 func (c Config) withDefaults() Config {
@@ -163,6 +169,8 @@ func (e *Engine) runStage(ctx context.Context, st *dataflow.Stage) error {
 		var src sourceIter
 		if st.Scan != nil {
 			src = newScanIter(m, st.Scan)
+		} else if st.DeltaSrc != nil {
+			src = newDeltaScanIter(m, st.DeltaSrc, e.cfg.DeltaEdges)
 		} else {
 			jb := e.joins[st.ID]
 			bufferedRows += int64(jb.sides[0][m.ID].Rows() + jb.sides[1][m.ID].Rows())

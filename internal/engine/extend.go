@@ -206,6 +206,19 @@ func (r *machineRun) targetLabels(target int) ([]graph.LabelID, bool) {
 	return nil, target != 0
 }
 
+// oldEdgesOK applies the delta-mode old-edge restriction: for every slot in
+// e.OldEdgeSlots, the closed data edge (row[s], v) must not belong to the
+// run's pinned delta set. Always true outside delta mode (nil set, or no
+// restricted slots).
+func oldEdgesOK(e *dataflow.Extend, delta *graph.EdgeSet, row []graph.VertexID, v graph.VertexID) bool {
+	for _, s := range e.OldEdgeSlots {
+		if delta.Has(row[s], v) {
+			return false
+		}
+	}
+	return true
+}
+
 // neighborsFor resolves adjacency during intersection: local partition,
 // sealed cache entry (two-stage), or an on-demand locked fetch (Cncr-LRU).
 func (r *machineRun) neighborsFor(v graph.VertexID, twoStage bool) ([]graph.VertexID, error) {
@@ -254,7 +267,7 @@ func (r *machineRun) extendChunk(e *dataflow.Extend, c *dataflow.Batch, twoStage
 		}
 		cand := graph.IntersectMany(sc.lists, &sc.isect)
 		if e.IsVerify() {
-			if graph.ContainsSorted(cand, row[e.VerifySlot]) {
+			if graph.ContainsSorted(cand, row[e.VerifySlot]) && oldEdgesOK(e, eng.cfg.DeltaEdges, row, row[e.VerifySlot]) {
 				if sc.out.Rows() >= maxRows {
 					sc.outs = append(sc.outs, sc.out)
 					sc.out = dataflow.NewBatch(outWidth, maxRows)
@@ -267,6 +280,11 @@ func (r *machineRun) extendChunk(e *dataflow.Extend, c *dataflow.Batch, twoStage
 		for _, v := range cand {
 			// Label constraint on the newly matched vertex.
 			if labels != nil && int(labels[v]) != e.TargetLabel {
+				continue
+			}
+			// Delta-mode old-edge restriction: closed edges at earlier
+			// query-edge positions must predate the delta.
+			if !oldEdgesOK(e, eng.cfg.DeltaEdges, row, v) {
 				continue
 			}
 			// Injectivity: the new vertex must differ from every matched one.

@@ -89,6 +89,61 @@ func (s *scanIter) nextBatch(maxRows int) (*dataflow.Batch, bool, error) {
 	return b, true, nil
 }
 
+// deltaScanIter implements DELTA-SCAN: it emits one tuple per orientation
+// of each pinned delta edge, partitioned like a normal scan (the machine
+// owning the first endpoint emits the row). The pinned set is tiny relative
+// to the graph, so every machine walks the whole deterministic edge list
+// and keeps its own rows; edges absent from this snapshot (a caller pinning
+// a foreign set) are skipped. Label constraints check both endpoints
+// against the replicated label metadata — no communication either way.
+type deltaScanIter struct {
+	m    *cluster.MachineExec
+	scan *dataflow.DeltaScan
+	rows [][2]graph.VertexID // precomputed local rows
+	i    int
+}
+
+func newDeltaScanIter(m *cluster.MachineExec, scan *dataflow.DeltaScan, delta *graph.EdgeSet) *deltaScanIter {
+	s := &deltaScanIter{m: m, scan: scan}
+	g := m.Part.Graph()
+	labelOK := func(v graph.VertexID, want int) bool {
+		if want < 0 {
+			return true
+		}
+		return int(g.Label(v)) == want
+	}
+	for _, e := range delta.Edges() {
+		if int(e[0]) >= g.NumVertices() || int(e[1]) >= g.NumVertices() || !g.HasEdge(e[0], e[1]) {
+			continue
+		}
+		for _, row := range [2][2]graph.VertexID{{e[0], e[1]}, {e[1], e[0]}} {
+			if !m.Part.Owns(row[0]) {
+				continue
+			}
+			if !labelOK(row[0], scan.LabelA) || !labelOK(row[1], scan.LabelB) {
+				continue
+			}
+			if passOrderFilters(row[:], scan.Filters) {
+				s.rows = append(s.rows, row)
+			}
+		}
+	}
+	return s
+}
+
+func (s *deltaScanIter) nextBatch(maxRows int) (*dataflow.Batch, bool, error) {
+	if s.i >= len(s.rows) {
+		return nil, false, nil
+	}
+	b := dataflow.NewBatch(2, maxRows)
+	for s.i < len(s.rows) && b.Rows() < maxRows {
+		row := s.rows[s.i]
+		s.i++
+		b.Append(row[:])
+	}
+	return b, true, nil
+}
+
 func passOrderFilters(row []graph.VertexID, fs []dataflow.OrderFilter) bool {
 	for _, f := range fs {
 		if row[f.SlotA] >= row[f.SlotB] {

@@ -176,6 +176,87 @@ func LabeledByName(name string, scale, numLabels int) *graph.Graph {
 	return ZipfLabels(ByName(name, scale), numLabels, 1.8, seed)
 }
 
+// Update is one operation of a synthetic update stream: an edge insertion
+// (Del false) or deletion (Del true).
+type Update struct {
+	Del  bool
+	U, V graph.VertexID
+}
+
+// UpdateStream derives a random, replayable insert/delete stream of n
+// operations against g: roughly half deletions of edges present at that
+// point of the stream and half insertions of absent edges (within g's
+// vertex range), so replaying the stream keeps the graph near its original
+// density — the steady-churn regime incremental maintenance targets.
+// Deterministic for a given (g, n, seed).
+func UpdateStream(g *graph.Graph, n int, seed int64) []Update {
+	rng := rand.New(rand.NewSource(seed))
+	nv := g.NumVertices()
+	if nv < 2 {
+		return nil
+	}
+	// Live edge pool: membership map plus a slice for uniform sampling.
+	type edge = [2]graph.VertexID
+	canon := func(u, v graph.VertexID) edge {
+		if u > v {
+			u, v = v, u
+		}
+		return edge{u, v}
+	}
+	present := map[edge]int{} // edge -> index in pool
+	var pool []edge
+	for v := 0; v < nv; v++ {
+		for _, w := range g.Neighbors(graph.VertexID(v)) {
+			if graph.VertexID(v) < w {
+				e := edge{graph.VertexID(v), w}
+				present[e] = len(pool)
+				pool = append(pool, e)
+			}
+		}
+	}
+	out := make([]Update, 0, n)
+	fails := 0
+	for len(out) < n && fails < 64 {
+		if rng.Intn(2) == 0 && len(pool) > 0 {
+			// Delete a uniformly random live edge (swap-remove from pool).
+			i := rng.Intn(len(pool))
+			e := pool[i]
+			last := len(pool) - 1
+			pool[i] = pool[last]
+			present[pool[i]] = i
+			pool = pool[:last]
+			delete(present, e)
+			out = append(out, Update{Del: true, U: e[0], V: e[1]})
+			continue
+		}
+		// Insert a random absent edge; a few retries beat the odds on
+		// anything but a near-complete graph (the fails counter bounds the
+		// degenerate cases).
+		inserted := false
+		for try := 0; try < 32 && !inserted; try++ {
+			u := graph.VertexID(rng.Intn(nv))
+			v := graph.VertexID(rng.Intn(nv))
+			if u == v {
+				continue
+			}
+			e := canon(u, v)
+			if _, ok := present[e]; ok {
+				continue
+			}
+			present[e] = len(pool)
+			pool = append(pool, e)
+			out = append(out, Update{U: e[0], V: e[1]})
+			inserted = true
+		}
+		if inserted {
+			fails = 0
+		} else {
+			fails++
+		}
+	}
+	return out
+}
+
 // Dataset names the stand-in datasets used by the benchmark harness, sized
 // to run on one machine while preserving each original's degree profile.
 type Dataset struct {

@@ -1,0 +1,388 @@
+package graph
+
+// Versioned snapshots: a Delta describes an edge/label change set, and
+// Apply merges it into a *new* epoch-stamped Graph, leaving the current
+// snapshot untouched — in-flight queries keep reading the version they
+// started on. Small deltas become an adjacency overlay (rebuilt lists for
+// the touched vertices only, base CSR shared for everything else); once the
+// overlay grows past a fraction of the graph, Apply compacts back into a
+// flat CSR. The effective insert/delete sets are returned so the serving
+// layer can drive delta-only enumeration and incremental statistics.
+
+import (
+	"slices"
+)
+
+// DefaultOverlayFraction is the compaction threshold used by Apply: when
+// the overlay would hold more than this fraction of the graph's adjacency
+// entries, the new snapshot is rebuilt as a flat CSR instead.
+const DefaultOverlayFraction = 0.25
+
+// VertexLabel assigns label L to vertex V in a Delta.
+type VertexLabel struct {
+	V VertexID
+	L LabelID
+}
+
+// Delta is a batch of updates to apply to a snapshot: edge insertions,
+// edge deletions, and optional vertex label changes. Edges are undirected
+// and unordered; self-loops, duplicates, deletions of absent edges and
+// insertions of present ones are ignored (see Apply for the exact
+// semantics when one edge appears in both Insert and Delete).
+type Delta struct {
+	Insert [][2]VertexID
+	Delete [][2]VertexID
+	Labels []VertexLabel
+}
+
+// Empty reports whether the delta carries no updates at all.
+func (d Delta) Empty() bool {
+	return len(d.Insert) == 0 && len(d.Delete) == 0 && len(d.Labels) == 0
+}
+
+// EdgeSet is a set of canonical undirected edges (u < v) with O(1)
+// membership and a deterministic (sorted) edge list — the engine pins delta
+// scans on it and excludes its edges from older positions of a rewritten
+// enumeration. A nil *EdgeSet behaves as the empty set.
+type EdgeSet struct {
+	set  map[[2]VertexID]struct{}
+	list [][2]VertexID
+	srtd bool
+}
+
+// NewEdgeSet builds an EdgeSet from an edge list, canonicalising endpoint
+// order and dropping self-loops and duplicates.
+func NewEdgeSet(edges [][2]VertexID) *EdgeSet {
+	s := &EdgeSet{}
+	for _, e := range edges {
+		s.add(e[0], e[1])
+	}
+	return s
+}
+
+func (s *EdgeSet) add(u, v VertexID) bool {
+	if u == v {
+		return false
+	}
+	if u > v {
+		u, v = v, u
+	}
+	if s.set == nil {
+		s.set = map[[2]VertexID]struct{}{}
+	}
+	if _, ok := s.set[[2]VertexID{u, v}]; ok {
+		return false
+	}
+	s.set[[2]VertexID{u, v}] = struct{}{}
+	s.list = append(s.list, [2]VertexID{u, v})
+	s.srtd = false
+	return true
+}
+
+// Len returns the number of edges in the set (0 for nil).
+func (s *EdgeSet) Len() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.list)
+}
+
+// Has reports whether the undirected edge (u, v) is in the set. Safe on a
+// nil receiver.
+func (s *EdgeSet) Has(u, v VertexID) bool {
+	if s == nil || s.set == nil {
+		return false
+	}
+	if u > v {
+		u, v = v, u
+	}
+	_, ok := s.set[[2]VertexID{u, v}]
+	return ok
+}
+
+// Edges returns the canonical (u < v) edge list in ascending order. The
+// returned slice is owned by the set; do not modify.
+func (s *EdgeSet) Edges() [][2]VertexID {
+	if s == nil {
+		return nil
+	}
+	if !s.srtd {
+		slices.SortFunc(s.list, func(a, b [2]VertexID) int {
+			if a[0] != b[0] {
+				return int(a[0]) - int(b[0])
+			}
+			return int(a[1]) - int(b[1])
+		})
+		s.srtd = true
+	}
+	return s.list
+}
+
+// Applied reports the effective change Apply made — after dropping no-op
+// operations — so callers can maintain statistics and run delta-only
+// enumeration against exactly what changed.
+type Applied struct {
+	// Inserted holds the edges present in the new snapshot but not the old
+	// one; Deleted the edges present in the old snapshot but not the new.
+	// An edge listed in both Insert and Delete of the Delta is treated as
+	// deleted-then-reinserted and appears in both sets, which keeps the
+	// differential counting identity exact.
+	Inserted, Deleted *EdgeSet
+	// Touched lists the vertices whose adjacency changed, ascending.
+	Touched []VertexID
+	// Relabeled lists the vertices whose label actually changed.
+	Relabeled []VertexID
+	// Compacted reports whether the new snapshot was rebuilt as a flat CSR
+	// (true) or left as an overlay over the previous base (false).
+	Compacted bool
+}
+
+// Apply merges d into a new snapshot with epoch g.Epoch()+1 and returns it
+// together with the effective change. g is never mutated; the two
+// snapshots share storage wherever possible. Small deltas produce an
+// overlay; once the overlay would exceed DefaultOverlayFraction of the
+// adjacency entries the snapshot is compacted (see ApplyThreshold).
+//
+// Semantics: the new edge set is (E ∖ Delete) ∪ Insert over canonical
+// undirected edges; vertex count grows to cover every referenced vertex;
+// label changes apply after edges and rebuild the per-label index.
+func Apply(g *Graph, d Delta) (*Graph, Applied) {
+	return ApplyThreshold(g, d, DefaultOverlayFraction)
+}
+
+// ApplyThreshold is Apply with an explicit compaction threshold:
+// maxOverlayFrac <= 0 forces a CSR rebuild, >= 1 effectively always keeps
+// an overlay.
+func ApplyThreshold(g *Graph, d Delta, maxOverlayFrac float64) (*Graph, Applied) {
+	inBounds := func(u, v VertexID) bool { return int(u) < g.numV && int(v) < g.numV }
+
+	// Effective deletions: edges that exist in g.
+	del := &EdgeSet{}
+	for _, e := range d.Delete {
+		u, v := e[0], e[1]
+		if u == v || del.Has(u, v) {
+			continue
+		}
+		if inBounds(u, v) && g.HasEdge(u, v) {
+			del.add(u, v)
+		}
+	}
+	// Effective insertions: edges absent after the deletions. An edge both
+	// deleted and inserted counts as churn (member of both sets).
+	ins := &EdgeSet{}
+	for _, e := range d.Insert {
+		u, v := e[0], e[1]
+		if u == v || ins.Has(u, v) {
+			continue
+		}
+		if inBounds(u, v) && g.HasEdge(u, v) && !del.Has(u, v) {
+			continue // already present and staying: no-op
+		}
+		ins.add(u, v)
+	}
+
+	// Per-vertex change lists and the touched set.
+	insPer := map[VertexID][]VertexID{}
+	delPer := map[VertexID][]VertexID{}
+	touchedSet := map[VertexID]struct{}{}
+	for _, e := range ins.Edges() {
+		insPer[e[0]] = append(insPer[e[0]], e[1])
+		insPer[e[1]] = append(insPer[e[1]], e[0])
+		touchedSet[e[0]], touchedSet[e[1]] = struct{}{}, struct{}{}
+	}
+	for _, e := range del.Edges() {
+		delPer[e[0]] = append(delPer[e[0]], e[1])
+		delPer[e[1]] = append(delPer[e[1]], e[0])
+		touchedSet[e[0]], touchedSet[e[1]] = struct{}{}, struct{}{}
+	}
+	touched := make([]VertexID, 0, len(touchedSet))
+	for v := range touchedSet {
+		touched = append(touched, v)
+	}
+	slices.Sort(touched)
+
+	// New vertex count: cover every referenced vertex.
+	nv := g.numV
+	for _, e := range ins.Edges() {
+		if int(e[1])+1 > nv { // canonical order: e[1] is the larger endpoint
+			nv = int(e[1]) + 1
+		}
+	}
+	for _, vl := range d.Labels {
+		if int(vl.V)+1 > nv {
+			nv = int(vl.V) + 1
+		}
+	}
+	numE := g.numE + uint64(ins.Len()) - uint64(del.Len())
+
+	// Rebuild the adjacency of every touched vertex.
+	newAdj := make(map[VertexID][]VertexID, len(touched))
+	for _, v := range touched {
+		var old []VertexID
+		if int(v) < g.numV {
+			old = g.Neighbors(v)
+		}
+		newAdj[v] = mergeAdj(old, insPer[v], delPer[v])
+	}
+
+	applied := Applied{Inserted: ins, Deleted: del, Touched: touched}
+
+	// Choose representation: carry the parent overlay forward (touched
+	// vertices overwrite their carried entries) unless the result exceeds
+	// the compaction threshold.
+	overlay := make(map[VertexID][]VertexID, len(g.over)+len(newAdj))
+	for v, nb := range g.over {
+		overlay[v] = nb
+	}
+	for v, nb := range newAdj {
+		overlay[v] = nb
+	}
+	var overRows uint64
+	for _, nb := range overlay {
+		overRows += uint64(len(nb))
+	}
+
+	ng := &Graph{numV: nv, numE: numE, epoch: g.epoch + 1}
+	switch {
+	case len(overlay) == 0 && nv == g.numV:
+		// Nothing changed structurally: share the base CSR verbatim. (A
+		// label-only delta can still grow the vertex set, in which case the
+		// base offsets no longer cover every vertex — fall through to a
+		// compaction that extends them.)
+		ng.offsets, ng.adj, ng.maxDeg = g.offsets, g.adj, g.maxDeg
+	case len(overlay) == 0 && nv > g.numV,
+		maxOverlayFrac <= 0 || float64(overRows) > maxOverlayFrac*float64(2*numE):
+		ng.compactFrom(g, newAdj, nv)
+		applied.Compacted = true
+	default:
+		ng.offsets, ng.adj = g.offsets, g.adj
+		ng.over, ng.overRows = overlay, overRows
+		ng.maxDeg = overlayMaxDeg(g, newAdj, touched, nv)
+	}
+
+	applied.Relabeled = ng.applyLabels(g, d.Labels, nv)
+	return ng, applied
+}
+
+// mergeAdj rebuilds one sorted adjacency list: old minus del plus add.
+// Effective sets guarantee add ∩ (old ∖ del) = ∅, so no dedupe is needed.
+func mergeAdj(old, add, del []VertexID) []VertexID {
+	out := make([]VertexID, 0, len(old)+len(add)-len(del))
+	if len(del) == 0 {
+		out = append(out, old...)
+	} else {
+		drop := make(map[VertexID]struct{}, len(del))
+		for _, w := range del {
+			drop[w] = struct{}{}
+		}
+		for _, w := range old {
+			if _, gone := drop[w]; !gone {
+				out = append(out, w)
+			}
+		}
+	}
+	out = append(out, add...)
+	slices.Sort(out)
+	return out
+}
+
+// overlayMaxDeg maintains MaxDegree across an overlay apply: exact without
+// a full scan unless a vertex that carried the old maximum shrank.
+func overlayMaxDeg(g *Graph, newAdj map[VertexID][]VertexID, touched []VertexID, nv int) int {
+	newTouchedMax, oldMaxTouched := 0, false
+	for _, v := range touched {
+		if int(v) < g.numV && g.Degree(v) == g.maxDeg {
+			oldMaxTouched = true
+		}
+		if d := len(newAdj[v]); d > newTouchedMax {
+			newTouchedMax = d
+		}
+	}
+	if newTouchedMax >= g.maxDeg {
+		return newTouchedMax
+	}
+	if !oldMaxTouched {
+		return g.maxDeg
+	}
+	// The old argmax may have shrunk and another vertex may (or may not)
+	// still carry the old maximum: recompute over per-vertex degrees (O(N),
+	// no adjacency scan).
+	maxDeg := 0
+	for v := 0; v < nv; v++ {
+		d := 0
+		if nb, ok := newAdj[VertexID(v)]; ok {
+			d = len(nb)
+		} else if v < g.numV {
+			d = g.Degree(VertexID(v))
+		}
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	return maxDeg
+}
+
+// compactFrom materialises the merged view (g plus newAdj) as a flat CSR.
+func (ng *Graph) compactFrom(g *Graph, newAdj map[VertexID][]VertexID, nv int) {
+	neigh := func(v VertexID) []VertexID {
+		if nb, ok := newAdj[v]; ok {
+			return nb
+		}
+		if int(v) < g.numV {
+			return g.Neighbors(v)
+		}
+		return nil
+	}
+	offsets := make([]uint64, nv+1)
+	total := uint64(0)
+	maxDeg := 0
+	for v := 0; v < nv; v++ {
+		offsets[v] = total
+		d := len(neigh(VertexID(v)))
+		total += uint64(d)
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	offsets[nv] = total
+	adj := make([]VertexID, 0, total)
+	for v := 0; v < nv; v++ {
+		adj = append(adj, neigh(VertexID(v))...)
+	}
+	ng.offsets, ng.adj, ng.maxDeg = offsets, adj, maxDeg
+}
+
+// applyLabels carries g's labelling into ng (extended to nv vertices) and
+// applies the delta's label changes, rebuilding the per-label index when
+// anything changed. It returns the vertices whose label actually changed.
+func (ng *Graph) applyLabels(g *Graph, changes []VertexLabel, nv int) []VertexID {
+	if g.labels == nil && len(changes) == 0 {
+		return nil // stays unlabelled
+	}
+	// Fast path: labelled graph, same vertex count, no effective change —
+	// share the existing label arrays and index.
+	if g.labels != nil && nv == g.numV {
+		effective := false
+		for _, c := range changes {
+			if g.labels[c.V] != c.L {
+				effective = true
+				break
+			}
+		}
+		if !effective {
+			ng.labels, ng.labelOff, ng.labelVerts, ng.numLabels = g.labels, g.labelOff, g.labelVerts, g.numLabels
+			return nil
+		}
+	}
+	labels := make([]LabelID, nv)
+	copy(labels, g.labels) // new vertices default to label 0
+	var relabeled []VertexID
+	for _, c := range changes {
+		if labels[c.V] != c.L {
+			labels[c.V] = c.L
+			relabeled = append(relabeled, c.V)
+		}
+	}
+	ng.attachLabels(labels)
+	return relabeled
+}

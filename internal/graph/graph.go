@@ -31,12 +31,28 @@ type LabelID = uint16
 // arrays), so engines may consult them for any vertex without an RPC. The
 // per-label vertex index makes "all vertices with label l" an O(1) slice
 // lookup, which label-constrained SCAN sources seed from.
+//
+// Graphs are versioned: every snapshot carries an epoch (0 for a freshly
+// built graph), and Apply derives the next snapshot from a Delta without
+// mutating the current one. A small delta is represented as an overlay —
+// rebuilt adjacency lists for the touched vertices only, sharing the base
+// CSR arrays for everything else — and is compacted back into a flat CSR
+// once the overlay grows past a threshold (see Apply).
 type Graph struct {
 	offsets []uint64
 	adj     []VertexID
 	numV    int
-	numE    uint64 // undirected edge count; len(adj) == 2*numE
+	numE    uint64 // undirected edge count; adjacency entries == 2*numE
 	maxDeg  int
+	epoch   uint64 // snapshot version: 0 at Build, +1 per Apply
+
+	// over, when non-nil, holds the full rebuilt adjacency lists of the
+	// vertices touched by deltas since the last compaction. Vertices absent
+	// from the map read from the base CSR; vertices beyond the base CSR
+	// (added by a delta) always live here. overRows counts the adjacency
+	// entries held in the overlay.
+	over     map[VertexID][]VertexID
+	overRows uint64
 
 	labels     []LabelID  // nil for unlabelled graphs
 	labelOff   []uint32   // CSR offsets into labelVerts; len numLabels+1
@@ -53,6 +69,15 @@ func (g *Graph) NumEdges() uint64 { return g.numE }
 // MaxDegree returns the maximum vertex degree D_G.
 func (g *Graph) MaxDegree() int { return g.maxDeg }
 
+// Epoch returns the snapshot version: 0 for a freshly built graph,
+// incremented by every Apply.
+func (g *Graph) Epoch() uint64 { return g.epoch }
+
+// OverlayRows returns the number of adjacency entries held in the delta
+// overlay (0 for a compact snapshot) — an observability hook for tests and
+// capacity accounting.
+func (g *Graph) OverlayRows() uint64 { return g.overRows }
+
 // AvgDegree returns the average vertex degree d_G.
 func (g *Graph) AvgDegree() float64 {
 	if g.numV == 0 {
@@ -63,12 +88,23 @@ func (g *Graph) AvgDegree() float64 {
 
 // Degree returns the degree of v.
 func (g *Graph) Degree(v VertexID) int {
+	if g.over != nil {
+		return len(g.Neighbors(v))
+	}
 	return int(g.offsets[v+1] - g.offsets[v])
 }
 
 // Neighbors returns the sorted adjacency list of v. The returned slice
 // aliases the graph's internal storage and must not be modified.
 func (g *Graph) Neighbors(v VertexID) []VertexID {
+	if g.over != nil {
+		if nb, ok := g.over[v]; ok {
+			return nb
+		}
+		if int(v) >= len(g.offsets)-1 {
+			return nil // vertex added by a delta, no base adjacency
+		}
+	}
 	return g.adj[g.offsets[v]:g.offsets[v+1]]
 }
 
@@ -81,12 +117,13 @@ func (g *Graph) HasEdge(u, v VertexID) bool {
 	return ContainsSorted(nu, v)
 }
 
-// SizeBytes returns the in-memory size of the CSR arrays, used as |E_G| in
-// the optimiser's pulling-cost term and for cache-capacity budgeting.
-// Labels are excluded: they are replicated metadata, not partitioned
-// adjacency data, so they affect neither pulling cost nor cache budgets.
+// SizeBytes returns the in-memory size of the CSR arrays (plus any delta
+// overlay), used as |E_G| in the optimiser's pulling-cost term and for
+// cache-capacity budgeting. Labels are excluded: they are replicated
+// metadata, not partitioned adjacency data, so they affect neither pulling
+// cost nor cache budgets.
 func (g *Graph) SizeBytes() uint64 {
-	return uint64(len(g.offsets))*8 + uint64(len(g.adj))*4
+	return uint64(len(g.offsets))*8 + uint64(len(g.adj))*4 + g.overRows*4
 }
 
 // Labeled reports whether the graph carries an explicit vertex labelling.
@@ -150,7 +187,10 @@ func WithLabels(g *Graph, labels []LabelID) *Graph {
 	if len(labels) != g.numV {
 		panic(fmt.Sprintf("graph: WithLabels got %d labels for %d vertices", len(labels), g.numV))
 	}
-	ng := &Graph{offsets: g.offsets, adj: g.adj, numV: g.numV, numE: g.numE, maxDeg: g.maxDeg}
+	ng := &Graph{
+		offsets: g.offsets, adj: g.adj, numV: g.numV, numE: g.numE, maxDeg: g.maxDeg,
+		epoch: g.epoch, over: g.over, overRows: g.overRows,
+	}
 	ng.attachLabels(append([]LabelID(nil), labels...))
 	return ng
 }
@@ -185,7 +225,10 @@ func (g *Graph) attachLabels(labels []LabelID) {
 }
 
 // Builder accumulates edges and produces a Graph. The zero value is ready to
-// use. Duplicate edges and self-loops are dropped at Build time.
+// use. Duplicate edges and self-loops are dropped at Build time. A Builder
+// must not be reused after Build: the built Graph aliases the Builder's
+// buffers, so further mutation would corrupt it — every method panics once
+// Build has run.
 type Builder struct {
 	src, dst []VertexID
 	maxID    VertexID
@@ -193,15 +236,27 @@ type Builder struct {
 	numFixed int       // explicit vertex count, if set
 	labels   []LabelID // sparse until Build; missing entries default to 0
 	labelled bool
+	built    bool
+}
+
+// checkReuse enforces the single-Build contract.
+func (b *Builder) checkReuse() {
+	if b.built {
+		panic("graph: Builder reused after Build — create a new Builder per graph")
+	}
 }
 
 // SetNumVertices forces the vertex count (useful when trailing vertices are
 // isolated). Build panics if an edge references a vertex >= n.
-func (b *Builder) SetNumVertices(n int) { b.numFixed = n }
+func (b *Builder) SetNumVertices(n int) {
+	b.checkReuse()
+	b.numFixed = n
+}
 
 // SetLabel records the label of v. Calling it at least once makes the built
 // graph labelled; vertices never assigned a label default to label 0.
 func (b *Builder) SetLabel(v VertexID, l LabelID) {
+	b.checkReuse()
 	b.labelled = true
 	if int(v) >= len(b.labels) {
 		grown := make([]LabelID, v+1)
@@ -216,6 +271,7 @@ func (b *Builder) SetLabel(v VertexID, l LabelID) {
 
 // AddEdge records the undirected edge (u, v). Self-loops are ignored.
 func (b *Builder) AddEdge(u, v VertexID) {
+	b.checkReuse()
 	if u == v {
 		return
 	}
@@ -230,8 +286,11 @@ func (b *Builder) AddEdge(u, v VertexID) {
 	b.hasEdge = true
 }
 
-// Build finalises the CSR structure. The Builder must not be reused after.
+// Build finalises the CSR structure. The Builder must not be reused after;
+// any further call on it (including a second Build) panics.
 func (b *Builder) Build() *Graph {
+	b.checkReuse()
+	b.built = true
 	n := 0
 	if b.hasEdge || b.labelled {
 		n = int(b.maxID) + 1

@@ -9,12 +9,27 @@ package plan
 
 import (
 	"container/list"
+	"fmt"
+	"strings"
 	"sync"
 )
 
 // DefaultCacheCapacity is the plan-cache size used when callers pass a
 // non-positive capacity to NewCache.
 const DefaultCacheCapacity = 128
+
+// CacheKey builds the composite plan-cache key the serving layer uses: the
+// query's canonical fingerprint, the logical-plan family, the deployment
+// size the optimiser costs against, and the graph-statistics version
+// (GraphStats.Fingerprint(), which includes the snapshot epoch). The stats
+// token is the final key component so InvalidateGraph can match it.
+func CacheKey(queryFP, family string, machines int, statsFP uint64) string {
+	return fmt.Sprintf("%s|%s|k=%d|%s", queryFP, family, machines, statsToken(statsFP))
+}
+
+func statsToken(statsFP uint64) string {
+	return fmt.Sprintf("stats=%016x", statsFP)
+}
 
 // Cache is a bounded, thread-safe LRU of optimised plans. The zero value
 // is not usable; construct with NewCache.
@@ -106,6 +121,28 @@ func (c *Cache) Put(key string, p *Plan) {
 		c.ll.Remove(oldest)
 		delete(c.items, oldest.Value.(*cacheEntry).key)
 	}
+}
+
+// InvalidateGraph drops every plan that was optimised against the given
+// graph-statistics version (a CacheKey statsFP component) and returns how
+// many entries were evicted. The serving layer calls it after applying a
+// graph delta: keys already make a stale hit impossible (the new epoch
+// yields a new stats fingerprint), so this is garbage collection — without
+// it a stream of updates would fill the LRU with dead plans and evict the
+// live ones.
+func (c *Cache) InvalidateGraph(statsFP uint64) int {
+	suffix := statsToken(statsFP)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	evicted := 0
+	for key, el := range c.items {
+		if strings.HasSuffix(key, suffix) {
+			c.ll.Remove(el)
+			delete(c.items, key)
+			evicted++
+		}
+	}
+	return evicted
 }
 
 // Stats returns cumulative hits and misses, and the current entry count.

@@ -21,6 +21,12 @@ type GraphStats struct {
 	M       uint64    // undirected edges
 	Moments []float64 // Moments[k] = Σ_v d(v)^k, for k = 0..MaxVertices-1
 	MaxDeg  int
+	// Epoch is the snapshot version the statistics were computed for
+	// (graph.Graph.Epoch()). It participates in Fingerprint, so two
+	// statistically identical snapshots of different epochs never share
+	// plan-cache entries — a plan optimised before an update can never be
+	// served after it.
+	Epoch uint64
 	// LabelCounts[l] is the number of vertices carrying label l; nil for
 	// unlabelled graphs. The optimiser multiplies a sub-query's estimate by
 	// each constrained vertex's label selectivity, which is what makes
@@ -79,6 +85,7 @@ func (s GraphStats) Fingerprint() uint64 {
 	mix(uint64(s.N))
 	mix(s.M)
 	mix(uint64(s.MaxDeg))
+	mix(s.Epoch)
 	for _, m := range s.Moments {
 		mix(math.Float64bits(m))
 	}
@@ -98,6 +105,7 @@ func ComputeStats(g *graph.Graph) GraphStats {
 		M:       g.NumEdges(),
 		Moments: make([]float64, query.MaxVertices),
 		MaxDeg:  g.MaxDegree(),
+		Epoch:   g.Epoch(),
 	}
 	for v := 0; v < g.NumVertices(); v++ {
 		d := float64(g.Degree(graph.VertexID(v)))
@@ -114,6 +122,50 @@ func ComputeStats(g *graph.Graph) GraphStats {
 		}
 	}
 	return s
+}
+
+// UpdateStats derives the statistics of the snapshot newG from the previous
+// snapshot's statistics without rescanning the graph: only the vertices
+// whose adjacency changed (touched, from graph.Applied.Touched) have their
+// degree-moment contributions swapped; N, M, MaxDeg and Epoch are O(1)
+// reads off newG; label frequencies are re-read from the per-label index
+// (numLabels entries, not a vertex scan). With exact integer-valued moments
+// it matches ComputeStats(newG) bit for bit.
+func UpdateStats(s GraphStats, oldG, newG *graph.Graph, touched []graph.VertexID) GraphStats {
+	ns := GraphStats{
+		N:       newG.NumVertices(),
+		M:       newG.NumEdges(),
+		Moments: append([]float64(nil), s.Moments...),
+		MaxDeg:  newG.MaxDegree(),
+		Epoch:   newG.Epoch(),
+	}
+	// Moments[0] = N always (every vertex contributes d^0 = 1): covers gap
+	// vertices created by a growing delta without touching the loop below.
+	ns.Moments[0] = float64(ns.N)
+	oldN := oldG.NumVertices()
+	for _, v := range touched {
+		var oldD float64
+		if int(v) < oldN {
+			oldD = float64(oldG.Degree(v))
+		}
+		newD := float64(newG.Degree(v))
+		po, pn := oldD, newD
+		for k := 1; k < len(ns.Moments); k++ {
+			if int(v) < oldN {
+				ns.Moments[k] -= po
+			}
+			ns.Moments[k] += pn
+			po *= oldD
+			pn *= newD
+		}
+	}
+	if newG.Labeled() {
+		ns.LabelCounts = make([]float64, newG.NumLabels())
+		for l := range ns.LabelCounts {
+			ns.LabelCounts[l] = float64(newG.LabelCount(graph.LabelID(l)))
+		}
+	}
+	return ns
 }
 
 // MomentEstimator returns a CardFunc based on degree moments: in the

@@ -299,6 +299,9 @@ func EnforcedEdges(q *query.Query, d *dataflow.Dataflow) map[[2]int]int {
 		if s.Scan != nil {
 			add(s.Scan.QA, s.Scan.QB)
 		}
+		if s.DeltaSrc != nil {
+			add(s.DeltaSrc.QA, s.DeltaSrc.QB)
+		}
 		for _, e := range s.Extends {
 			if e.IsVerify() {
 				for _, slot := range e.ExtSlots {

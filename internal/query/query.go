@@ -41,6 +41,11 @@ type Query struct {
 	name   string
 	labels []int // per-vertex label constraint (AnyLabel = wildcard); nil when unconstrained
 
+	// delta marks a delta-mode view created by Delta(): the engine
+	// enumerates only the matches introduced (or removed) by the latest
+	// applied graph delta instead of the full result.
+	delta bool
+
 	// mu guards the only post-construction mutable state: the orders
 	// (replaceable via SetOrders), the custom-orders flag, and the memoised
 	// fingerprint — so configuration may race with concurrent runs without
@@ -139,6 +144,24 @@ func newQuery(name string, edges [][2]int, labels []int) *Query {
 func (q *Query) WithVertexLabels(labels []int) *Query {
 	return newQuery(q.name, q.edges, labels)
 }
+
+// Delta returns a delta-mode view of q: running it against a system that
+// has applied a graph delta enumerates only the *change* in q's matches —
+// embeddings that contain at least one updated edge — instead of the full
+// result. The view shares q's structure, labels and current
+// symmetry-breaking orders (a later SetOrders on q does not propagate).
+// Delta-mode queries count; they are not cached as plans (the rewriting is
+// linear in the query size, unlike the exponential optimiser).
+func (q *Query) Delta() *Query {
+	nq := &Query{n: q.n, edges: q.edges, adj: q.adj, name: q.name, labels: q.labels, delta: true}
+	q.mu.Lock()
+	nq.orders, nq.customOrders, nq.fp = q.orders, q.customOrders, q.fp
+	q.mu.Unlock()
+	return nq
+}
+
+// IsDelta reports whether this is a delta-mode view (see Delta).
+func (q *Query) IsDelta() bool { return q.delta }
 
 // NumVertices returns |V_q|.
 func (q *Query) NumVertices() int { return q.n }
