@@ -13,6 +13,7 @@
 //	huge -query q1 -repeat 5           # warm runs reuse the cached plan
 //	huge -labels 16 -query triangle -vlabels 2,2,2    # labelled matching
 //	huge -labels 16 -pattern "(a:1)-(b:2), (b:2)-(c:1), (c:1)-(a:1)"
+//	huge -elabels 8 -pattern "(a)-[2]-(b), (b)-[2]-(c), (c)-[2]-(a)"  # edge labels
 //	huge -input go.txt -query triangle -updates go.txt.updates -update-batch 200
 package main
 
@@ -37,6 +38,7 @@ func main() {
 		pattern  = flag.String("pattern", "", "Cypher-flavoured pattern, e.g. \"(a:1)-(b:2), (b:2)-(c)\" (overrides -query)")
 		vlabels  = flag.String("vlabels", "", "comma-separated per-vertex label constraints for -query (* = any), e.g. 2,*,2,*")
 		labels   = flag.Int("labels", 0, "attach N Zipf-distributed vertex labels to the generated dataset (0 = unlabelled)")
+		elabels  = flag.Int("elabels", 0, "attach N Zipf-distributed edge labels to the generated dataset (0 = unlabelled)")
 		planArg  = flag.String("plan", "optimal", "plan: optimal wco seed rads benu emptyheaded graphflow")
 		machines = flag.Int("machines", 4, "simulated machines")
 		workers  = flag.Int("workers", 2, "workers per machine")
@@ -88,13 +90,15 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+	} else if *elabels > 0 {
+		g = huge.GenerateEdgeLabeled(*dataset, *scale, *elabels, *labels)
 	} else if *labels > 0 {
 		g = huge.GenerateLabeled(*dataset, *scale, *labels)
 	} else {
 		g = huge.Generate(*dataset, *scale)
 	}
-	fmt.Printf("graph: %d vertices, %d edges, max degree %d, labels %d\n",
-		g.NumVertices(), g.NumEdges(), g.MaxDegree(), g.NumLabels())
+	fmt.Printf("graph: %d vertices, %d edges, max degree %d, labels %d, edge labels %d\n",
+		g.NumVertices(), g.NumEdges(), g.MaxDegree(), g.NumLabels(), g.NumEdgeLabels())
 
 	sys := huge.NewSystem(g, huge.Options{Machines: *machines, Workers: *workers, QueueRows: *queue})
 	sess := sys.NewSession()
@@ -171,10 +175,14 @@ func replayUpdates(ctx context.Context, sys *huge.System, sess *huge.Session, q 
 		}
 		var d huge.Delta
 		for _, op := range ops[lo:hi] {
-			if op.del {
+			switch {
+			case op.del:
 				d.Delete = append(d.Delete, [2]huge.VertexID{op.u, op.v})
-			} else {
+			case op.rel:
+				d.Relabel = append(d.Relabel, huge.EdgeLabel{U: op.u, V: op.v, L: op.l})
+			default:
 				d.Insert = append(d.Insert, [2]huge.VertexID{op.u, op.v})
+				d.InsertLabels = append(d.InsertLabels, op.l)
 			}
 		}
 		epoch := sys.Apply(d)
@@ -201,12 +209,14 @@ func replayUpdates(ctx context.Context, sys *huge.System, sess *huge.Session, q 
 }
 
 type updateOp struct {
-	del  bool
-	u, v huge.VertexID
+	del, rel bool
+	u, v     huge.VertexID
+	l        huge.LabelID
 }
 
-// readUpdates parses an update-stream file: "+ u v" inserts, "- u v"
-// deletes, '#' comments.
+// readUpdates parses an update-stream file: "+ u v" (or "+ u v l" for a
+// labelled edge) inserts, "- u v" deletes, "~ u v l" relabels, '#'
+// comments.
 func readUpdates(path string) ([]updateOp, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -223,8 +233,19 @@ func readUpdates(path string) ([]updateOp, error) {
 			continue
 		}
 		fields := strings.Fields(line)
-		if len(fields) != 3 || (fields[0] != "+" && fields[0] != "-") {
-			return nil, fmt.Errorf("%s:%d: want \"+ u v\" or \"- u v\", got %q", path, lineNo, line)
+		bad := func() ([]updateOp, error) {
+			return nil, fmt.Errorf("%s:%d: want \"+ u v [l]\", \"- u v\" or \"~ u v l\", got %q", path, lineNo, line)
+		}
+		if len(fields) < 3 || len(fields) > 4 {
+			return bad()
+		}
+		op := updateOp{del: fields[0] == "-", rel: fields[0] == "~"}
+		switch {
+		case fields[0] == "+" && len(fields) <= 4:
+		case op.del && len(fields) == 3:
+		case op.rel && len(fields) == 4:
+		default:
+			return bad()
 		}
 		u, err := strconv.ParseUint(fields[1], 10, 32)
 		if err != nil {
@@ -234,7 +255,15 @@ func readUpdates(path string) ([]updateOp, error) {
 		if err != nil {
 			return nil, fmt.Errorf("%s:%d: %v", path, lineNo, err)
 		}
-		ops = append(ops, updateOp{del: fields[0] == "-", u: huge.VertexID(u), v: huge.VertexID(v)})
+		op.u, op.v = huge.VertexID(u), huge.VertexID(v)
+		if len(fields) == 4 {
+			l, err := strconv.ParseUint(fields[3], 10, 16)
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: %v", path, lineNo, err)
+			}
+			op.l = huge.LabelID(l)
+		}
+		ops = append(ops, op)
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err

@@ -1,13 +1,16 @@
 // Command hugegen writes a synthetic stand-in dataset as an edge list,
 // optionally together with a random insert/delete update stream so the
 // delta-maintenance path is drivable end to end (replay it with
-// `huge -updates`).
+// `huge -updates`). With -elabels the dataset carries Zipf edge labels
+// ("u v l" lines) and the stream carries labelled inserts plus "~ u v l"
+// edge relabels.
 //
 // Usage:
 //
 //	hugegen -dataset LJ -scale 2 -out lj.txt
 //	hugegen -dataset GO -out go.txt -updates 1000      # also writes go.txt.updates
 //	hugegen -dataset GO -out go.txt -updates 1000 -updates-out stream.txt
+//	hugegen -dataset GO -elabels 8 -out go.txt -updates 1000   # edge-labelled twin
 package main
 
 import (
@@ -17,6 +20,7 @@ import (
 	"os"
 
 	"repro/internal/gen"
+	"repro/internal/graph"
 )
 
 func main() {
@@ -24,12 +28,22 @@ func main() {
 		dataset    = flag.String("dataset", "LJ", "dataset: GO LJ OR UK EU FS CW")
 		scale      = flag.Int("scale", 1, "scale multiplier")
 		out        = flag.String("out", "", "output file (default stdout)")
-		updates    = flag.Int("updates", 0, "also emit a random insert/delete stream of N operations")
+		vlabels    = flag.Int("vlabels", 0, "attach N Zipf-distributed vertex labels (0 = unlabelled)")
+		elabels    = flag.Int("elabels", 0, "attach N Zipf-distributed edge labels (0 = unlabelled)")
+		updates    = flag.Int("updates", 0, "also emit a random insert/delete stream of N operations (with -elabels: labelled inserts + relabels)")
 		updatesOut = flag.String("updates-out", "", "update-stream file (default <out>.updates; required with -updates when writing to stdout)")
 		seed       = flag.Int64("seed", 1, "update-stream seed")
 	)
 	flag.Parse()
-	g := gen.ByName(*dataset, *scale)
+	var g *graph.Graph
+	switch {
+	case *elabels > 0:
+		g = gen.EdgeLabeledByName(*dataset, *scale, *elabels, *vlabels)
+	case *vlabels > 0:
+		g = gen.LabeledByName(*dataset, *scale, *vlabels)
+	default:
+		g = gen.ByName(*dataset, *scale)
+	}
 	w := os.Stdout
 	if *out != "" {
 		f, err := os.Create(*out)
@@ -64,15 +78,27 @@ func main() {
 	}
 	defer f.Close()
 	bw := bufio.NewWriter(f)
-	fmt.Fprintf(bw, "# update stream: %d ops on %s scale %d (seed %d); \"+ u v\" inserts, \"- u v\" deletes\n",
-		*updates, *dataset, *scale, *seed)
-	stream := gen.UpdateStream(g, *updates, *seed)
+	var stream []gen.Update
+	if *elabels > 0 {
+		fmt.Fprintf(bw, "# update stream: %d ops on %s scale %d (seed %d); \"+ u v l\" inserts, \"- u v\" deletes, \"~ u v l\" relabels\n",
+			*updates, *dataset, *scale, *seed)
+		stream = gen.EdgeLabeledUpdateStream(g, *updates, *elabels, *seed)
+	} else {
+		fmt.Fprintf(bw, "# update stream: %d ops on %s scale %d (seed %d); \"+ u v\" inserts, \"- u v\" deletes\n",
+			*updates, *dataset, *scale, *seed)
+		stream = gen.UpdateStream(g, *updates, *seed)
+	}
 	for _, u := range stream {
-		op := "+"
-		if u.Del {
-			op = "-"
+		switch {
+		case u.Del:
+			fmt.Fprintf(bw, "- %d %d\n", u.U, u.V)
+		case u.Rel:
+			fmt.Fprintf(bw, "~ %d %d %d\n", u.U, u.V, u.L)
+		case *elabels > 0:
+			fmt.Fprintf(bw, "+ %d %d %d\n", u.U, u.V, u.L)
+		default:
+			fmt.Fprintf(bw, "+ %d %d\n", u.U, u.V)
 		}
-		fmt.Fprintf(bw, "%s %d %d\n", op, u.U, u.V)
 	}
 	if err := bw.Flush(); err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -4,20 +4,23 @@
 //
 // The public API lives in repro/huge: a concurrent query service with
 // per-run execution contexts and a fingerprint-keyed plan cache, serving
-// both unlabelled and label-constrained patterns — vertex labels thread
-// through the whole stack (labelled graphs with a per-label index,
-// label-aware automorphisms and canonical fingerprints, selectivity-driven
-// plans, and label-filtered scans and extensions in the engine). The data
-// graph is versioned: System.Apply merges edge/label deltas into
-// immutable epoch-stamped snapshots (overlay adjacency for small deltas,
-// CSR compaction past a threshold), Sessions pin the snapshot they opened
-// on, plan-cache keys carry the epoch, and Query.Delta() enumerates only
-// the match delta via difference-based rewriting — full(t) + delta ==
-// full(t+1), oracle-verified. The benchmark harness that regenerates
-// every table and figure of the paper's evaluation lives in
-// repro/internal/exp and is timed by the benchmarks in bench_test.go
-// (BenchmarkDeltaVsFull covers incremental maintenance). See README.md
-// for the architecture overview, including the session/plan-cache
-// layering, the labelled matching workload and the streaming-updates
-// model.
+// both unlabelled and label-constrained patterns — vertex AND edge labels
+// thread through the whole stack (labelled graphs with a per-label vertex
+// index and a (srcLabel, edgeLabel) triple index, label-aware
+// automorphisms and canonical fingerprints, triple-statistics-driven
+// selectivity in the optimiser, and one shared vertex-/edge-label
+// candidate predicate in the engine's scan and extend paths). The data
+// graph is versioned: System.Apply merges edge insert/delete/relabel and
+// vertex-label deltas into immutable epoch-stamped snapshots (overlay
+// adjacency for small deltas, CSR compaction past a threshold), Sessions
+// pin the snapshot they opened on, plan-cache keys carry the epoch, and
+// Query.Delta() enumerates only the match delta via difference-based
+// rewriting — full(t) + delta == full(t+1), oracle-verified, including
+// under edge-label churn. The benchmark harness that regenerates every
+// table and figure of the paper's evaluation lives in repro/internal/exp
+// and is timed by the benchmarks in bench_test.go (BenchmarkDeltaVsFull
+// covers incremental maintenance, BenchmarkEdgeLabeledVsUnlabeled
+// edge-label selectivity). See README.md for the architecture overview,
+// including the session/plan-cache layering, the labelled and
+// edge-labelled matching workloads and the streaming-updates model.
 package repro

@@ -1,0 +1,53 @@
+package huge
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParsePattern: the pattern parser must never panic — query
+// construction panics (disconnected, oversized, bad labels) are converted
+// to errors — and an accepted pattern must produce a consistent, runnable
+// query. The seed corpus spans vertex-, edge-, and mixed-label syntax.
+func FuzzParsePattern(f *testing.F) {
+	seeds := []string{
+		"(a)-(b), (b)-(c), (c)-(a)",
+		"a-b, b-c, c-d, d-a",
+		"(a:1)-(b:2), (b:2)-(c)",
+		"(a:1)-[2]-(b:1)",
+		"(a:1)-[2]-(b:1), (b:1)-[2]-(c), (c)-(a:1)",
+		"a-[ 7 ]-b, b-c",
+		"a-[0]-b, b-[65535]-c",
+		"a-[1]-b, a-b",
+		"x-y",
+		"a-[]-b",
+		"a-[x]-b",
+		"a-b-c",
+		", ,",
+		"(a:65536)-(b)",
+		"a-[70000]-b",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, pattern string) {
+		q, names, err := ParsePattern("fuzz", pattern)
+		if err != nil {
+			if q != nil || names != nil {
+				t.Fatalf("error with non-nil results: %v", err)
+			}
+			return
+		}
+		if q == nil || len(names) != q.NumVertices() {
+			t.Fatalf("accepted pattern %q: %d names for %d vertices", pattern, len(names), q.NumVertices())
+		}
+		// Accepted queries are well-formed: fingerprinting exercises the
+		// canonical-code search over whatever label signature was parsed.
+		if q.Fingerprint() == "" {
+			t.Fatalf("accepted pattern %q: empty fingerprint", pattern)
+		}
+		if q.EdgeLabeled() && !strings.Contains(q.Fingerprint(), ";el:") {
+			t.Fatalf("edge-labelled pattern %q: fingerprint %q lacks edge-label signature", pattern, q.Fingerprint())
+		}
+	})
+}

@@ -21,6 +21,11 @@
 // LoadLabeledEdgeList, WithLabels): plans exploit label selectivity, scans
 // seed from the per-label index, and the plan cache distinguishes label
 // signatures — with zero API or cache impact on unlabelled callers.
+// Edges are first-class too: graphs may carry per-edge labels
+// (GenerateEdgeLabeled, LoadEdgeLabeledEdgeList, WithEdgeLabels) and
+// queries per-edge constraints (NewEdgeLabeledQuery, or the "-[<label>]-"
+// pattern syntax); scans then seed from the (srcLabel, edgeLabel) triple
+// index and the optimiser orders rare edge labels first.
 //
 // The data graph is versioned. System.Apply merges a Delta (edge
 // insertions/deletions, label changes) into a new immutable snapshot and
@@ -56,11 +61,13 @@ type (
 	VertexID = graph.VertexID
 	// LabelID identifies a vertex label in a labelled data graph.
 	LabelID = graph.LabelID
-	// Delta is a batch of graph updates (edge insertions/deletions and
-	// label changes) for System.Apply.
+	// Delta is a batch of graph updates (edge insertions/deletions/relabels
+	// and vertex label changes) for System.Apply.
 	Delta = graph.Delta
-	// VertexLabel is one label assignment inside a Delta.
+	// VertexLabel is one vertex-label assignment inside a Delta.
 	VertexLabel = graph.VertexLabel
+	// EdgeLabel is one edge-relabel operation inside a Delta.
+	EdgeLabel = graph.EdgeLabel
 	// Query is a connected query (pattern) graph with symmetry-breaking
 	// orders derived from its automorphism group.
 	Query = query.Query
@@ -83,6 +90,15 @@ const AnyLabel = query.AnyLabel
 // so the cache never conflates differently-labelled twins.
 func NewLabeledQuery(name string, edges [][2]int, labels []int) *Query {
 	return query.NewLabeled(name, edges, labels)
+}
+
+// NewEdgeLabeledQuery is NewLabeledQuery with per-edge constraints too:
+// elabels[i] is the data edge label edges[i] must carry, or AnyLabel for
+// no constraint. Either label slice may be nil. Edge-labelled queries
+// fingerprint apart from their unlabelled twins (never a shared plan-cache
+// entry) while unlabelled fingerprints are unchanged.
+func NewEdgeLabeledQuery(name string, edges [][2]int, labels, elabels []int) *Query {
+	return query.NewEdgeLabeled(name, edges, labels, elabels)
 }
 
 // The paper's benchmark queries (Figure 4) and the triangle.
@@ -110,9 +126,23 @@ func LoadEdgeList(r io.Reader) (*Graph, error) { return graph.ReadEdgeList(r) }
 // format — a file without label lines loads as an unlabelled graph).
 func LoadLabeledEdgeList(r io.Reader) (*Graph, error) { return graph.ReadLabeledEdgeList(r) }
 
+// LoadEdgeLabeledEdgeList reads the full labelled edge-list format:
+// "u v <label>" edge-labelled edges alongside plain "u v" edges and
+// "v <id> <label>" vertex-label lines. (It is the same parser as
+// LoadLabeledEdgeList — the format is one strict superset — named for
+// discoverability.)
+func LoadEdgeLabeledEdgeList(r io.Reader) (*Graph, error) { return graph.ReadLabeledEdgeList(r) }
+
 // WithLabels attaches per-vertex labels to a graph, sharing its CSR arrays
 // (len(labels) must equal g.NumVertices()).
 func WithLabels(g *Graph, labels []LabelID) *Graph { return graph.WithLabels(g, labels) }
+
+// WithEdgeLabels attaches per-edge labels to a graph, sharing its CSR
+// arrays: label is invoked once per direction of each undirected edge with
+// canonical endpoints u < v and must be a pure function of them.
+func WithEdgeLabels(g *Graph, label func(u, v VertexID) LabelID) *Graph {
+	return graph.WithEdgeLabels(g, label)
+}
 
 // Generate creates a synthetic stand-in for one of the paper's datasets
 // (GO, LJ, OR, UK, EU, FS, CW) at the given scale multiplier.
@@ -124,6 +154,15 @@ func Generate(dataset string, scale int) *Graph { return gen.ByName(dataset, sca
 // the last label the rare tail.
 func GenerateLabeled(dataset string, scale, numLabels int) *Graph {
 	return gen.LabeledByName(dataset, scale, numLabels)
+}
+
+// GenerateEdgeLabeled is Generate with Zipf-distributed edge labels
+// attached — the edge-labelled twin of the named dataset. numEdgeLabels <=
+// 0 selects the default alphabet; vertexLabels > 0 additionally attaches
+// Zipf vertex labels, so the twin exercises full
+// (srcLabel, edgeLabel, dstLabel) statistics.
+func GenerateEdgeLabeled(dataset string, scale, numEdgeLabels, vertexLabels int) *Graph {
+	return gen.EdgeLabeledByName(dataset, scale, numEdgeLabels, vertexLabels)
 }
 
 // Options configures a System. The zero value gives a single-machine,
@@ -325,12 +364,19 @@ func (s *System) Epoch() uint64 { return s.snapshot().epoch() }
 // the statistics fingerprint), so keeping them would only crowd out live
 // plans. Applies are serialised; each call costs one repartition of the
 // graph plus work proportional to the delta, not to the graph.
+//
+// Edge relabels (Delta.Relabel) are delete-and-reinsert churn at the graph
+// layer: the edge lands in both pinned sets, so delta-mode runs count
+// matches lost under the old edge label and gained under the new one, and
+// the differential identity holds for edge-label-constrained queries with
+// no extra handling here. Vertex relabels need the incident-edge
+// augmentation below.
 func (s *System) Apply(d Delta) uint64 {
 	s.applyMu.Lock()
 	defer s.applyMu.Unlock()
 	cur := s.snapshot()
 	ng, applied := graph.Apply(cur.g, d)
-	stats := plan.UpdateStats(cur.stats, cur.g, ng, applied.Touched)
+	stats := plan.UpdateStats(cur.stats, cur.g, ng, applied)
 	cl := cluster.New(ng, s.opts.clusterConfig())
 	inserted, deleted := applied.Inserted, applied.Deleted
 	if len(applied.Relabeled) > 0 {

@@ -7,10 +7,12 @@ package huge
 //	"(a)-(b), (b)-(c), (c)-(a)"        // triangle
 //	"a-b, b-c, c-d, d-a"               // square; parentheses optional
 //	"(a:1)-(b:2), (b:2)-(c)"           // ":<label>" constrains a vertex's label
+//	"(a:1)-[2]-(b:1)"                  // "-[<label>]-" constrains the edge's label
 //
 // Vertex names are assigned query-vertex IDs in order of first appearance.
 // A label annotation may appear at any occurrence of a vertex but must be
-// consistent across them; unannotated vertices match any label.
+// consistent across them; unannotated vertices match any label, and edges
+// without a "-[l]-" infix match any edge label.
 
 import (
 	"fmt"
@@ -27,6 +29,7 @@ func ParsePattern(name, pattern string) (*Query, map[string]int, error) {
 	names := map[string]int{}
 	var edges [][2]int
 	var labels []int
+	var elabels []int
 	intern := func(tok string) (int, error) {
 		tok = strings.TrimSpace(tok)
 		tok = strings.TrimPrefix(tok, "(")
@@ -68,8 +71,23 @@ func ParsePattern(name, pattern string) (*Query, map[string]int, error) {
 			continue
 		}
 		ends := strings.Split(part, "-")
-		if len(ends) != 2 {
-			return nil, nil, fmt.Errorf("pattern %s: edge %d (%q): want exactly one '-'", name, i+1, part)
+		edgeLabel := query.AnyLabel
+		switch len(ends) {
+		case 2:
+		case 3:
+			// "a-[l]-b": the middle segment names the edge label.
+			mid := strings.TrimSpace(ends[1])
+			if !strings.HasPrefix(mid, "[") || !strings.HasSuffix(mid, "]") {
+				return nil, nil, fmt.Errorf("pattern %s: edge %d (%q): want \"a-b\" or \"a-[label]-b\"", name, i+1, part)
+			}
+			l, err := strconv.ParseUint(strings.TrimSpace(mid[1:len(mid)-1]), 10, 16)
+			if err != nil {
+				return nil, nil, fmt.Errorf("pattern %s: edge %d: invalid edge label in %q", name, i+1, mid)
+			}
+			edgeLabel = int(l)
+			ends = []string{ends[0], ends[2]}
+		default:
+			return nil, nil, fmt.Errorf("pattern %s: edge %d (%q): want exactly one '-' (or an \"-[label]-\" infix)", name, i+1, part)
 		}
 		a, err := intern(ends[0])
 		if err != nil {
@@ -88,11 +106,12 @@ func ParsePattern(name, pattern string) (*Query, map[string]int, error) {
 			}
 		}
 		edges = append(edges, [2]int{a, b})
+		elabels = append(elabels, edgeLabel)
 	}
 	if len(edges) == 0 {
 		return nil, nil, fmt.Errorf("pattern %s: no edges", name)
 	}
-	q, err := safeNewQuery(name, edges, labels)
+	q, err := safeNewQuery(name, edges, labels, elabels)
 	if err != nil {
 		return nil, nil, fmt.Errorf("pattern %s: %v", name, err)
 	}
@@ -101,13 +120,13 @@ func ParsePattern(name, pattern string) (*Query, map[string]int, error) {
 
 // safeNewQuery converts query construction panics (disconnected pattern,
 // too many vertices) into errors for parser callers.
-func safeNewQuery(name string, edges [][2]int, labels []int) (q *Query, err error) {
+func safeNewQuery(name string, edges [][2]int, labels, elabels []int) (q *Query, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("%v", r)
 		}
 	}()
-	return NewLabeledQuery(name, edges, labels), nil
+	return NewEdgeLabeledQuery(name, edges, labels, elabels), nil
 }
 
 // MatchPattern parses and runs a pattern in one call.

@@ -36,19 +36,60 @@ func TestParsePatternBareNames(t *testing.T) {
 
 func TestParsePatternErrors(t *testing.T) {
 	cases := []string{
-		"",         // no edges
-		"a-a",      // self loop
-		"a-b, a-b", // duplicate
-		"a-b, b-a", // duplicate reversed
-		"a-b-c",    // malformed edge
-		"a-",       // empty name
-		"a!-b",     // invalid name
-		"a-b, c-d", // disconnected
+		"",                 // no edges
+		"a-a",              // self loop
+		"a-b, a-b",         // duplicate
+		"a-b, b-a",         // duplicate reversed
+		"a-b-c",            // malformed edge
+		"a-",               // empty name
+		"a!-b",             // invalid name
+		"a-b, c-d",         // disconnected
+		"a-[x]-b",          // non-numeric edge label
+		"a-[]-b",           // empty edge label
+		"a-[70000]-b",      // edge label overflow (16-bit)
+		"a-[1]-[2]-b",      // two infixes
+		"a-[1-b",           // unclosed bracket
+		"a-[1]-a",          // labelled self loop
+		"a-[1]-b, a-[2]-b", // duplicate with different labels
 	}
 	for _, c := range cases {
 		if _, _, err := ParsePattern("bad", c); err == nil {
 			t.Errorf("pattern %q: expected error", c)
 		}
+	}
+}
+
+func TestParsePatternEdgeLabels(t *testing.T) {
+	q, _, err := ParsePattern("tri", "(a:1)-[2]-(b:1), (b:1)-[2]-(c), (c)-(a:1)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.EdgeLabeled() || !q.Labeled() {
+		t.Fatalf("labels lost: edge=%v vertex=%v", q.EdgeLabeled(), q.Labeled())
+	}
+	if got := q.EdgeLabelBetween(0, 1); got != 2 {
+		t.Errorf("edge (a,b) label %d, want 2", got)
+	}
+	if got := q.EdgeLabelBetween(0, 2); got != AnyLabel {
+		t.Errorf("edge (a,c) label %d, want wildcard", got)
+	}
+	// Bare names and whitespace inside the bracket parse too.
+	q2, _, err := ParsePattern("p", "a-[ 7 ]-b, b-c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := q2.EdgeLabelBetween(0, 1); got != 7 {
+		t.Errorf("edge label %d, want 7", got)
+	}
+	// An edge-labelled parsed pattern counts like its API-built twin.
+	g := WithEdgeLabels(Generate("GO", 1), func(u, v VertexID) LabelID { return LabelID(u+v) % 3 })
+	pq, _, err := ParsePattern("tri2", "a-[1]-b, b-[1]-c, c-[1]-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	api := NewEdgeLabeledQuery("tri2", [][2]int{{0, 1}, {1, 2}, {2, 0}}, nil, []int{1, 1, 1})
+	if got, want := baseline.GroundTruthCount(g, pq), baseline.GroundTruthCount(g, api); got != want {
+		t.Fatalf("parsed edge-labelled triangle counts %d, API twin %d", got, want)
 	}
 }
 

@@ -133,7 +133,7 @@ func (b *benuWorker) rec(depth int) {
 	// Copy: deeper pulls may recycle the scratch (and evict cache entries).
 	own := append([]graph.VertexID(nil), cands...)
 	for _, c := range own {
-		if b.used[c] || !labelOK(b.g, b.q, v, c) {
+		if b.used[c] || !labelOK(b.g, b.q, v, c) || !edgeLabelsOKAssign(b.g, b.q, v, c, b.assign, b.pos, depth) {
 			continue
 		}
 		ok := true

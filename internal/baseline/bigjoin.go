@@ -47,6 +47,9 @@ func RunBiGJoin(g *graph.Graph, q *query.Query, cfg BiGJoinConfig, m *metrics.Me
 				continue
 			}
 			row := []graph.VertexID{graph.VertexID(u), w}
+			if !edgeLabelsOK(g, q, []int{v0}, row[:1], v1, w) {
+				continue
+			}
 			if checkOrderWith(q, []int{v0}, row[:1], v1, w) && checkOrderWith(q, nil, nil, v0, graph.VertexID(u)) {
 				initial = append(initial, graph.VertexID(u), w)
 			}
@@ -150,6 +153,9 @@ func bigjoinExpand(g *graph.Graph, q *query.Query, part graph.Partitioner, order
 			for _, t := range tasks[mi] {
 				for _, c := range t.cands {
 					if containsVal(t.row, c) || !labelOK(g, q, target, c) {
+						continue
+					}
+					if !edgeLabelsOK(g, q, cur.layout, t.row, target, c) {
 						continue
 					}
 					if !checkOrderWith(q, cur.layout, t.row, target, c) {

@@ -96,6 +96,54 @@ func labelOK(g *graph.Graph, q *query.Query, v int, c graph.VertexID) bool {
 	return l < 0 || int(g.Label(c)) == l
 }
 
+// edgeLabelsOK reports whether matching candidate c to query vertex v
+// keeps every closed edge's label constraint satisfied: for each matched
+// slot s (layout gives the query vertex of each row slot) adjacent to v in
+// the query, the data edge (row[s], c) must carry the constrained label.
+// An edge-unlabelled data graph behaves as uniformly edge-label-0,
+// mirroring the engine's semantics.
+func edgeLabelsOK(g *graph.Graph, q *query.Query, layout []int, row []graph.VertexID, v int, c graph.VertexID) bool {
+	if !q.EdgeLabeled() {
+		return true
+	}
+	for s, qv := range layout {
+		if !q.HasEdge(qv, v) {
+			continue
+		}
+		l := q.EdgeLabelBetween(qv, v)
+		if l < 0 {
+			continue
+		}
+		if int(g.EdgeLabel(row[s], c)) != l {
+			return false
+		}
+	}
+	return true
+}
+
+// edgeLabelsOKAssign is edgeLabelsOK for the backtracking executors that
+// index partial matches by query vertex (assign) with a matching-order
+// position array: the matched neighbours of v are those with pos[u] <
+// depth.
+func edgeLabelsOKAssign(g *graph.Graph, q *query.Query, v int, c graph.VertexID, assign []graph.VertexID, pos []int, depth int) bool {
+	if !q.EdgeLabeled() {
+		return true
+	}
+	for _, u := range q.Adj(v) {
+		if pos[u] >= depth {
+			continue
+		}
+		l := q.EdgeLabelBetween(u, v)
+		if l < 0 {
+			continue
+		}
+		if int(g.EdgeLabel(assign[u], c)) != l {
+			return false
+		}
+	}
+	return true
+}
+
 func containsVal(row []graph.VertexID, c graph.VertexID) bool {
 	for _, u := range row {
 		if u == c {

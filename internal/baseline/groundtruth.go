@@ -45,9 +45,10 @@ func GroundTruthPinnedCount(g *graph.Graph, q *query.Query, pinned *graph.EdgeSe
 
 // GroundTruthEnumerate calls fn for every match (indexed by query vertex);
 // fn returning false stops the enumeration. The match slice is reused
-// across calls. Label constraints are honoured — the oracle cross-checks
-// labelled configurations exactly like unlabelled ones — and the first
-// matched vertex seeds from the graph's per-label index when constrained.
+// across calls. Vertex- and edge-label constraints are honoured — the
+// oracle cross-checks labelled configurations exactly like unlabelled
+// ones — and the first matched vertex seeds from the graph's per-label
+// index when constrained.
 func GroundTruthEnumerate(g *graph.Graph, q *query.Query, fn func(match []graph.VertexID) bool) {
 	order := plan.MatchingOrder(q)
 	n := q.NumVertices()
@@ -96,7 +97,7 @@ func GroundTruthEnumerate(g *graph.Graph, q *query.Query, fn func(match []graph.
 			cands = graph.IntersectMany(lists, &scratches[depth])
 		}
 		for _, c := range cands {
-			if used[c] || !labelOK(g, q, v, c) {
+			if used[c] || !labelOK(g, q, v, c) || !edgeLabelsOKAssign(g, q, v, c, assign, pos, depth) {
 				continue
 			}
 			okOrder := true

@@ -110,7 +110,9 @@ func radsGroup(g *graph.Graph, q *query.Query, part graph.Partitioner, units []u
 		}
 		v := layout[depth]
 		for _, c := range nbrs {
-			if containsVal(row[:depth], c) || !labelOK(g, q, v, c) || !checkOrderWith(q, layout[:depth], row[:depth], v, c) {
+			if containsVal(row[:depth], c) || !labelOK(g, q, v, c) ||
+				!edgeLabelsOK(g, q, layout[:depth], row[:depth], v, c) ||
+				!checkOrderWith(q, layout[:depth], row[:depth], v, c) {
 				continue
 			}
 			row[depth] = c
@@ -165,9 +167,13 @@ func radsGroup(g *graph.Graph, q *query.Query, part graph.Partitioner, units []u
 			for i := 0; i+cur.width <= len(data); i += cur.width {
 				prow := data[i : i+cur.width]
 				nbrs := pull(mi, prow[rootSlot])
-				// Verify edges to already-matched leaves.
+				// Verify edges to already-matched leaves (label included).
 				for _, l := range v1 {
-					if !graph.ContainsSorted(nbrs, prow[cur.slotOf(l)]) {
+					lv := prow[cur.slotOf(l)]
+					if !graph.ContainsSorted(nbrs, lv) {
+						continue rows
+					}
+					if el := q.EdgeLabelBetween(r, l); el >= 0 && int(g.EdgeLabel(prow[rootSlot], lv)) != el {
 						continue rows
 					}
 				}
@@ -184,7 +190,9 @@ func radsGroup(g *graph.Graph, q *query.Query, part graph.Partitioner, units []u
 					}
 					v := nextLayout[depth]
 					for _, c := range nbrs {
-						if containsVal(out[:depth], c) || !labelOK(g, q, v, c) || !checkOrderWith(q, nextLayout[:depth], out[:depth], v, c) {
+						if containsVal(out[:depth], c) || !labelOK(g, q, v, c) ||
+							!edgeLabelsOK(g, q, nextLayout[:depth], out[:depth], v, c) ||
+							!checkOrderWith(q, nextLayout[:depth], out[:depth], v, c) {
 							continue
 						}
 						out[depth] = c

@@ -227,6 +227,9 @@ func seedStar(g *graph.Graph, q *query.Query, part graph.Partitioner, em uint32,
 			if containsVal(row[:depth], c) || !labelOK(g, q, v, c) {
 				continue
 			}
+			if !edgeLabelsOK(g, q, layout[:depth], row[:depth], v, c) {
+				continue
+			}
 			if !checkOrderWith(q, layout[:depth], row[:depth], v, c) {
 				continue
 			}

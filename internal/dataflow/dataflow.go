@@ -41,9 +41,16 @@ type NewFilter struct {
 // label 0, which every vertex of an unlabelled graph carries — harmless
 // there, a genuine constraint on labelled graphs; the planner always sets
 // both fields explicitly.
+//
+// EdgeLabel constrains the data label of the scanned edge itself (-1 =
+// any). An edge-label-constrained scan seeds from the graph's
+// (srcLabel, edgeLabel) triple index, so only vertices with at least one
+// qualifying incident edge are walked. The zero-value caveat above applies
+// here too.
 type EdgeScan struct {
 	QA, QB         int
 	LabelA, LabelB int
+	EdgeLabel      int
 	Filters        []OrderFilter
 }
 
@@ -54,9 +61,11 @@ type EdgeScan struct {
 // Difference-based rewriting pins one query edge on the delta per scan;
 // Extend.OldEdgeSlots excludes delta edges from the earlier query-edge
 // positions so no embedding is counted twice across the rewritten scans.
+// EdgeLabel constrains the data label of the pinned edge, as in EdgeScan.
 type DeltaScan struct {
 	QA, QB         int
 	LabelA, LabelB int
+	EdgeLabel      int
 	Filters        []OrderFilter
 }
 
@@ -77,6 +86,13 @@ type Extend struct {
 	// order filtering, in both the materialising and the compressed
 	// counting path. Same zero-value caveat as EdgeScan.LabelA.
 	TargetLabel int
+	// EdgeLabels, when non-nil, is parallel to ExtSlots: entry i constrains
+	// the data label of the edge this operator closes via slot i — the edge
+	// (p[ExtSlots[i]], candidate) for a normal extension, or
+	// (p[ExtSlots[i]], p[VerifySlot]) for a verify extend (-1 = any). It
+	// shares the scan/extend candidate predicate with TargetLabel, so
+	// vertex- and edge-label filtering are one path, not two.
+	EdgeLabels []int
 	// OldEdgeSlots, for delta-mode dataflows, lists the ext slots s whose
 	// closed data edge (p[s], candidate) must NOT belong to the run's delta
 	// edge set (engine.Config.DeltaEdges): the query edges at positions
@@ -205,6 +221,9 @@ func (d *Dataflow) Validate() error {
 					return fmt.Errorf("dataflow: stage %d extend %d filter slot out of range", i, k)
 				}
 			}
+			if e.EdgeLabels != nil && len(e.EdgeLabels) != len(e.ExtSlots) {
+				return fmt.Errorf("dataflow: stage %d extend %d has %d edge labels for %d ext slots", i, k, len(e.EdgeLabels), len(e.ExtSlots))
+			}
 			for _, s := range e.OldEdgeSlots {
 				if !slices.Contains(e.ExtSlots, s) {
 					return fmt.Errorf("dataflow: stage %d extend %d old-edge slot %d not an ext slot", i, k, s)
@@ -229,9 +248,9 @@ func (d *Dataflow) String() string {
 		fmt.Fprintf(&sb, "stage %d:", s.ID)
 		switch {
 		case s.Scan != nil:
-			fmt.Fprintf(&sb, " SCAN(v%d%s-v%d%s)", s.Scan.QA+1, labelSuffix(s.Scan.LabelA), s.Scan.QB+1, labelSuffix(s.Scan.LabelB))
+			fmt.Fprintf(&sb, " SCAN(v%d%s%sv%d%s)", s.Scan.QA+1, labelSuffix(s.Scan.LabelA), edgeLabelInfix(s.Scan.EdgeLabel), s.Scan.QB+1, labelSuffix(s.Scan.LabelB))
 		case s.DeltaSrc != nil:
-			fmt.Fprintf(&sb, " DELTA-SCAN(v%d%s-v%d%s)", s.DeltaSrc.QA+1, labelSuffix(s.DeltaSrc.LabelA), s.DeltaSrc.QB+1, labelSuffix(s.DeltaSrc.LabelB))
+			fmt.Fprintf(&sb, " DELTA-SCAN(v%d%s%sv%d%s)", s.DeltaSrc.QA+1, labelSuffix(s.DeltaSrc.LabelA), edgeLabelInfix(s.DeltaSrc.EdgeLabel), s.DeltaSrc.QB+1, labelSuffix(s.DeltaSrc.LabelB))
 		default:
 			j := s.JoinSrc
 			fmt.Fprintf(&sb, " PUSH-JOIN(stages %d⋈%d)", j.LeftStage, j.RightStage)
@@ -241,10 +260,17 @@ func (d *Dataflow) String() string {
 			if len(e.OldEdgeSlots) > 0 {
 				old = fmt.Sprintf(" old%v", e.OldEdgeSlots)
 			}
+			el := ""
+			for _, l := range e.EdgeLabels {
+				if l >= 0 {
+					el = fmt.Sprintf(" el%v", e.EdgeLabels)
+					break
+				}
+			}
 			if e.IsVerify() {
-				fmt.Fprintf(&sb, " -> VERIFY(%v%s)", e.ExtSlots, old)
+				fmt.Fprintf(&sb, " -> VERIFY(%v%s%s)", e.ExtSlots, el, old)
 			} else {
-				fmt.Fprintf(&sb, " -> PULL-EXTEND(%v=>v%d%s%s)", e.ExtSlots, e.TargetQV+1, labelSuffix(e.TargetLabel), old)
+				fmt.Fprintf(&sb, " -> PULL-EXTEND(%v=>v%d%s%s%s)", e.ExtSlots, e.TargetQV+1, labelSuffix(e.TargetLabel), el, old)
 			}
 		}
 		if s.Terminal.Sink {
@@ -263,4 +289,13 @@ func labelSuffix(l int) string {
 		return ""
 	}
 	return fmt.Sprintf(":L%d", l)
+}
+
+// edgeLabelInfix renders an edge-label constraint between two scan
+// endpoints ("-" for wildcards, "-[L<l>]-" when constrained).
+func edgeLabelInfix(l int) string {
+	if l < 0 {
+		return "-"
+	}
+	return fmt.Sprintf("-[L%d]-", l)
 }

@@ -111,8 +111,8 @@ func (r *machineRun) countIntersect(e *dataflow.Extend, b *dataflow.Batch, twoSt
 }
 
 func (r *machineRun) countChunk(e *dataflow.Extend, c *dataflow.Batch, twoStage bool) (uint64, error) {
-	labels, impossible := r.targetLabels(e.TargetLabel)
-	if impossible {
+	pred := r.newCandPred(e)
+	if pred.impossible {
 		return 0, nil
 	}
 	var lists [][]graph.VertexID
@@ -137,7 +137,7 @@ func (r *machineRun) countChunk(e *dataflow.Extend, c *dataflow.Batch, twoStage 
 			continue
 		}
 		cand := graph.IntersectMany(lists, &isect)
-		if len(e.NewFilters) == 0 && labels == nil && len(e.OldEdgeSlots) == 0 {
+		if len(e.NewFilters) == 0 && pred.trivial() {
 			// Fast path: count candidates, subtract the ones that collide
 			// with matched vertices (candidate lists are sorted sets, so a
 			// matched vertex appears at most once).
@@ -152,10 +152,7 @@ func (r *machineRun) countChunk(e *dataflow.Extend, c *dataflow.Batch, twoStage 
 		}
 	candidates:
 		for _, v := range cand {
-			if labels != nil && int(labels[v]) != e.TargetLabel {
-				continue
-			}
-			if !oldEdgesOK(e, r.ex.eng.cfg.DeltaEdges, row, v) {
+			if !pred.ok(row, v) {
 				continue
 			}
 			for _, u := range row {

@@ -190,29 +190,77 @@ func closeScratch(sc *extendScratch) []*dataflow.Batch {
 	return sc.outs
 }
 
-// targetLabels resolves label filtering for a PULL-EXTEND target
-// constraint: (nil, false) when no per-candidate check is needed — a
-// wildcard, or label 0 on an unlabelled graph, which every vertex carries
-// implicitly — (labels, false) for a real check against the replicated
-// label array, and (nil, true) when the constraint can never be satisfied
-// (a non-zero label on an unlabelled graph).
-func (r *machineRun) targetLabels(target int) ([]graph.LabelID, bool) {
-	if target < 0 {
-		return nil, false
-	}
-	if g := r.m.Part.Graph(); g.Labeled() {
-		return g.Labels(), false
-	}
-	return nil, target != 0
+// candPred is the one candidate predicate shared by every PULL-EXTEND
+// path — materialising, compressed-counting, and verify: the target
+// vertex-label constraint, the per-slot edge-label constraints, and the
+// delta-mode old-edge restriction all evaluate here, so vertex- and
+// edge-label filtering share a single predicate pipeline instead of two
+// bolted-on branches. Injectivity and symmetry-breaking filters stay with
+// the callers (they differ between the extend and verify shapes).
+type candPred struct {
+	e      *dataflow.Extend
+	g      *graph.Graph
+	labels []graph.LabelID // target vertex-label check (nil = none)
+	// edgeSlots/edgeWants hold the ext slots with a live edge-label check.
+	edgeSlots []int
+	edgeWants []graph.LabelID
+	delta     *graph.EdgeSet
+	// impossible marks a constraint no candidate can satisfy on this graph
+	// (a non-zero label on an unlabelled dimension): the whole extend
+	// yields nothing.
+	impossible bool
 }
 
-// oldEdgesOK applies the delta-mode old-edge restriction: for every slot in
-// e.OldEdgeSlots, the closed data edge (row[s], v) must not belong to the
-// run's pinned delta set. Always true outside delta mode (nil set, or no
-// restricted slots).
-func oldEdgesOK(e *dataflow.Extend, delta *graph.EdgeSet, row []graph.VertexID, v graph.VertexID) bool {
-	for _, s := range e.OldEdgeSlots {
-		if delta.Has(row[s], v) {
+func (r *machineRun) newCandPred(e *dataflow.Extend) candPred {
+	p := candPred{e: e, g: r.m.Part.Graph(), delta: r.ex.eng.cfg.DeltaEdges}
+	if e.TargetLabel >= 0 {
+		if p.g.Labeled() {
+			p.labels = p.g.Labels()
+		} else if e.TargetLabel != 0 {
+			p.impossible = true
+		}
+	}
+	for i, want := range e.EdgeLabels {
+		if want < 0 {
+			continue
+		}
+		if !p.g.EdgeLabeled() {
+			if want != 0 {
+				p.impossible = true
+			}
+			continue // every edge implicitly carries label 0
+		}
+		p.edgeSlots = append(p.edgeSlots, e.ExtSlots[i])
+		p.edgeWants = append(p.edgeWants, graph.LabelID(want))
+	}
+	return p
+}
+
+// trivial reports that ok always returns true — the compressed-counting
+// fast path may then count candidates without per-candidate checks.
+func (p *candPred) trivial() bool {
+	return p.labels == nil && len(p.edgeSlots) == 0 && len(p.e.OldEdgeSlots) == 0 && !p.impossible
+}
+
+// ok applies the shared label/delta predicate to candidate v (for a verify
+// extend, v is the already-matched verified vertex). Edge labels are read
+// off the local graph snapshot: they ride along the adjacency the engine
+// already pulled and accounted for. The old-edge check rejects closed data
+// edges (row[s], v) that belong to the run's pinned delta set: the query
+// edges at positions before the pinned one are restricted to older-epoch
+// edges, which is what makes the per-pinned-edge scans a disjoint
+// partition of the new matches.
+func (p *candPred) ok(row []graph.VertexID, v graph.VertexID) bool {
+	if p.labels != nil && int(p.labels[v]) != p.e.TargetLabel {
+		return false
+	}
+	for i, s := range p.edgeSlots {
+		if p.g.EdgeLabel(row[s], v) != p.edgeWants[i] {
+			return false
+		}
+	}
+	for _, s := range p.e.OldEdgeSlots {
+		if p.delta.Has(row[s], v) {
 			return false
 		}
 	}
@@ -233,8 +281,9 @@ func (r *machineRun) neighborsFor(v graph.VertexID, twoStage bool) ([]graph.Vert
 }
 
 // extendChunk applies the extend to every row of one chunk, appending
-// results to the worker's scratch batches. A target-label constraint drops
-// candidates before the injectivity and symmetry-breaking checks.
+// results to the worker's scratch batches. The shared candidate predicate
+// (vertex label, edge labels, delta old-edge restriction) drops candidates
+// before the injectivity and symmetry-breaking checks.
 func (r *machineRun) extendChunk(e *dataflow.Extend, c *dataflow.Batch, twoStage bool, sc *extendScratch) {
 	eng := r.ex.eng
 	outWidth := len(e.OutLayout)
@@ -242,9 +291,9 @@ func (r *machineRun) extendChunk(e *dataflow.Extend, c *dataflow.Batch, twoStage
 	if sc.out == nil {
 		sc.out = dataflow.NewBatch(outWidth, maxRows)
 	}
-	labels, impossible := r.targetLabels(e.TargetLabel)
-	if impossible {
-		return // the constrained label cannot occur in this graph
+	pred := r.newCandPred(e)
+	if pred.impossible {
+		return // a constrained label cannot occur in this graph
 	}
 	for i := 0; i < c.Rows(); i++ {
 		row := c.Row(i)
@@ -267,7 +316,7 @@ func (r *machineRun) extendChunk(e *dataflow.Extend, c *dataflow.Batch, twoStage
 		}
 		cand := graph.IntersectMany(sc.lists, &sc.isect)
 		if e.IsVerify() {
-			if graph.ContainsSorted(cand, row[e.VerifySlot]) && oldEdgesOK(e, eng.cfg.DeltaEdges, row, row[e.VerifySlot]) {
+			if graph.ContainsSorted(cand, row[e.VerifySlot]) && pred.ok(row, row[e.VerifySlot]) {
 				if sc.out.Rows() >= maxRows {
 					sc.outs = append(sc.outs, sc.out)
 					sc.out = dataflow.NewBatch(outWidth, maxRows)
@@ -278,13 +327,8 @@ func (r *machineRun) extendChunk(e *dataflow.Extend, c *dataflow.Batch, twoStage
 		}
 	candidates:
 		for _, v := range cand {
-			// Label constraint on the newly matched vertex.
-			if labels != nil && int(labels[v]) != e.TargetLabel {
-				continue
-			}
-			// Delta-mode old-edge restriction: closed edges at earlier
-			// query-edge positions must predate the delta.
-			if !oldEdgesOK(e, eng.cfg.DeltaEdges, row, v) {
+			// Shared label/delta predicate on the newly matched vertex.
+			if !pred.ok(row, v) {
 				continue
 			}
 			// Injectivity: the new vertex must differ from every matched one.

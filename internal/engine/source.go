@@ -18,33 +18,58 @@ type sourceIter interface {
 // exactly like the graph, as Section 4.2 describes. A label constraint on
 // the scanned vertex seeds the iteration from the graph's per-label vertex
 // index (restricted to locally-owned vertices) instead of the machine's
-// full vertex range; a constraint on the neighbour side filters emitted
-// tuples. Labels are replicated metadata, so neither check communicates.
+// full vertex range; an edge-label constraint seeds from the
+// (srcLabel, edgeLabel) triple index — only vertices with a qualifying
+// incident edge are walked — and filters the walked edges; a constraint on
+// the neighbour side filters emitted tuples. Labels are replicated (or
+// ride along the local adjacency), so none of the checks communicate.
 type scanIter struct {
-	m       *cluster.MachineExec
-	scan    *dataflow.EdgeScan
-	verts   []graph.VertexID
-	vi, ni  int
-	current []graph.VertexID // neighbours of verts[vi]
-	labels  []graph.LabelID  // nil when the neighbour side is unconstrained
+	m          *cluster.MachineExec
+	scan       *dataflow.EdgeScan
+	verts      []graph.VertexID
+	vi, ni     int
+	current    []graph.VertexID // neighbours of verts[vi]
+	curELabels []graph.LabelID  // edge labels parallel to current (edge-constrained scans)
+	labels     []graph.LabelID  // nil when the neighbour side is unconstrained
+	edgeFilter bool             // check curELabels against scan.EdgeLabel
 }
 
 func newScanIter(m *cluster.MachineExec, scan *dataflow.EdgeScan) *scanIter {
 	s := &scanIter{m: m, scan: scan, verts: m.Part.LocalVertices()}
 	g := m.Part.Graph()
-	if scan.LabelA >= 0 && g.Labeled() {
-		// Per-label index seeding: walk only the vertices carrying the
-		// label, keeping the locally-owned ones. For a selective label this
-		// is a small fraction of the partition.
-		indexed := g.VerticesWithLabel(graph.LabelID(scan.LabelA))
+	localOf := func(indexed []graph.VertexID) []graph.VertexID {
 		local := make([]graph.VertexID, 0, len(indexed)/m.Part.P.NumMachines()+1)
 		for _, v := range indexed {
 			if m.Part.Owns(v) {
 				local = append(local, v)
 			}
 		}
-		s.verts = local
-	} else if scan.LabelA > 0 {
+		return local
+	}
+	switch {
+	case scan.EdgeLabel >= 0 && g.EdgeLabeled():
+		// Triple-index seeding: only vertices with at least one incident
+		// edge of the label (and the scanned vertex label, when
+		// constrained) are walked; the walked edges are then filtered to
+		// exactly the labelled ones.
+		if scan.LabelA > 0 && !g.Labeled() {
+			s.verts = nil // unlabelled graph holds only the implicit label 0
+		} else {
+			srcLabel := scan.LabelA
+			if !g.Labeled() {
+				srcLabel = 0 // the index keys every vertex under label 0
+			}
+			s.verts = localOf(g.VerticesWithLabeledEdge(srcLabel, graph.LabelID(scan.EdgeLabel)))
+		}
+		s.edgeFilter = true
+	case scan.EdgeLabel > 0:
+		s.verts = nil // edge-unlabelled graph holds only the implicit label 0
+	case scan.LabelA >= 0 && g.Labeled():
+		// Per-label index seeding: walk only the vertices carrying the
+		// label, keeping the locally-owned ones. For a selective label this
+		// is a small fraction of the partition.
+		s.verts = localOf(g.VerticesWithLabel(graph.LabelID(scan.LabelA)))
+	case scan.LabelA > 0:
 		s.verts = nil // unlabelled graph holds only the implicit label 0
 	}
 	if scan.LabelB >= 0 && g.Labeled() {
@@ -58,17 +83,25 @@ func newScanIter(m *cluster.MachineExec, scan *dataflow.EdgeScan) *scanIter {
 func (s *scanIter) nextBatch(maxRows int) (*dataflow.Batch, bool, error) {
 	b := dataflow.NewBatch(2, maxRows)
 	row := make([]graph.VertexID, 2)
+	g := s.m.Part.Graph()
 	for b.Rows() < maxRows {
 		if s.current == nil {
 			if s.vi >= len(s.verts) {
 				break
 			}
 			s.current = s.m.Part.Neighbors(s.verts[s.vi])
+			if s.edgeFilter {
+				s.curELabels = g.NeighborEdgeLabels(s.verts[s.vi])
+			}
 			s.ni = 0
 		}
 		u := s.verts[s.vi]
 		for s.ni < len(s.current) && b.Rows() < maxRows {
 			w := s.current[s.ni]
+			if s.edgeFilter && int(s.curELabels[s.ni]) != s.scan.EdgeLabel {
+				s.ni++
+				continue
+			}
 			s.ni++
 			if s.labels != nil && int(s.labels[w]) != s.scan.LabelB {
 				continue
@@ -95,7 +128,8 @@ func (s *scanIter) nextBatch(maxRows int) (*dataflow.Batch, bool, error) {
 // to the graph, so every machine walks the whole deterministic edge list
 // and keeps its own rows; edges absent from this snapshot (a caller pinning
 // a foreign set) are skipped. Label constraints check both endpoints
-// against the replicated label metadata — no communication either way.
+// against the replicated label metadata, and an edge-label constraint
+// checks the pinned edge's own label — no communication either way.
 type deltaScanIter struct {
 	m    *cluster.MachineExec
 	scan *dataflow.DeltaScan
@@ -112,8 +146,20 @@ func newDeltaScanIter(m *cluster.MachineExec, scan *dataflow.DeltaScan, delta *g
 		}
 		return int(g.Label(v)) == want
 	}
+	edgeLabelOK := func(u, v graph.VertexID) bool {
+		if scan.EdgeLabel < 0 {
+			return true
+		}
+		if !g.EdgeLabeled() {
+			return scan.EdgeLabel == 0 // every edge implicitly carries label 0
+		}
+		return int(g.EdgeLabel(u, v)) == scan.EdgeLabel
+	}
 	for _, e := range delta.Edges() {
 		if int(e[0]) >= g.NumVertices() || int(e[1]) >= g.NumVertices() || !g.HasEdge(e[0], e[1]) {
+			continue
+		}
+		if !edgeLabelOK(e[0], e[1]) {
 			continue
 		}
 		for _, row := range [2][2]graph.VertexID{{e[0], e[1]}, {e[1], e[0]}} {

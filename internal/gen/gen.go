@@ -159,6 +159,40 @@ func ZipfLabels(g *graph.Graph, numLabels int, s float64, seed int64) *graph.Gra
 	return graph.WithLabels(g, labels)
 }
 
+// ZipfEdgeLabels returns an edge-labelled twin of g: every undirected edge
+// is assigned one of numLabels edge labels drawn from a Zipf distribution
+// with exponent s (s > 1; larger s = more skew). Label 0 is the frequent
+// head and the last label the rare tail, so edge-label-constrained queries
+// span the full selectivity range. The CSR arrays are shared with g; the
+// twin costs 2 bytes per adjacency entry. Vertex labels (if any) carry
+// over, so the fully-labelled twin is ZipfEdgeLabels(ZipfLabels(g, ...)).
+func ZipfEdgeLabels(g *graph.Graph, numLabels int, s float64, seed int64) *graph.Graph {
+	if numLabels < 1 {
+		numLabels = 1
+	}
+	if numLabels > 1<<16 {
+		panic("gen: ZipfEdgeLabels supports at most 65536 labels")
+	}
+	if s <= 1 {
+		s = 1.5
+	}
+	rng := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(rng, s, 1, uint64(numLabels-1))
+	// Draw labels in canonical edge order (ascending u, then v with u < v)
+	// so the assignment is deterministic for a given (g, seed).
+	labels := make(map[[2]graph.VertexID]graph.LabelID, g.NumEdges())
+	for u := 0; u < g.NumVertices(); u++ {
+		for _, v := range g.Neighbors(graph.VertexID(u)) {
+			if graph.VertexID(u) < v {
+				labels[[2]graph.VertexID{graph.VertexID(u), v}] = graph.LabelID(z.Uint64())
+			}
+		}
+	}
+	return graph.WithEdgeLabels(g, func(u, v graph.VertexID) graph.LabelID {
+		return labels[[2]graph.VertexID{u, v}]
+	})
+}
+
 // DefaultNumLabels is the label-alphabet size LabeledByName assigns.
 const DefaultNumLabels = 16
 
@@ -169,18 +203,40 @@ func LabeledByName(name string, scale, numLabels int) *graph.Graph {
 	if numLabels < 1 {
 		numLabels = DefaultNumLabels
 	}
+	return ZipfLabels(ByName(name, scale), numLabels, 1.8, nameSeed(name))
+}
+
+// EdgeLabeledByName returns the named stand-in dataset with Zipfian edge
+// labels attached — the edge-labelled twin of ByName(name, scale). With
+// vertexLabels > 0 the twin carries Zipfian vertex labels too, so every
+// (srcLabel, edgeLabel, dstLabel) statistic is exercised.
+func EdgeLabeledByName(name string, scale, numEdgeLabels, vertexLabels int) *graph.Graph {
+	if numEdgeLabels < 1 {
+		numEdgeLabels = DefaultNumLabels
+	}
+	g := ByName(name, scale)
+	if vertexLabels > 0 {
+		g = ZipfLabels(g, vertexLabels, 1.8, nameSeed(name))
+	}
+	return ZipfEdgeLabels(g, numEdgeLabels, 1.8, nameSeed(name)+1)
+}
+
+func nameSeed(name string) int64 {
 	seed := int64(7)
 	for _, c := range name {
 		seed = seed*31 + int64(c)
 	}
-	return ZipfLabels(ByName(name, scale), numLabels, 1.8, seed)
+	return seed
 }
 
 // Update is one operation of a synthetic update stream: an edge insertion
-// (Del false) or deletion (Del true).
+// (neither flag set; L is the edge label it carries, 0 for unlabelled
+// streams), a deletion (Del), or an edge relabel to L (Rel).
 type Update struct {
 	Del  bool
+	Rel  bool
 	U, V graph.VertexID
+	L    graph.LabelID
 }
 
 // UpdateStream derives a random, replayable insert/delete stream of n
@@ -190,7 +246,33 @@ type Update struct {
 // density — the steady-churn regime incremental maintenance targets.
 // Deterministic for a given (g, n, seed).
 func UpdateStream(g *graph.Graph, n int, seed int64) []Update {
+	return updateStream(g, n, 0, seed)
+}
+
+// EdgeLabeledUpdateStream is UpdateStream for edge-labelled churn: inserted
+// edges carry Zipf-distributed labels over numLabels (label 0 the head),
+// and roughly a third of the operations relabel a live edge instead of
+// inserting or deleting — the workload that exercises Delta.Relabel end to
+// end. Deterministic for a given (g, n, numLabels, seed).
+func EdgeLabeledUpdateStream(g *graph.Graph, n, numLabels int, seed int64) []Update {
+	if numLabels < 1 {
+		numLabels = DefaultNumLabels
+	}
+	return updateStream(g, n, numLabels, seed)
+}
+
+func updateStream(g *graph.Graph, n, numLabels int, seed int64) []Update {
 	rng := rand.New(rand.NewSource(seed))
+	var z *rand.Zipf
+	if numLabels > 1 {
+		z = rand.NewZipf(rng, 1.8, 1, uint64(numLabels-1))
+	}
+	label := func() graph.LabelID {
+		if z == nil {
+			return 0
+		}
+		return graph.LabelID(z.Uint64())
+	}
 	nv := g.NumVertices()
 	if nv < 2 {
 		return nil
@@ -216,8 +298,15 @@ func UpdateStream(g *graph.Graph, n int, seed int64) []Update {
 	}
 	out := make([]Update, 0, n)
 	fails := 0
+	// ways: delete/insert for plain streams; labelled streams add a relabel
+	// arm, so roughly a third of the operations change only an edge label.
+	ways := 2
+	if z != nil {
+		ways = 3
+	}
 	for len(out) < n && fails < 64 {
-		if rng.Intn(2) == 0 && len(pool) > 0 {
+		switch way := rng.Intn(ways); {
+		case way == 0 && len(pool) > 0:
 			// Delete a uniformly random live edge (swap-remove from pool).
 			i := rng.Intn(len(pool))
 			e := pool[i]
@@ -227,6 +316,11 @@ func UpdateStream(g *graph.Graph, n int, seed int64) []Update {
 			pool = pool[:last]
 			delete(present, e)
 			out = append(out, Update{Del: true, U: e[0], V: e[1]})
+			continue
+		case way == 2 && len(pool) > 0:
+			// Relabel a uniformly random live edge.
+			e := pool[rng.Intn(len(pool))]
+			out = append(out, Update{Rel: true, U: e[0], V: e[1], L: label()})
 			continue
 		}
 		// Insert a random absent edge; a few retries beat the odds on
@@ -245,7 +339,7 @@ func UpdateStream(g *graph.Graph, n int, seed int64) []Update {
 			}
 			present[e] = len(pool)
 			pool = append(pool, e)
-			out = append(out, Update{U: e[0], V: e[1]})
+			out = append(out, Update{U: e[0], V: e[1], L: label()})
 			inserted = true
 		}
 		if inserted {

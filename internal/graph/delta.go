@@ -10,6 +10,7 @@ package graph
 // layer can drive delta-only enumeration and incremental statistics.
 
 import (
+	"fmt"
 	"slices"
 )
 
@@ -24,20 +25,39 @@ type VertexLabel struct {
 	L LabelID
 }
 
-// Delta is a batch of updates to apply to a snapshot: edge insertions,
-// edge deletions, and optional vertex label changes. Edges are undirected
-// and unordered; self-loops, duplicates, deletions of absent edges and
-// insertions of present ones are ignored (see Apply for the exact
-// semantics when one edge appears in both Insert and Delete).
+// EdgeLabel assigns edge label L to the existing undirected edge (U, V) in
+// a Delta — the edge-relabel operation. Relabelling an absent edge, or to
+// the label the edge already carries, is a no-op.
+type EdgeLabel struct {
+	U, V VertexID
+	L    LabelID
+}
+
+// Delta is a batch of updates to apply to a snapshot: edge insertions
+// (optionally labelled), edge deletions, edge relabels, and optional
+// vertex label changes. Edges are undirected and unordered; self-loops,
+// duplicates, deletions of absent edges and insertions of present ones are
+// ignored (see Apply for the exact semantics when one edge appears in both
+// Insert and Delete). An insertion of an edge that is present and not
+// deleted is a no-op even when its label differs — use Relabel to change
+// an existing edge's label.
 type Delta struct {
 	Insert [][2]VertexID
-	Delete [][2]VertexID
-	Labels []VertexLabel
+	// InsertLabels, when non-nil, must be parallel to Insert: entry i is
+	// the edge label of Insert[i]. Nil inserts every edge with label 0.
+	InsertLabels []LabelID
+	Delete       [][2]VertexID
+	// Relabel changes the edge labels of existing edges. Apply treats an
+	// effective relabel as a delete-and-reinsert of the edge, so it appears
+	// in both Applied sets and the differential counting identity holds for
+	// edge-label-constrained queries.
+	Relabel []EdgeLabel
+	Labels  []VertexLabel
 }
 
 // Empty reports whether the delta carries no updates at all.
 func (d Delta) Empty() bool {
-	return len(d.Insert) == 0 && len(d.Delete) == 0 && len(d.Labels) == 0
+	return len(d.Insert) == 0 && len(d.Delete) == 0 && len(d.Relabel) == 0 && len(d.Labels) == 0
 }
 
 // EdgeSet is a set of canonical undirected edges (u < v) with O(1)
@@ -154,6 +174,10 @@ func Apply(g *Graph, d Delta) (*Graph, Applied) {
 // maxOverlayFrac <= 0 forces a CSR rebuild, >= 1 effectively always keeps
 // an overlay.
 func ApplyThreshold(g *Graph, d Delta, maxOverlayFrac float64) (*Graph, Applied) {
+	if d.InsertLabels != nil && len(d.InsertLabels) != len(d.Insert) {
+		panic(fmt.Sprintf("graph: Delta.InsertLabels has %d entries for %d insertions",
+			len(d.InsertLabels), len(d.Insert)))
+	}
 	inBounds := func(u, v VertexID) bool { return int(u) < g.numV && int(v) < g.numV }
 
 	// Effective deletions: edges that exist in g.
@@ -167,10 +191,39 @@ func ApplyThreshold(g *Graph, d Delta, maxOverlayFrac float64) (*Graph, Applied)
 			del.add(u, v)
 		}
 	}
+	// insLab carries the edge labels of effective insertions (canonical
+	// u < v keys; absent = label 0). Any nonzero label makes the new
+	// snapshot edge-labelled.
+	ins := &EdgeSet{}
+	insLab := map[[2]VertexID]LabelID{}
+	edgeLabelled := g.elabels != nil
+	setInsLab := func(u, v VertexID, l LabelID) {
+		if l == 0 {
+			return
+		}
+		if u > v {
+			u, v = v, u
+		}
+		insLab[[2]VertexID{u, v}] = l
+		edgeLabelled = true
+	}
+	// Effective relabels: existing, surviving edges whose label actually
+	// changes become delete-and-reinsert churn carrying the new label.
+	for _, r := range d.Relabel {
+		u, v := r.U, r.V
+		if u == v || !inBounds(u, v) || !g.HasEdge(u, v) || del.Has(u, v) || ins.Has(u, v) {
+			continue
+		}
+		if g.EdgeLabel(u, v) == r.L {
+			continue
+		}
+		del.add(u, v)
+		ins.add(u, v)
+		setInsLab(u, v, r.L)
+	}
 	// Effective insertions: edges absent after the deletions. An edge both
 	// deleted and inserted counts as churn (member of both sets).
-	ins := &EdgeSet{}
-	for _, e := range d.Insert {
+	for i, e := range d.Insert {
 		u, v := e[0], e[1]
 		if u == v || ins.Has(u, v) {
 			continue
@@ -179,15 +232,27 @@ func ApplyThreshold(g *Graph, d Delta, maxOverlayFrac float64) (*Graph, Applied)
 			continue // already present and staying: no-op
 		}
 		ins.add(u, v)
+		if d.InsertLabels != nil {
+			setInsLab(u, v, d.InsertLabels[i])
+		}
 	}
 
 	// Per-vertex change lists and the touched set.
 	insPer := map[VertexID][]VertexID{}
 	delPer := map[VertexID][]VertexID{}
+	var insLabPer map[VertexID][]LabelID
+	if edgeLabelled {
+		insLabPer = map[VertexID][]LabelID{}
+	}
 	touchedSet := map[VertexID]struct{}{}
 	for _, e := range ins.Edges() {
 		insPer[e[0]] = append(insPer[e[0]], e[1])
 		insPer[e[1]] = append(insPer[e[1]], e[0])
+		if edgeLabelled {
+			l := insLab[e] // canonical key: Edges() yields u < v
+			insLabPer[e[0]] = append(insLabPer[e[0]], l)
+			insLabPer[e[1]] = append(insLabPer[e[1]], l)
+		}
 		touchedSet[e[0]], touchedSet[e[1]] = struct{}{}, struct{}{}
 	}
 	for _, e := range del.Edges() {
@@ -215,21 +280,33 @@ func ApplyThreshold(g *Graph, d Delta, maxOverlayFrac float64) (*Graph, Applied)
 	}
 	numE := g.numE + uint64(ins.Len()) - uint64(del.Len())
 
-	// Rebuild the adjacency of every touched vertex.
+	// Rebuild the adjacency (and, when edge-labelled, the parallel label
+	// lists) of every touched vertex.
 	newAdj := make(map[VertexID][]VertexID, len(touched))
+	var newLab map[VertexID][]LabelID
+	if edgeLabelled {
+		newLab = make(map[VertexID][]LabelID, len(touched))
+	}
 	for _, v := range touched {
 		var old []VertexID
+		var oldLb []LabelID
 		if int(v) < g.numV {
-			old = g.Neighbors(v)
+			old, oldLb = g.neighborsAndLabels(v)
 		}
-		newAdj[v] = mergeAdj(old, insPer[v], delPer[v])
+		nb, lb := mergeAdj(old, oldLb, insPer[v], insLabPer[v], delPer[v], edgeLabelled)
+		newAdj[v] = nb
+		if edgeLabelled {
+			newLab[v] = lb
+		}
 	}
 
 	applied := Applied{Inserted: ins, Deleted: del, Touched: touched}
 
 	// Choose representation: carry the parent overlay forward (touched
 	// vertices overwrite their carried entries) unless the result exceeds
-	// the compaction threshold.
+	// the compaction threshold. A delta that introduces edge labels to a
+	// previously edge-unlabelled graph always compacts, materialising the
+	// base label array the overlay representation shares.
 	overlay := make(map[VertexID][]VertexID, len(g.over)+len(newAdj))
 	for v, nb := range g.over {
 		overlay[v] = nb
@@ -241,6 +318,7 @@ func ApplyThreshold(g *Graph, d Delta, maxOverlayFrac float64) (*Graph, Applied)
 	for _, nb := range overlay {
 		overRows += uint64(len(nb))
 	}
+	becomesLabelled := edgeLabelled && g.elabels == nil
 
 	ng := &Graph{numV: nv, numE: numE, epoch: g.epoch + 1}
 	switch {
@@ -250,40 +328,97 @@ func ApplyThreshold(g *Graph, d Delta, maxOverlayFrac float64) (*Graph, Applied)
 		// base offsets no longer cover every vertex — fall through to a
 		// compaction that extends them.)
 		ng.offsets, ng.adj, ng.maxDeg = g.offsets, g.adj, g.maxDeg
-	case len(overlay) == 0 && nv > g.numV,
+		ng.elabels, ng.numELabels = g.elabels, g.numELabels
+	case len(overlay) == 0 && nv > g.numV, becomesLabelled,
 		maxOverlayFrac <= 0 || float64(overRows) > maxOverlayFrac*float64(2*numE):
-		ng.compactFrom(g, newAdj, nv)
+		ng.compactFrom(g, newAdj, newLab, nv, edgeLabelled)
 		applied.Compacted = true
 	default:
 		ng.offsets, ng.adj = g.offsets, g.adj
 		ng.over, ng.overRows = overlay, overRows
 		ng.maxDeg = overlayMaxDeg(g, newAdj, touched, nv)
+		if edgeLabelled {
+			ng.elabels = g.elabels // non-nil: becomesLabelled compacts above
+			overEl := make(map[VertexID][]LabelID, len(overlay))
+			for v, lb := range g.overEl {
+				overEl[v] = lb
+			}
+			for v, lb := range newLab {
+				overEl[v] = lb
+			}
+			ng.overEl = overEl
+			ng.numELabels = g.numELabels
+			for _, l := range insLab {
+				if int(l)+1 > ng.numELabels {
+					ng.numELabels = int(l) + 1
+				}
+			}
+		}
 	}
 
 	applied.Relabeled = ng.applyLabels(g, d.Labels, nv)
 	return ng, applied
 }
 
-// mergeAdj rebuilds one sorted adjacency list: old minus del plus add.
-// Effective sets guarantee add ∩ (old ∖ del) = ∅, so no dedupe is needed.
-func mergeAdj(old, add, del []VertexID) []VertexID {
-	out := make([]VertexID, 0, len(old)+len(add)-len(del))
+// mergeAdj rebuilds one sorted adjacency list — old minus del plus add —
+// together with its parallel edge-label list when labelled is set (oldLb
+// and addLb may be nil, meaning all-zero labels). Effective sets guarantee
+// add ∩ (old ∖ del) = ∅, so no dedupe is needed.
+func mergeAdj(old []VertexID, oldLb []LabelID, add []VertexID, addLb []LabelID, del []VertexID, labelled bool) ([]VertexID, []LabelID) {
+	if !labelled {
+		out := make([]VertexID, 0, len(old)+len(add)-len(del))
+		if len(del) == 0 {
+			out = append(out, old...)
+		} else {
+			drop := make(map[VertexID]struct{}, len(del))
+			for _, w := range del {
+				drop[w] = struct{}{}
+			}
+			for _, w := range old {
+				if _, gone := drop[w]; !gone {
+					out = append(out, w)
+				}
+			}
+		}
+		out = append(out, add...)
+		slices.Sort(out)
+		return out, nil
+	}
+	// Labelled merge: pack (neighbour, label) so one sort co-orders both.
+	packed := make([]uint64, 0, len(old)+len(add)-len(del))
+	pack := func(w VertexID, lb []LabelID, i int) uint64 {
+		var l uint64
+		if lb != nil {
+			l = uint64(lb[i])
+		}
+		return uint64(w)<<16 | l
+	}
 	if len(del) == 0 {
-		out = append(out, old...)
+		for i, w := range old {
+			packed = append(packed, pack(w, oldLb, i))
+		}
 	} else {
 		drop := make(map[VertexID]struct{}, len(del))
 		for _, w := range del {
 			drop[w] = struct{}{}
 		}
-		for _, w := range old {
+		for i, w := range old {
 			if _, gone := drop[w]; !gone {
-				out = append(out, w)
+				packed = append(packed, pack(w, oldLb, i))
 			}
 		}
 	}
-	out = append(out, add...)
-	slices.Sort(out)
-	return out
+	for i, w := range add {
+		packed = append(packed, pack(w, addLb, i))
+	}
+	slices.Sort(packed)
+	nb := make([]VertexID, len(packed))
+	lb := make([]LabelID, len(packed))
+	for i, p := range packed {
+		nb[i] = VertexID(p >> 16)
+		lb[i] = LabelID(p & 0xFFFF)
+	}
+	return nb, lb
 }
 
 // overlayMaxDeg maintains MaxDegree across an overlay apply: exact without
@@ -322,23 +457,25 @@ func overlayMaxDeg(g *Graph, newAdj map[VertexID][]VertexID, touched []VertexID,
 	return maxDeg
 }
 
-// compactFrom materialises the merged view (g plus newAdj) as a flat CSR.
-func (ng *Graph) compactFrom(g *Graph, newAdj map[VertexID][]VertexID, nv int) {
-	neigh := func(v VertexID) []VertexID {
+// compactFrom materialises the merged view (g plus newAdj, with parallel
+// labels from newLab when labelled) as a flat CSR.
+func (ng *Graph) compactFrom(g *Graph, newAdj map[VertexID][]VertexID, newLab map[VertexID][]LabelID, nv int, labelled bool) {
+	neigh := func(v VertexID) ([]VertexID, []LabelID) {
 		if nb, ok := newAdj[v]; ok {
-			return nb
+			return nb, newLab[v] // newLab nil when !labelled
 		}
 		if int(v) < g.numV {
-			return g.Neighbors(v)
+			return g.neighborsAndLabels(v)
 		}
-		return nil
+		return nil, nil
 	}
 	offsets := make([]uint64, nv+1)
 	total := uint64(0)
 	maxDeg := 0
 	for v := 0; v < nv; v++ {
 		offsets[v] = total
-		d := len(neigh(VertexID(v)))
+		nb, _ := neigh(VertexID(v))
+		d := len(nb)
 		total += uint64(d)
 		if d > maxDeg {
 			maxDeg = d
@@ -346,10 +483,32 @@ func (ng *Graph) compactFrom(g *Graph, newAdj map[VertexID][]VertexID, nv int) {
 	}
 	offsets[nv] = total
 	adj := make([]VertexID, 0, total)
+	var elabels []LabelID
+	if labelled {
+		elabels = make([]LabelID, 0, total)
+	}
 	for v := 0; v < nv; v++ {
-		adj = append(adj, neigh(VertexID(v))...)
+		nb, lb := neigh(VertexID(v))
+		adj = append(adj, nb...)
+		if labelled {
+			if lb == nil {
+				elabels = append(elabels, make([]LabelID, len(nb))...)
+			} else {
+				elabels = append(elabels, lb...)
+			}
+		}
 	}
 	ng.offsets, ng.adj, ng.maxDeg = offsets, adj, maxDeg
+	if labelled {
+		ng.elabels = elabels
+		maxEL := LabelID(0)
+		for _, l := range elabels {
+			if l > maxEL {
+				maxEL = l
+			}
+		}
+		ng.numELabels = int(maxEL) + 1
+	}
 }
 
 // applyLabels carries g's labelling into ng (extended to nv vertices) and

@@ -1,0 +1,327 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"slices"
+	"strings"
+	"testing"
+)
+
+// TestEdgeLabeledBuild: labels co-sort with adjacency, both directions of
+// an edge carry one label, and duplicate edges keep the smallest label.
+func TestEdgeLabeledBuild(t *testing.T) {
+	var b Builder
+	b.AddLabeledEdge(2, 0, 5)
+	b.AddLabeledEdge(0, 1, 3)
+	b.AddEdge(1, 2) // plain edge in a labelled builder: label 0
+	b.AddLabeledEdge(1, 0, 7)
+	b.AddLabeledEdge(3, 0, 9)
+	g := b.Build()
+	if !g.EdgeLabeled() {
+		t.Fatal("graph not edge-labelled")
+	}
+	if got := g.NumEdgeLabels(); got != 10 {
+		t.Errorf("NumEdgeLabels = %d, want 10", got)
+	}
+	checks := []struct {
+		u, v VertexID
+		want LabelID
+	}{
+		{0, 2, 5}, {2, 0, 5},
+		{0, 1, 3}, {1, 0, 3}, // duplicate (0,1): labels 3 and 7, smallest wins
+		{1, 2, 0}, {0, 3, 9},
+	}
+	for _, c := range checks {
+		if got := g.EdgeLabel(c.u, c.v); got != c.want {
+			t.Errorf("EdgeLabel(%d,%d) = %d, want %d", c.u, c.v, got, c.want)
+		}
+	}
+	// NeighborEdgeLabels parallels Neighbors.
+	nb, lb := g.Neighbors(0), g.NeighborEdgeLabels(0)
+	if len(nb) != len(lb) {
+		t.Fatalf("labels not parallel: %d neighbours, %d labels", len(nb), len(lb))
+	}
+	for i, w := range nb {
+		if lb[i] != g.EdgeLabel(0, w) {
+			t.Errorf("NeighborEdgeLabels[%d] = %d, EdgeLabel(0,%d) = %d", i, lb[i], w, g.EdgeLabel(0, w))
+		}
+	}
+}
+
+// TestEdgeListRoundTrip: WriteEdgeList / ReadLabeledEdgeList preserve
+// vertex and edge labels bit-exactly — for built graphs and for snapshots
+// produced by an Apply that inserts, deletes, and relabels edges, in both
+// the overlay and the compacted representation.
+func TestEdgeListRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var b Builder
+	n := 40
+	b.SetNumVertices(n)
+	for i := 0; i < 120; i++ {
+		b.AddLabeledEdge(VertexID(rng.Intn(n)), VertexID(rng.Intn(n)), LabelID(rng.Intn(5)))
+	}
+	for v := 0; v < n; v++ {
+		b.SetLabel(VertexID(v), LabelID(rng.Intn(3)))
+	}
+	g := b.Build()
+
+	roundTrip := func(g *Graph, stage string) {
+		t.Helper()
+		var buf bytes.Buffer
+		if err := g.WriteEdgeList(&buf); err != nil {
+			t.Fatalf("%s: write: %v", stage, err)
+		}
+		rg, err := ReadLabeledEdgeList(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("%s: read: %v", stage, err)
+		}
+		if rg.NumVertices() != g.NumVertices() || rg.NumEdges() != g.NumEdges() {
+			t.Fatalf("%s: size mismatch: %d/%d vertices, %d/%d edges",
+				stage, rg.NumVertices(), g.NumVertices(), rg.NumEdges(), g.NumEdges())
+		}
+		for v := 0; v < g.NumVertices(); v++ {
+			if rg.Label(VertexID(v)) != g.Label(VertexID(v)) {
+				t.Fatalf("%s: vertex %d label %d != %d", stage, v, rg.Label(VertexID(v)), g.Label(VertexID(v)))
+			}
+			nb, lb := g.Neighbors(VertexID(v)), g.NeighborEdgeLabels(VertexID(v))
+			rnb, rlb := rg.Neighbors(VertexID(v)), rg.NeighborEdgeLabels(VertexID(v))
+			if !slices.Equal(nb, rnb) {
+				t.Fatalf("%s: vertex %d adjacency differs", stage, v)
+			}
+			if !slices.Equal(lb, rlb) {
+				t.Fatalf("%s: vertex %d edge labels differ: %v vs %v", stage, v, lb, rlb)
+			}
+		}
+	}
+	roundTrip(g, "built")
+
+	// Apply churn: inserts with labels, deletes, and edge relabels; check
+	// the overlay snapshot and a forced compaction.
+	var d Delta
+	for i := 0; i < 10; i++ {
+		d.Insert = append(d.Insert, [2]VertexID{VertexID(rng.Intn(n)), VertexID(rng.Intn(n))})
+		d.InsertLabels = append(d.InsertLabels, LabelID(rng.Intn(5)))
+		d.Delete = append(d.Delete, [2]VertexID{VertexID(rng.Intn(n)), VertexID(rng.Intn(n))})
+	}
+	for v := 0; v < n; v++ {
+		for _, w := range g.Neighbors(VertexID(v)) {
+			if VertexID(v) < w && rng.Intn(4) == 0 {
+				d.Relabel = append(d.Relabel, EdgeLabel{U: VertexID(v), V: w, L: LabelID(rng.Intn(5))})
+			}
+		}
+	}
+	overlay, _ := ApplyThreshold(g, d, 1) // keep the overlay
+	if overlay.OverlayRows() == 0 {
+		t.Fatal("expected an overlay snapshot")
+	}
+	roundTrip(overlay, "overlay")
+	compact, _ := ApplyThreshold(g, d, 0) // force compaction
+	if compact.OverlayRows() != 0 {
+		t.Fatal("expected a compacted snapshot")
+	}
+	roundTrip(compact, "compacted")
+	// Overlay and compaction must agree edge by edge.
+	for v := 0; v < overlay.NumVertices(); v++ {
+		if !slices.Equal(overlay.Neighbors(VertexID(v)), compact.Neighbors(VertexID(v))) {
+			t.Fatalf("vertex %d: overlay and compacted adjacency differ", v)
+		}
+		if !slices.Equal(overlay.NeighborEdgeLabels(VertexID(v)), compact.NeighborEdgeLabels(VertexID(v))) {
+			t.Fatalf("vertex %d: overlay and compacted edge labels differ", v)
+		}
+	}
+}
+
+// TestApplyEdgeLabelSemantics pins the Delta edge-label rules: a relabel is
+// delete-and-reinsert churn, relabelling to the current label (or an
+// absent edge) is a no-op, inserting a present edge never changes its
+// label, and a labelled insert makes an unlabelled graph edge-labelled
+// (via compaction).
+func TestApplyEdgeLabelSemantics(t *testing.T) {
+	var b Builder
+	b.AddLabeledEdge(0, 1, 2)
+	b.AddLabeledEdge(1, 2, 3)
+	g := b.Build()
+
+	ng, ap := Apply(g, Delta{Relabel: []EdgeLabel{{U: 0, V: 1, L: 4}}})
+	if got := ng.EdgeLabel(0, 1); got != 4 {
+		t.Errorf("relabel: EdgeLabel(0,1) = %d, want 4", got)
+	}
+	if !ap.Inserted.Has(0, 1) || !ap.Deleted.Has(0, 1) {
+		t.Errorf("relabel must appear in both pinned sets: ins=%v del=%v", ap.Inserted.Has(0, 1), ap.Deleted.Has(0, 1))
+	}
+	if ng.NumEdges() != g.NumEdges() {
+		t.Errorf("relabel changed edge count: %d -> %d", g.NumEdges(), ng.NumEdges())
+	}
+
+	// No-ops: same label, absent edge.
+	same, ap2 := Apply(g, Delta{Relabel: []EdgeLabel{{U: 0, V: 1, L: 2}, {U: 0, V: 2, L: 9}}})
+	if ap2.Inserted.Len() != 0 || ap2.Deleted.Len() != 0 {
+		t.Errorf("no-op relabels produced effective sets: +%d -%d", ap2.Inserted.Len(), ap2.Deleted.Len())
+	}
+	if got := same.EdgeLabel(0, 1); got != 2 {
+		t.Errorf("no-op relabel: EdgeLabel(0,1) = %d, want 2", got)
+	}
+
+	// Insert of a present edge is a no-op even with a different label.
+	np, ap3 := Apply(g, Delta{Insert: [][2]VertexID{{1, 0}}, InsertLabels: []LabelID{9}})
+	if ap3.Inserted.Len() != 0 {
+		t.Errorf("present-edge insert became effective")
+	}
+	if got := np.EdgeLabel(0, 1); got != 2 {
+		t.Errorf("present-edge insert changed label to %d", got)
+	}
+
+	// Labelled insert on an unlabelled graph.
+	plain := FromEdges([][2]VertexID{{0, 1}, {1, 2}})
+	lab, ap4 := Apply(plain, Delta{Insert: [][2]VertexID{{0, 2}}, InsertLabels: []LabelID{6}})
+	if !lab.EdgeLabeled() {
+		t.Fatal("labelled insert left the graph edge-unlabelled")
+	}
+	if !ap4.Compacted {
+		t.Errorf("introducing edge labels must compact")
+	}
+	if got := lab.EdgeLabel(0, 2); got != 6 {
+		t.Errorf("EdgeLabel(0,2) = %d, want 6", got)
+	}
+	if got := lab.EdgeLabel(0, 1); got != 0 {
+		t.Errorf("pre-existing edge label = %d, want 0", got)
+	}
+	// A plain delta on an unlabelled graph must stay unlabelled.
+	still, _ := Apply(plain, Delta{Insert: [][2]VertexID{{0, 2}}})
+	if still.EdgeLabeled() {
+		t.Errorf("plain insert made the graph edge-labelled")
+	}
+}
+
+// TestTripleIndex: VerticesWithLabeledEdge lists exactly the vertices with
+// a qualifying incident edge, under both (srcLabel, edgeLabel) keys and
+// the any-source wildcard, across base and overlay snapshots.
+func TestTripleIndex(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	var b Builder
+	n := 60
+	b.SetNumVertices(n)
+	for i := 0; i < 150; i++ {
+		b.AddLabeledEdge(VertexID(rng.Intn(n)), VertexID(rng.Intn(n)), LabelID(rng.Intn(4)))
+	}
+	for v := 0; v < n; v++ {
+		b.SetLabel(VertexID(v), LabelID(rng.Intn(3)))
+	}
+	g := b.Build()
+	var d Delta
+	for i := 0; i < 20; i++ {
+		d.Insert = append(d.Insert, [2]VertexID{VertexID(rng.Intn(n)), VertexID(rng.Intn(n))})
+		d.InsertLabels = append(d.InsertLabels, LabelID(rng.Intn(4)))
+	}
+	over, _ := ApplyThreshold(g, d, 1)
+
+	for _, snap := range []*Graph{g, over} {
+		for src := -1; src < 3; src++ {
+			for el := 0; el < 4; el++ {
+				want := map[VertexID]bool{}
+				for v := 0; v < snap.NumVertices(); v++ {
+					if src >= 0 && int(snap.Label(VertexID(v))) != src {
+						continue
+					}
+					for i, l := range snap.NeighborEdgeLabels(VertexID(v)) {
+						_ = i
+						if int(l) == el {
+							want[VertexID(v)] = true
+							break
+						}
+					}
+				}
+				got := snap.VerticesWithLabeledEdge(src, LabelID(el))
+				if len(got) != len(want) {
+					t.Fatalf("epoch %d (src=%d, el=%d): %d indexed vertices, want %d", snap.Epoch(), src, el, len(got), len(want))
+				}
+				if !slices.IsSorted(got) {
+					t.Fatalf("index list not sorted")
+				}
+				for _, v := range got {
+					if !want[v] {
+						t.Fatalf("epoch %d: vertex %d wrongly indexed under (src=%d, el=%d)", snap.Epoch(), v, src, el)
+					}
+				}
+			}
+		}
+	}
+	// Edge-unlabelled graphs report nil (callers fall back).
+	if FromEdges([][2]VertexID{{0, 1}}).VerticesWithLabeledEdge(-1, 0) != nil {
+		t.Errorf("unlabelled graph must report a nil triple index")
+	}
+}
+
+// TestReadEdgeListErrors is the table test for malformed records: every
+// error names the 1-based line and carries the offending line verbatim.
+func TestReadEdgeListErrors(t *testing.T) {
+	cases := []struct {
+		name     string
+		input    string
+		labelled bool
+		wantLine string // substring: position prefix
+		wantText string // substring: offending line
+	}{
+		{"one field", "0 1\nbogus\n", false, "line 2", `"bogus"`},
+		{"bad endpoint u", "# c\nx 1\n", false, "line 2", `"x 1"`},
+		{"bad endpoint v", "0 1\n\n2 y\n", false, "line 3", `"2 y"`},
+		{"plain rejects labels", "0 1 7\n", false, "line 1", `"0 1 7"`},
+		{"too many fields", "0 1 2 3\n", true, "line 1", `"0 1 2 3"`},
+		{"label line short", "v 3\n", true, "line 1", `"v 3"`},
+		{"label line long", "0 1\nv 3 1 9\n", true, "line 2", `"v 3 1 9"`},
+		{"label line bad id", "v x 1\n", true, "line 1", `"v x 1"`},
+		{"label line bad label", "v 1 z\n", true, "line 1", `"v 1 z"`},
+		{"vertex label overflow", "v 1 70000\n", true, "line 1", `"v 1 70000"`},
+		{"bad edge label", "0 1 x\n", true, "line 1", `"0 1 x"`},
+		{"edge label overflow", "0 1 70000\n", true, "line 1", `"0 1 70000"`},
+		{"bad endpoint labelled", "0 z 3\n", true, "line 1", `"0 z 3"`},
+	}
+	for _, tc := range cases {
+		read := ReadEdgeList
+		if tc.labelled {
+			read = ReadLabeledEdgeList
+		}
+		_, err := read(strings.NewReader(tc.input))
+		if err == nil {
+			t.Errorf("%s: no error", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantLine) || !strings.Contains(err.Error(), tc.wantText) {
+			t.Errorf("%s: error %q must contain %q and %q", tc.name, err, tc.wantLine, tc.wantText)
+		}
+	}
+	// Well-formed inputs of every record shape still parse.
+	g, err := ReadLabeledEdgeList(strings.NewReader("# c\nv 0 2\n0 1\n1 2 5\n% c\n"))
+	if err != nil {
+		t.Fatalf("well-formed: %v", err)
+	}
+	if g.Label(0) != 2 || g.EdgeLabel(1, 2) != 5 || g.EdgeLabel(0, 1) != 0 || g.NumEdges() != 2 {
+		t.Errorf("well-formed parse wrong: %v %v %v %v", g.Label(0), g.EdgeLabel(1, 2), g.EdgeLabel(0, 1), g.NumEdges())
+	}
+}
+
+// TestWithEdgeLabelsSharing: the edge-labelled twin shares CSR arrays,
+// carries vertex labels over, and labels both directions consistently.
+func TestWithEdgeLabelsSharing(t *testing.T) {
+	base := FromEdges([][2]VertexID{{0, 1}, {1, 2}, {2, 3}, {3, 0}})
+	vl := WithLabels(base, []LabelID{1, 0, 1, 0})
+	g := WithEdgeLabels(vl, func(u, v VertexID) LabelID { return LabelID(u+v) % 3 })
+	if !g.EdgeLabeled() || !g.Labeled() {
+		t.Fatal("twin lost a label dimension")
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		for _, w := range g.Neighbors(VertexID(v)) {
+			a, b := VertexID(v), w
+			if a > b {
+				a, b = b, a
+			}
+			if got, want := g.EdgeLabel(VertexID(v), w), LabelID(a+b)%3; got != want {
+				t.Errorf("EdgeLabel(%d,%d) = %d, want %d", v, w, got, want)
+			}
+		}
+	}
+	if g.SizeBytes() <= base.SizeBytes() {
+		t.Errorf("edge labels must be accounted in SizeBytes: %d <= %d", g.SizeBytes(), base.SizeBytes())
+	}
+}

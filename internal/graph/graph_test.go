@@ -116,15 +116,6 @@ func TestReadWriteEdgeList(t *testing.T) {
 	}
 }
 
-func TestReadEdgeListErrors(t *testing.T) {
-	if _, err := ReadEdgeList(strings.NewReader("0\n")); err == nil {
-		t.Error("expected error for one-field line")
-	}
-	if _, err := ReadEdgeList(strings.NewReader("a b\n")); err == nil {
-		t.Error("expected error for non-numeric field")
-	}
-}
-
 func TestContainsSorted(t *testing.T) {
 	s := []VertexID{1, 3, 5, 9, 12}
 	for _, x := range s {

@@ -52,6 +52,7 @@ func deltaFlow(q *query.Query, orders []query.Order, edgeIdx map[[2]int]int, pin
 	scan := &dataflow.DeltaScan{
 		QA: a, QB: b,
 		LabelA: q.Label(a), LabelB: q.Label(b),
+		EdgeLabel: q.EdgeLabelBetween(a, b),
 	}
 	for _, o := range orders {
 		switch {
@@ -125,6 +126,7 @@ func deltaFlow(q *query.Query, orders []query.Order, edgeIdx map[[2]int]int, pin
 			TargetQV:     t,
 			VerifySlot:   -1,
 			TargetLabel:  q.Label(t),
+			EdgeLabels:   extEdgeLabels(q, layout, extSlots, t),
 			OldEdgeSlots: oldSlots,
 			NewFilters:   filters,
 			OutLayout:    out,

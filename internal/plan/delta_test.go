@@ -43,7 +43,7 @@ func TestUpdateStatsMatchesRecompute(t *testing.T) {
 				d.Labels = append(d.Labels, graph.VertexLabel{V: graph.VertexID(rng.Intn(n)), L: graph.LabelID(rng.Intn(5))})
 			}
 			ng, applied := graph.Apply(g, d)
-			got := UpdateStats(stats, g, ng, applied.Touched)
+			got := UpdateStats(stats, g, ng, applied)
 			want := ComputeStats(ng)
 			if got.N != want.N || got.M != want.M || got.MaxDeg != want.MaxDeg || got.Epoch != want.Epoch {
 				t.Fatalf("step %d: scalars: got %+v want %+v", step, got, want)

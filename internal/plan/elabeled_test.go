@@ -1,0 +1,203 @@
+package plan
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/query"
+)
+
+// TestUpdateStatsEdgeTriples: incremental (srcLabel, edgeLabel, dstLabel)
+// triple maintenance across deltas that insert, delete, and relabel edges
+// — and churn vertex labels — must equal a from-scratch recount bit for
+// bit, including the stats fingerprint.
+func TestUpdateStatsEdgeTriples(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	var b graph.Builder
+	n := 70
+	b.SetNumVertices(n)
+	for i := 0; i < 180; i++ {
+		b.AddLabeledEdge(graph.VertexID(rng.Intn(n)), graph.VertexID(rng.Intn(n)), graph.LabelID(rng.Intn(4)))
+	}
+	for v := 0; v < n; v++ {
+		b.SetLabel(graph.VertexID(v), graph.LabelID(rng.Intn(3)))
+	}
+	g := b.Build()
+	stats := ComputeStats(g)
+	if stats.EdgeTriples == nil {
+		t.Fatal("edge-labelled graph has no triple stats")
+	}
+	for step := 0; step < 12; step++ {
+		var d graph.Delta
+		for i := 0; i < 1+rng.Intn(10); i++ {
+			u := graph.VertexID(rng.Intn(n + 3))
+			v := graph.VertexID(rng.Intn(n + 3))
+			switch rng.Intn(3) {
+			case 0:
+				d.Insert = append(d.Insert, [2]graph.VertexID{u, v})
+				d.InsertLabels = append(d.InsertLabels, graph.LabelID(rng.Intn(4)))
+			case 1:
+				d.Delete = append(d.Delete, [2]graph.VertexID{u, v})
+			default:
+				d.Relabel = append(d.Relabel, graph.EdgeLabel{U: u, V: v, L: graph.LabelID(rng.Intn(4))})
+			}
+		}
+		if rng.Intn(2) == 0 {
+			d.Labels = append(d.Labels, graph.VertexLabel{V: graph.VertexID(rng.Intn(n)), L: graph.LabelID(rng.Intn(3))})
+		}
+		ng, applied := graph.Apply(g, d)
+		got := UpdateStats(stats, g, ng, applied)
+		want := ComputeStats(ng)
+		if len(got.EdgeTriples) != len(want.EdgeTriples) {
+			t.Fatalf("step %d: %d triples, want %d", step, len(got.EdgeTriples), len(want.EdgeTriples))
+		}
+		for k, c := range want.EdgeTriples {
+			if got.EdgeTriples[k] != c {
+				t.Fatalf("step %d: triple %x: got %v want %v", step, k, got.EdgeTriples[k], c)
+			}
+		}
+		if got.Fingerprint() != want.Fingerprint() {
+			t.Fatalf("step %d: incremental and recomputed fingerprints differ", step)
+		}
+		g, stats = ng, got
+		if g.NumVertices() > n {
+			n = g.NumVertices()
+		}
+	}
+}
+
+// TestEdgeSelectivityEstimate: a rare edge label must shrink the
+// cardinality estimate relative to the unlabelled pattern, and an
+// edge-label-constrained triangle on a graph where that label is frequent
+// must estimate higher than on one where it is rare.
+func TestEdgeSelectivityEstimate(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var b graph.Builder
+	n := 200
+	b.SetNumVertices(n)
+	for i := 0; i < 900; i++ {
+		l := graph.LabelID(0)
+		if rng.Intn(20) == 0 {
+			l = 1 // ~5% rare label
+		}
+		b.AddLabeledEdge(graph.VertexID(rng.Intn(n)), graph.VertexID(rng.Intn(n)), l)
+	}
+	g := b.Build()
+	stats := ComputeStats(g)
+	card := MomentEstimator(stats)
+	tri := query.Triangle()
+	full := tri.FullEdgeMask()
+	plain := card(tri, full)
+	rare := card(tri.WithEdgeLabels([]int{1, 1, 1}), full)
+	frequent := card(tri.WithEdgeLabels([]int{0, 0, 0}), full)
+	if rare >= plain {
+		t.Errorf("rare-edge estimate %g not below unlabelled %g", rare, plain)
+	}
+	if rare >= frequent {
+		t.Errorf("rare-edge estimate %g not below frequent-edge %g", rare, frequent)
+	}
+	// The ER estimator must apply the same factor direction.
+	erCard := ERRandomGraphEstimator(stats)
+	if er := erCard(tri.WithEdgeLabels([]int{1, 1, 1}), full); er >= erCard(tri, full) {
+		t.Errorf("ER rare-edge estimate %g not below unlabelled %g", er, erCard(tri, full))
+	}
+}
+
+// TestMatchingOrderRareEdgeFirst: with one rare edge label on a path
+// query, the matching order must seed at a vertex incident to the rare
+// edge.
+func TestMatchingOrderRareEdgeFirst(t *testing.T) {
+	stats := GraphStats{
+		N: 1000, M: 1000,
+		EdgeTriples: map[uint64]float64{
+			EdgeTripleKey(0, 0, 0): 990,
+			EdgeTripleKey(0, 1, 0): 10,
+		},
+	}
+	// 4-path with the rare label on the last edge: seed must be vertex 3
+	// or 4 (the rare edge's endpoints), not the unlabelled-heuristic start.
+	q := query.NewEdgeLabeled("p", [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}}, nil,
+		[]int{query.AnyLabel, query.AnyLabel, query.AnyLabel, 1})
+	order := MatchingOrderStats(q, stats)
+	if order[0] != 3 && order[0] != 4 {
+		t.Errorf("order %v does not seed at the rare edge", order)
+	}
+	// Unconstrained queries keep the label-free heuristic exactly.
+	plain := query.New("p", [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}})
+	want := MatchingOrder(plain)
+	got := MatchingOrderStats(plain, stats)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("unlabelled order changed: %v vs %v", got, want)
+		}
+	}
+}
+
+// TestTranslateEdgeLabels: translated dataflows carry the query's
+// edge-label constraints on the scan and on every extend slot, for both
+// the full plans and the delta rewriting.
+func TestTranslateEdgeLabels(t *testing.T) {
+	stats := GraphStats{N: 100, M: 300, Moments: make([]float64, query.MaxVertices)}
+	for i := range stats.Moments {
+		stats.Moments[i] = 1000
+	}
+	labelOf := func(q *query.Query, layout []int, slot, target int) int {
+		return q.EdgeLabelBetween(layout[slot], target)
+	}
+	for _, base := range []*query.Query{query.Triangle(), query.Q1(), query.Q2()} {
+		elabels := make([]int, base.NumEdges())
+		for i := range elabels {
+			elabels[i] = i % 3
+		}
+		q := base.WithEdgeLabels(elabels)
+		p := HugeWcoPlanStats(q, stats)
+		df, err := Translate(p)
+		if err != nil {
+			t.Fatalf("%s: %v", q.Name(), err)
+		}
+		flows, err := TranslateDelta(q)
+		if err != nil {
+			t.Fatalf("%s delta: %v", q.Name(), err)
+		}
+		// Full plan: scan edge label matches the scanned query edge.
+		for _, st := range df.Stages {
+			if st.Scan != nil {
+				if want := q.EdgeLabelBetween(st.Scan.QA, st.Scan.QB); st.Scan.EdgeLabel != want {
+					t.Errorf("%s: scan edge label %d, want %d", q.Name(), st.Scan.EdgeLabel, want)
+				}
+			}
+			layout := st.SourceLayout
+			for _, e := range st.Extends {
+				if !e.IsVerify() && e.EdgeLabels != nil {
+					for i, s := range e.ExtSlots {
+						if want := labelOf(q, layout, s, e.TargetQV); e.EdgeLabels[i] != want {
+							t.Errorf("%s: extend slot %d edge label %d, want %d", q.Name(), s, e.EdgeLabels[i], want)
+						}
+					}
+				}
+				layout = e.OutLayout
+			}
+		}
+		// Delta rewriting: every pinned scan and extend carries labels.
+		for i, d := range flows {
+			st := d.Stages[0]
+			if want := q.EdgeLabelBetween(st.DeltaSrc.QA, st.DeltaSrc.QB); st.DeltaSrc.EdgeLabel != want {
+				t.Errorf("%s pin %d: delta scan edge label %d, want %d", q.Name(), i, st.DeltaSrc.EdgeLabel, want)
+			}
+			layout := st.SourceLayout
+			for _, e := range st.Extends {
+				if e.EdgeLabels == nil {
+					t.Errorf("%s pin %d: extend lost edge labels", q.Name(), i)
+					continue
+				}
+				for j, s := range e.ExtSlots {
+					if want := labelOf(q, layout, s, e.TargetQV); e.EdgeLabels[j] != want {
+						t.Errorf("%s pin %d: slot %d edge label %d, want %d", q.Name(), i, s, e.EdgeLabels[j], want)
+					}
+				}
+				layout = e.OutLayout
+			}
+		}
+	}
+}

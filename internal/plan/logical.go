@@ -1,6 +1,8 @@
 package plan
 
 import (
+	"math"
+
 	"repro/internal/query"
 )
 
@@ -23,13 +25,16 @@ func MatchingOrder(q *query.Query) []int {
 }
 
 // MatchingOrderStats is MatchingOrder informed by label frequencies:
-// rare-label-first. The start vertex minimises its label share (the
-// fraction of data vertices that can seed it) with degree as the
-// tie-breaker, and each greedy step still maximises matched-neighbour
-// count (connectivity dominates — every extension is an intersection) but
-// breaks ties toward the rarer label before the higher degree. With zero
-// stats (or an unlabelled query) every label share is 1 and the order is
-// identical to the label-free heuristic.
+// rare-label-first — and, for edge-label-constrained queries,
+// rare-edge-first. The start vertex minimises its seed share — its vertex
+// label share times the share of its rarest constrained incident edge
+// label (the fraction of the graph an index-seeded scan anchored there
+// walks) — with degree as the tie-breaker. Each greedy step still
+// maximises matched-neighbour count (connectivity dominates — every
+// extension is an intersection) but breaks ties toward the rarer combined
+// selectivity: vertex label share times the shares of the edge labels the
+// step closes. With zero stats (or an unlabelled query) every share is 1
+// and the order is identical to the label-free heuristic.
 func MatchingOrderStats(q *query.Query, stats GraphStats) []int {
 	n := q.NumVertices()
 	share := func(v int) float64 {
@@ -39,12 +44,47 @@ func MatchingOrderStats(q *query.Query, stats GraphStats) []int {
 		}
 		return stats.LabelShare(l)
 	}
+	// One marginal-count pass over the triple stats up front: the share
+	// lookups below run O(n·deg) times per order computation.
+	es := newEdgeSelectivity(stats)
+	eshare := func(v, u int) float64 {
+		l := q.EdgeLabelBetween(v, u)
+		if l < 0 || stats.N == 0 || stats.M == 0 {
+			return 1
+		}
+		if es.marginal == nil {
+			if l == 0 {
+				return 1 // edge-unlabelled graph: every edge carries label 0
+			}
+			return 0.5 / float64(stats.M)
+		}
+		return math.Max(es.marginal[l], 0.5) / float64(stats.M)
+	}
+	seedShare := func(v int) float64 {
+		s := share(v)
+		rarest := 1.0
+		for _, u := range q.Adj(v) {
+			if es := eshare(v, u); es < rarest {
+				rarest = es
+			}
+		}
+		return s * rarest
+	}
+	stepShare := func(v int, matched []bool) float64 {
+		s := share(v)
+		for _, u := range q.Adj(v) {
+			if matched[u] {
+				s *= eshare(v, u)
+			}
+		}
+		return s
+	}
 	order := make([]int, 0, n)
 	matched := make([]bool, n)
-	start := 0
+	start, startShare := 0, seedShare(0)
 	for v := 1; v < n; v++ {
-		if share(v) < share(start) || (share(v) == share(start) && q.Degree(v) > q.Degree(start)) {
-			start = v
+		if sv := seedShare(v); sv < startShare || (sv == startShare && q.Degree(v) > q.Degree(start)) {
+			start, startShare = v, sv
 		}
 	}
 	order = append(order, start)
@@ -66,7 +106,7 @@ func MatchingOrderStats(q *query.Query, stats GraphStats) []int {
 			}
 			better := conn > bestConn
 			if conn == bestConn {
-				sv, sb := share(v), share(best)
+				sv, sb := stepShare(v, matched), stepShare(best, matched)
 				better = sv < sb || (sv == sb && q.Degree(v) > q.Degree(best))
 			}
 			if better {

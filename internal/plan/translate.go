@@ -93,6 +93,7 @@ func (t *translator) scanStar(em uint32) (*openPipe, error) {
 	scan := &dataflow.EdgeScan{
 		QA: root, QB: leaves[0],
 		LabelA: t.q.Label(root), LabelB: t.q.Label(leaves[0]),
+		EdgeLabel: t.q.EdgeLabelBetween(root, leaves[0]),
 	}
 	for _, o := range t.orders {
 		switch {
@@ -113,9 +114,29 @@ func (t *translator) scanStar(em uint32) (*openPipe, error) {
 	return pipe, nil
 }
 
+// extEdgeLabels collects the edge-label constraints an extend closes: entry
+// i constrains the edge between layout[extSlots[i]] and the target query
+// vertex. It returns nil when every closed edge is unconstrained, so
+// edge-unlabelled queries produce exactly the operators they always did.
+func extEdgeLabels(q *query.Query, layout []int, extSlots []int, target int) []int {
+	constrained := false
+	labels := make([]int, len(extSlots))
+	for i, s := range extSlots {
+		labels[i] = q.EdgeLabelBetween(layout[s], target)
+		if labels[i] != query.AnyLabel {
+			constrained = true
+		}
+	}
+	if !constrained {
+		return nil
+	}
+	return labels
+}
+
 // appendExtend adds a PULL-EXTEND matching target via the given slots,
 // attaching every symmetry-breaking order between target and an
-// already-matched vertex.
+// already-matched vertex, plus the edge-label constraints of the closed
+// edges.
 func (t *translator) appendExtend(pipe *openPipe, extSlots []int, target int) {
 	var filters []dataflow.NewFilter
 	for _, o := range t.orders {
@@ -132,6 +153,7 @@ func (t *translator) appendExtend(pipe *openPipe, extSlots []int, target int) {
 		TargetQV:    target,
 		VerifySlot:  -1,
 		TargetLabel: t.q.Label(target),
+		EdgeLabels:  extEdgeLabels(t.q, pipe.layout, extSlots, target),
 		NewFilters:  filters,
 		OutLayout:   out,
 	})
@@ -145,6 +167,7 @@ func (t *translator) appendVerify(pipe *openPipe, extSlots []int, verifySlot int
 		TargetQV:    -1,
 		VerifySlot:  verifySlot,
 		TargetLabel: query.AnyLabel, // the verified vertex is already matched (and label-checked)
+		EdgeLabels:  extEdgeLabels(t.q, pipe.layout, extSlots, pipe.layout[verifySlot]),
 		OutLayout:   append([]int(nil), pipe.layout...),
 	})
 }

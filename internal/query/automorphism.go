@@ -6,8 +6,10 @@ package query
 // We compute Aut(q) by backtracking over degree- and label-compatible
 // permutations and derive partial orders that keep exactly one
 // representative per orbit. For labelled queries an automorphism must
-// preserve label constraints: two vertices with different labels are never
-// symmetric, so labelling shrinks the group (and the derived orders).
+// preserve label constraints — vertex labels on vertices and edge labels
+// on edges: two vertices with different labels, or two edges with
+// different edge labels, are never exchanged, so labelling shrinks the
+// group (and the derived orders).
 
 // Automorphisms returns all automorphisms of q as permutations p where
 // p[v] is the image of query vertex v. The identity is always included.
@@ -30,7 +32,8 @@ func Automorphisms(q *Query) [][]int {
 			}
 			ok := true
 			for _, u := range q.adj[v] {
-				if u < v && !q.HasEdge(c, perm[u]) {
+				if u < v && (!q.HasEdge(c, perm[u]) ||
+					q.EdgeLabelBetween(v, u) != q.EdgeLabelBetween(c, perm[u])) {
 					ok = false
 					break
 				}

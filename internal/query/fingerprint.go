@@ -8,12 +8,14 @@ package query
 // query graphs, so a cache keyed on it can never hand back a plan for a
 // structurally different query.
 //
-// Label constraints are part of the canonical form: the label sequence is
+// Label constraints are part of the canonical form: the vertex-label
+// sequence — and, for edge-labelled queries, the edge-label sequence — is
 // minimised jointly with the adjacency code and appended to the
 // fingerprint, so two patterns that differ only in their label signature
-// (e.g. a triangle over label 3 vs. over label 7) never share a cache
-// entry, while an unlabelled query's fingerprint is byte-identical to what
-// it was before labels existed — warm caches stay warm.
+// (e.g. a triangle over label 3 vs. over label 7, or over [transfer] vs.
+// [owns] edges) never share a cache entry, while an unlabelled query's
+// fingerprint is byte-identical to what it was before labels existed —
+// warm caches stay warm.
 
 import (
 	"fmt"
@@ -72,12 +74,13 @@ func (q *Query) computeFingerprint() string {
 // lexicographically smallest row-wise upper-triangle adjacency encoding
 // over all vertex orderings that list degrees in non-increasing order
 // (an isomorphism-invariant family, so the minimum is a canonical form).
-// For labelled queries each position's comparison key is the (row, label)
-// pair, so the label sequence is minimised jointly with the structure and
-// the resulting code ends with a ";l:" label-signature suffix. Unlabelled
-// queries produce exactly the code they always did. It returns the code
-// and the vertex permutation that realises it (perm[i] = original vertex
-// placed at canonical position i).
+// For labelled queries each position's comparison key is the (row, vertex
+// label) pair — extended, for edge-labelled queries, by the labels of the
+// edges closed against the prefix — so both label sequences are minimised
+// jointly with the structure and the resulting code ends with ";l:" /
+// ";el:" signature suffixes. Unlabelled queries produce exactly the code
+// they always did. It returns the code and the vertex permutation that
+// realises it (perm[i] = original vertex placed at canonical position i).
 func (q *Query) canonicalCode() (string, []int) {
 	n := q.n
 	identity := func() []int {
@@ -87,10 +90,10 @@ func (q *Query) canonicalCode() (string, []int) {
 		}
 		return p
 	}
-	if q.IsClique() && !q.Labeled() {
+	if q.IsClique() && !q.Labeled() && !q.EdgeLabeled() {
 		// Every ordering yields the all-ones matrix; skip the search.
 		// (A labelled clique still needs the search to canonicalise its
-		// label sequence.)
+		// label sequences.)
 		return fmt.Sprintf("K%d", n), identity()
 	}
 
@@ -102,23 +105,39 @@ func (q *Query) canonicalCode() (string, []int) {
 		degSeq[i] = q.Degree(v)
 	}
 
-	// keys[i] packs (adjacency row, label+1) for canonical position i: the
-	// row in the high bits, the label constraint (AnyLabel → 0) in the low
-	// 20 bits, so lexicographic comparison of keys orders first by
-	// structure, then by label. Unlabelled queries have a constant label
-	// part, making the search identical to the label-free one.
+	// keys[i] is the comparison key of canonical position i. Element 0
+	// packs (adjacency row, vertex label + 1): the row in the high bits,
+	// the label constraint (AnyLabel → 0) in the low 20 bits, so
+	// lexicographic comparison orders first by structure, then by vertex
+	// label. For edge-labelled queries, elements 1..i hold the labels of
+	// the edges closed against prefix positions 0..i-1 (0 = no edge,
+	// 1 = wildcard edge, l+2 = edge constrained to label l), so the
+	// edge-label sequence participates in the same joint minimisation.
+	// Edge-unlabelled queries have width-1 keys and search exactly as the
+	// edge-label-free code did.
 	labelKey := func(v int) uint64 { return uint64(q.Label(v) + 1) }
-	keys := make([]uint64, n)
+	el := q.EdgeLabeled()
+	keys := make([][]uint64, n)
+	for i := range keys {
+		w := 1
+		if el {
+			w = 1 + i
+		}
+		keys[i] = make([]uint64, w)
+	}
 	perm := make([]int, n)
 	used := make([]bool, n)
-	var best []uint64
+	var best [][]uint64
 	var bestPerm []int
 
 	var rec func(i int)
 	rec = func(i int) {
 		if i == n {
 			if best == nil || lexLess(keys, best) {
-				best = append([]uint64(nil), keys...)
+				best = make([][]uint64, n)
+				for j := range keys {
+					best[j] = append([]uint64(nil), keys[j]...)
+				}
 				bestPerm = append([]int(nil), perm...)
 			}
 			return
@@ -129,11 +148,19 @@ func (q *Query) canonicalCode() (string, []int) {
 			}
 			var row uint64
 			for j := 0; j < i; j++ {
-				if q.HasEdge(c, perm[j]) {
+				hasEdge := q.HasEdge(c, perm[j])
+				if hasEdge {
 					row |= 1 << j
 				}
+				if el {
+					var ek uint64
+					if hasEdge {
+						ek = uint64(q.EdgeLabelBetween(c, perm[j])) + 2 // AnyLabel → 1
+					}
+					keys[i][1+j] = ek
+				}
 			}
-			keys[i] = row<<20 | labelKey(c)
+			keys[i][0] = row<<20 | labelKey(c)
 			// Prune any branch whose prefix already exceeds the best code:
 			// the first difference of a lexicographic comparison lies inside
 			// the prefix, so no completion can beat it.
@@ -150,7 +177,7 @@ func (q *Query) canonicalCode() (string, []int) {
 
 	var sb strings.Builder
 	for _, k := range best {
-		fmt.Fprintf(&sb, "%03x", k>>20)
+		fmt.Fprintf(&sb, "%03x", k[0]>>20)
 	}
 	if q.Labeled() {
 		sb.WriteString(";l:")
@@ -161,22 +188,52 @@ func (q *Query) canonicalCode() (string, []int) {
 			fmt.Fprintf(&sb, "%d", q.Label(v))
 		}
 	}
+	if el {
+		// Edge labels in fixed (position, prefix-position) order; which
+		// pairs are edges is already encoded by the structure code, so
+		// printing the labels alone is unambiguous.
+		sb.WriteString(";el:")
+		first := true
+		for i := 1; i < n; i++ {
+			for j := 0; j < i; j++ {
+				if !q.HasEdge(bestPerm[i], bestPerm[j]) {
+					continue
+				}
+				if !first {
+					sb.WriteString(",")
+				}
+				first = false
+				if l := q.EdgeLabelBetween(bestPerm[i], bestPerm[j]); l == AnyLabel {
+					sb.WriteString("*")
+				} else {
+					fmt.Fprintf(&sb, "%d", l)
+				}
+			}
+		}
+	}
 	return sb.String(), bestPerm
 }
 
-func lexLess(a, b []uint64) bool {
+// lexLess and prefixGreater compare position-key sequences
+// lexicographically, position by position and element by element (keys at
+// equal positions always have equal width).
+func lexLess(a, b [][]uint64) bool {
 	for i := range a {
-		if a[i] != b[i] {
-			return a[i] < b[i]
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				return a[i][j] < b[i][j]
+			}
 		}
 	}
 	return false
 }
 
-func prefixGreater(a, b []uint64) bool {
+func prefixGreater(a, b [][]uint64) bool {
 	for i := range a {
-		if a[i] != b[i] {
-			return a[i] > b[i]
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				return a[i][j] > b[i][j]
+			}
 		}
 	}
 	return false

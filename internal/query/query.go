@@ -35,11 +35,12 @@ type Order struct{ A, B int }
 
 // Query is an immutable connected query graph. Vertices are 0..N-1.
 type Query struct {
-	n      int
-	edges  [][2]int // canonical: a < b, sorted
-	adj    [][]int  // sorted neighbour lists
-	name   string
-	labels []int // per-vertex label constraint (AnyLabel = wildcard); nil when unconstrained
+	n       int
+	edges   [][2]int // canonical: a < b, sorted
+	adj     [][]int  // sorted neighbour lists
+	name    string
+	labels  []int // per-vertex label constraint (AnyLabel = wildcard); nil when unconstrained
+	elabels []int // per-edge label constraint parallel to edges; nil when unconstrained
 
 	// delta marks a delta-mode view created by Delta(): the engine
 	// enumerates only the matches introduced (or removed) by the latest
@@ -71,11 +72,31 @@ func NewLabeled(name string, edges [][2]int, labels []int) *Query {
 	return newQuery(name, edges, labels)
 }
 
+// NewEdgeLabeled builds a query graph with both vertex- and edge-label
+// constraints: elabels[i] is the data edge label that edges[i] must carry,
+// or AnyLabel for no constraint (elabels parallels the edges argument as
+// given, before canonicalisation). Either label slice may be nil; slices
+// that are nil or all-wildcard leave that dimension unconstrained.
+func NewEdgeLabeled(name string, edges [][2]int, labels, elabels []int) *Query {
+	return newQueryEL(name, edges, labels, elabels)
+}
+
 func newQuery(name string, edges [][2]int, labels []int) *Query {
+	return newQueryEL(name, edges, labels, nil)
+}
+
+func newQueryEL(name string, edges [][2]int, labels, elabels []int) *Query {
+	if elabels != nil && len(elabels) != len(edges) {
+		panic(fmt.Sprintf("query %s: %d edge labels for %d edges", name, len(elabels), len(edges)))
+	}
 	n := 0
 	seen := map[[2]int]bool{}
-	canon := make([][2]int, 0, len(edges))
-	for _, e := range edges {
+	type canonEdge struct {
+		e  [2]int
+		el int
+	}
+	canon := make([]canonEdge, 0, len(edges))
+	for i, e := range edges {
 		a, b := e[0], e[1]
 		if a == b {
 			panic(fmt.Sprintf("query %s: self-loop on %d", name, a))
@@ -87,7 +108,14 @@ func newQuery(name string, edges [][2]int, labels []int) *Query {
 			panic(fmt.Sprintf("query %s: duplicate edge (%d,%d)", name, a, b))
 		}
 		seen[[2]int{a, b}] = true
-		canon = append(canon, [2]int{a, b})
+		el := AnyLabel
+		if elabels != nil {
+			el = elabels[i]
+			if el < AnyLabel || el > MaxLabel {
+				panic(fmt.Sprintf("query %s: edge (%d,%d) has invalid label %d", name, a, b, el))
+			}
+		}
+		canon = append(canon, canonEdge{e: [2]int{a, b}, el: el})
 		if b+1 > n {
 			n = b + 1
 		}
@@ -98,13 +126,27 @@ func newQuery(name string, edges [][2]int, labels []int) *Query {
 	if n > MaxVertices {
 		panic(fmt.Sprintf("query %s: %d vertices exceeds MaxVertices=%d", name, n, MaxVertices))
 	}
-	slices.SortFunc(canon, func(a, b [2]int) int {
-		if a[0] != b[0] {
-			return a[0] - b[0]
+	slices.SortFunc(canon, func(a, b canonEdge) int {
+		if a.e[0] != b.e[0] {
+			return a.e[0] - b.e[0]
 		}
-		return a[1] - b[1]
+		return a.e[1] - b.e[1]
 	})
-	q := &Query{n: n, edges: canon, name: name}
+	canonEdges := make([][2]int, len(canon))
+	eConstrained := false
+	for i, ce := range canon {
+		canonEdges[i] = ce.e
+		if ce.el != AnyLabel {
+			eConstrained = true
+		}
+	}
+	q := &Query{n: n, edges: canonEdges, name: name}
+	if eConstrained {
+		q.elabels = make([]int, len(canon))
+		for i, ce := range canon {
+			q.elabels[i] = ce.el
+		}
+	}
 	if labels != nil {
 		if len(labels) != n {
 			panic(fmt.Sprintf("query %s: %d labels for %d vertices", name, len(labels), n))
@@ -123,7 +165,7 @@ func newQuery(name string, edges [][2]int, labels []int) *Query {
 		}
 	}
 	q.adj = make([][]int, n)
-	for _, e := range canon {
+	for _, e := range canonEdges {
 		q.adj[e[0]] = append(q.adj[e[0]], e[1])
 		q.adj[e[1]] = append(q.adj[e[1]], e[0])
 	}
@@ -137,12 +179,22 @@ func newQuery(name string, edges [][2]int, labels []int) *Query {
 	return q
 }
 
-// WithVertexLabels returns a labelled copy of q: same name, edges and
-// vertex numbering, with the given label constraints (see NewLabeled). The
-// copy derives its own symmetry-breaking orders — labelling can break
-// symmetries, so the orders are generally a subset of q's.
+// WithVertexLabels returns a labelled copy of q: same name, edges, edge
+// labels and vertex numbering, with the given vertex label constraints
+// (see NewLabeled). The copy derives its own symmetry-breaking orders —
+// labelling can break symmetries, so the orders are generally a subset of
+// q's.
 func (q *Query) WithVertexLabels(labels []int) *Query {
-	return newQuery(q.name, q.edges, labels)
+	return newQueryEL(q.name, q.edges, labels, q.elabels)
+}
+
+// WithEdgeLabels returns an edge-label-constrained copy of q: same name,
+// edges, vertex labels and numbering, with elabels[i] constraining the
+// data edge label of q.Edges()[i] (AnyLabel = wildcard; the slice
+// parallels the canonical edge order). Like vertex labelling, edge
+// labelling can break symmetries, so the copy derives its own orders.
+func (q *Query) WithEdgeLabels(elabels []int) *Query {
+	return newQueryEL(q.name, q.edges, q.labels, elabels)
 }
 
 // Delta returns a delta-mode view of q: running it against a system that
@@ -153,7 +205,7 @@ func (q *Query) WithVertexLabels(labels []int) *Query {
 // Delta-mode queries count; they are not cached as plans (the rewriting is
 // linear in the query size, unlike the exponential optimiser).
 func (q *Query) Delta() *Query {
-	nq := &Query{n: q.n, edges: q.edges, adj: q.adj, name: q.name, labels: q.labels, delta: true}
+	nq := &Query{n: q.n, edges: q.edges, adj: q.adj, name: q.name, labels: q.labels, elabels: q.elabels, delta: true}
 	q.mu.Lock()
 	nq.orders, nq.customOrders, nq.fp = q.orders, q.customOrders, q.fp
 	q.mu.Unlock()
@@ -196,6 +248,42 @@ func (q *Query) Label(v int) int {
 // VertexLabels returns the per-vertex label constraints (AnyLabel entries
 // for wildcards), or nil for an unlabelled query. Do not modify.
 func (q *Query) VertexLabels() []int { return q.labels }
+
+// EdgeLabeled reports whether any query edge carries a label constraint.
+func (q *Query) EdgeLabeled() bool { return q.elabels != nil }
+
+// EdgeLabelAt returns the label constraint of canonical edge i (see
+// Edges()), or AnyLabel when edge i — or the whole query — is
+// unconstrained.
+func (q *Query) EdgeLabelAt(i int) int {
+	if q.elabels == nil {
+		return AnyLabel
+	}
+	return q.elabels[i]
+}
+
+// EdgeLabelBetween returns the label constraint of the query edge (a, b),
+// or AnyLabel when the edge is unconstrained. It panics if (a, b) is not a
+// query edge — callers pass edges they already matched.
+func (q *Query) EdgeLabelBetween(a, b int) int {
+	if q.elabels == nil {
+		return AnyLabel
+	}
+	if a > b {
+		a, b = b, a
+	}
+	for i, e := range q.edges {
+		if e[0] == a && e[1] == b {
+			return q.elabels[i]
+		}
+	}
+	panic(fmt.Sprintf("query %s: (%d,%d) is not an edge", q.name, a, b))
+}
+
+// EdgeLabels returns the per-edge label constraints parallel to Edges()
+// (AnyLabel entries for wildcards), or nil for an edge-unlabelled query.
+// Do not modify.
+func (q *Query) EdgeLabels() []int { return q.elabels }
 
 // HasEdge reports whether (a, b) is a query edge.
 func (q *Query) HasEdge(a, b int) bool {
@@ -248,6 +336,11 @@ func (q *Query) SameNumbering(o *Query) bool {
 			return false
 		}
 	}
+	for i := range q.edges {
+		if q.EdgeLabelAt(i) != o.EdgeLabelAt(i) {
+			return false
+		}
+	}
 	qo, oo := q.Orders(), o.Orders() // separate snapshots: no nested locking
 	if len(qo) != len(oo) {
 		return false
@@ -268,6 +361,19 @@ func (q *Query) String() string {
 		sb.WriteString("; labels ")
 		for v, l := range q.labels {
 			if v > 0 {
+				sb.WriteString(",")
+			}
+			if l == AnyLabel {
+				sb.WriteString("*")
+			} else {
+				fmt.Fprintf(&sb, "%d", l)
+			}
+		}
+	}
+	if q.elabels != nil {
+		sb.WriteString("; elabels ")
+		for i, l := range q.elabels {
+			if i > 0 {
 				sb.WriteString(",")
 			}
 			if l == AnyLabel {
