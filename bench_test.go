@@ -461,6 +461,49 @@ func BenchmarkServe_ConcurrentSessions(b *testing.B) {
 	b.ReportMetric(float64(misses), "planMisses")
 }
 
+// BenchmarkTopK measures engine-side top-k early termination: Exec with
+// Limit(k) on the LJ-scale stand-in versus the full enumeration. The
+// match budget halts the scan-extend pipeline at the batch boundary after
+// the k-th match (and bounded runs schedule as DFS with small batches), so
+// both latency and peak queued tuples should fall by orders of magnitude
+// for small k — the gap that makes first-page / existence queries cheap on
+// a serving deployment.
+func BenchmarkTopK(b *testing.B) {
+	g := huge.Generate("LJ", 1)
+	sys := huge.NewSystem(g, huge.Options{Machines: 4, Workers: 2})
+	q := huge.Q1()
+	run := func(b *testing.B, opts ...huge.Option) {
+		for i := 0; i < b.N; i++ {
+			res, err := sys.Exec(context.Background(), q, opts...).Wait()
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(res.Metrics.PeakTuples), "peakTuples")
+			b.ReportMetric(float64(res.Count), "results")
+		}
+	}
+	b.Run("full", func(b *testing.B) { run(b, huge.CountOnly()) })
+	b.Run("k=100", func(b *testing.B) { run(b, huge.CountOnly(), huge.Limit(100)) })
+	b.Run("k=1", func(b *testing.B) { run(b, huge.CountOnly(), huge.Limit(1)) })
+	b.Run("k=100-stream", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			st := sys.Exec(context.Background(), q, huge.Limit(100))
+			var n uint64
+			for range st.Matches() {
+				n++
+			}
+			res, err := st.Wait()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if n != 100 || res.Count != 100 {
+				b.Fatalf("streamed %d, counted %d, want 100", n, res.Count)
+			}
+			b.ReportMetric(float64(res.Metrics.PeakTuples), "peakTuples")
+		}
+	})
+}
+
 // BenchmarkDeltaVsFull measures incremental match maintenance: after a
 // ≤1% edge delta, maintaining the triangle count with delta-mode
 // enumeration (matches pinned on the changed edges) versus a cold full

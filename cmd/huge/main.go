@@ -1,16 +1,20 @@
 // Command huge runs a single subgraph-enumeration query on a dataset with
 // a chosen plan, printing the count, timings and communication metrics.
-// With -repeat it replays the query through one serving session,
-// demonstrating the fingerprint-keyed plan cache. With -updates it replays
-// an insert/delete stream (hugegen -updates emits one) in batches through
-// System.Apply, maintaining the match count with delta-mode enumeration
-// and cross-checking the running total against a final full re-count.
+// Every run goes through the unified Exec API. With -k n the engine stops
+// after n matches (top-k early termination — the match budget halts scans
+// and extends engine-side) and prints them. With -repeat it replays the
+// query through one serving session, demonstrating the fingerprint-keyed
+// plan cache. With -updates it replays an insert/delete stream (hugegen
+// -updates emits one) in batches through System.Apply, maintaining the
+// match count with delta-mode enumeration and cross-checking the running
+// total against a final full re-count.
 //
 // Usage:
 //
 //	huge -dataset LJ -scale 1 -query q1 -machines 4 -workers 2 -plan optimal
 //	huge -input edges.txt -query triangle
 //	huge -query q1 -repeat 5           # warm runs reuse the cached plan
+//	huge -query q1 -k 10               # first 10 squares, engine-side stop
 //	huge -labels 16 -query triangle -vlabels 2,2,2    # labelled matching
 //	huge -labels 16 -pattern "(a:1)-(b:2), (b:2)-(c:1), (c:1)-(a:1)"
 //	huge -elabels 8 -pattern "(a)-[2]-(b), (b)-[2]-(c), (c)-[2]-(a)"  # edge labels
@@ -43,6 +47,7 @@ func main() {
 		machines = flag.Int("machines", 4, "simulated machines")
 		workers  = flag.Int("workers", 2, "workers per machine")
 		queue    = flag.Int64("queue", 0, "scheduler queue capacity in rows (0=default adaptive, 1=DFS, -1=BFS)")
+		topk     = flag.Int("k", 0, "stop after k matches (engine-side early termination) and print them; 0 = count all")
 		repeat   = flag.Int("repeat", 1, "run the query N times through one session (plan cached after run 1)")
 		showPlan = flag.Bool("show-plan", false, "print the execution plan before running")
 		updates  = flag.String("updates", "", "replay an insert/delete stream file (\"+ u v\" / \"- u v\" lines) with delta-mode maintenance")
@@ -112,19 +117,46 @@ func main() {
 	} else if *showPlan {
 		// Plan is memoised, so the runs below reuse this exact plan — and
 		// their "(cached plan)" annotation is accurate: planning was paid
-		// here, at the user's request, before the first run.
-		fmt.Print(sys.Plan(q).String())
+		// here, at the user's request, before the first run. A bounded
+		// (-k) run executes the barrier-free wco family instead of the
+		// cost-optimal plan, so show that one.
+		if *topk > 0 {
+			fmt.Print(sys.PlanFor(q, "wco").String())
+		} else {
+			fmt.Print(sys.Plan(q).String())
+		}
 	}
 	if *repeat < 1 {
 		*repeat = 1
 	}
+	if *topk < 0 {
+		fmt.Fprintln(os.Stderr, "-k must be >= 0")
+		os.Exit(2)
+	}
+	if *topk > 0 && *updates != "" {
+		// Delta replay maintains the FULL match count from the first run's
+		// result; a truncated top-k count would seed it wrong by design.
+		fmt.Fprintln(os.Stderr, "-k cannot be combined with -updates (replay maintains the full count)")
+		os.Exit(2)
+	}
 	var res huge.Result
 	var err error
 	for i := 0; i < *repeat; i++ {
-		if *planArg == "optimal" {
-			res, err = sess.Run(ctx, q)
+		// Everything routes through the unified Exec API; the deprecated
+		// Run/RunPlan wrappers are just this with fewer options.
+		var opts []huge.Option
+		if p != nil {
+			opts = append(opts, huge.WithPlan(p))
+		}
+		if *topk > 0 {
+			// Top-k: stream the first k matches off the engine and stop it.
+			st := sess.Exec(ctx, q, append(opts, huge.Limit(*topk))...)
+			for m := range st.Matches() {
+				fmt.Printf("  match %v\n", m)
+			}
+			res, err = st.Wait()
 		} else {
-			res, err = sess.RunPlan(ctx, q, p)
+			res, err = sess.Exec(ctx, q, append(opts, huge.CountOnly())...).Wait()
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -133,6 +165,9 @@ func main() {
 		cachedNote := ""
 		if res.PlanCached {
 			cachedNote = " (cached plan)"
+		}
+		if *topk > 0 {
+			cachedNote += fmt.Sprintf(" (stopped at k=%d)", *topk)
 		}
 		fmt.Printf("query %s: %d matches in %v%s\n", q.Name(), res.Count, res.Elapsed, cachedNote)
 	}
@@ -187,7 +222,7 @@ func replayUpdates(ctx context.Context, sys *huge.System, sess *huge.Session, q 
 		}
 		epoch := sys.Apply(d)
 		sess.Refresh()
-		res, err := sess.Run(ctx, dq)
+		res, err := sess.Exec(ctx, dq, huge.CountOnly()).Wait()
 		if err != nil {
 			return err
 		}
@@ -195,7 +230,7 @@ func replayUpdates(ctx context.Context, sys *huge.System, sess *huge.Session, q 
 		fmt.Printf("epoch %d: %d ops, delta %+d (new %d, dead %d) in %v -> %d matches\n",
 			epoch, hi-lo, res.Delta, res.DeltaNew, res.DeltaDead, res.Elapsed, running)
 	}
-	full, err := sess.Run(ctx, q)
+	full, err := sess.Exec(ctx, q, huge.CountOnly()).Wait()
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,89 @@
+package repro
+
+// The deprecated query wrappers (System/Session Run, RunConcurrent,
+// RunPlan, RunPlanContext, Enumerate, EnumerateContext) exist only for
+// backward compatibility; all first-party code routes through Exec. This
+// guard — run as part of `go test`, next to `go vet` in CI — fails if any
+// non-test code outside huge/ calls one of them, so the wrappers can't
+// creep back into the codebase.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// deprecatedQueryMethods are the wrapper method names of huge.System and
+// huge.Session that Exec supersedes.
+var deprecatedQueryMethods = map[string]bool{
+	"Run":              true,
+	"RunConcurrent":    true,
+	"RunPlan":          true,
+	"RunPlanContext":   true,
+	"Enumerate":        true,
+	"EnumerateContext": true,
+}
+
+func TestNoDeprecatedQueryAPIOutsideHuge(t *testing.T) {
+	fset := token.NewFileSet()
+	var violations []string
+	err := filepath.WalkDir(".", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == ".git" || name == ".github" || name == "huge" || name == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		file, err := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		// Local names of the file's imports: a selector on one of these is
+		// a package-level function (e.g. engine.Run), not a wrapper call.
+		pkgNames := map[string]bool{}
+		for _, imp := range file.Imports {
+			p, _ := strconv.Unquote(imp.Path.Value)
+			name := p[strings.LastIndex(p, "/")+1:]
+			if imp.Name != nil {
+				name = imp.Name.Name
+			}
+			pkgNames[name] = true
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !deprecatedQueryMethods[sel.Sel.Name] {
+				return true
+			}
+			if id, ok := sel.X.(*ast.Ident); ok && pkgNames[id.Name] {
+				return true // package function, not a method
+			}
+			violations = append(violations,
+				fmt.Sprintf("%s: %s", fset.Position(call.Pos()), sel.Sel.Name))
+			return true
+		})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range violations {
+		t.Errorf("deprecated query wrapper called outside huge/: %s (use Exec)", v)
+	}
+}

@@ -2,9 +2,21 @@
 // and Scalable Subgraph Enumeration System" (Yang, Lai, Lin, Hao, Zhang;
 // SIGMOD 2021, arXiv:2103.14294).
 //
-// The public API lives in repro/huge: a concurrent query service with
-// per-run execution contexts and a fingerprint-keyed plan cache, serving
-// both unlabelled and label-constrained patterns — vertex AND edge labels
+// The public API lives in repro/huge: a concurrent query service whose one
+// core entry point is System.Exec / Session.Exec —
+//
+//	st := sys.Exec(ctx, huge.Q1(), huge.Limit(10))
+//	for m := range st.Matches() {   // pull-based match stream
+//	    fmt.Println(m)
+//	}
+//	res, err := st.Wait()           // count, metrics, plan provenance
+//
+// with composable options (Limit for engine-side top-k early termination
+// via a shared atomic match budget, CountOnly for the compressed counting
+// path, WithPlan, Timeout, OnMatch) and a Stream that is both a pull
+// iterator and the Result carrier; the historical Run/Enumerate method
+// variants survive as thin deprecated wrappers. The service serves both
+// unlabelled and label-constrained patterns — vertex AND edge labels
 // thread through the whole stack (labelled graphs with a per-label vertex
 // index and a (srcLabel, edgeLabel) triple index, label-aware
 // automorphisms and canonical fingerprints, triple-statistics-driven
@@ -18,9 +30,10 @@
 // rewriting — full(t) + delta == full(t+1), oracle-verified, including
 // under edge-label churn. The benchmark harness that regenerates every
 // table and figure of the paper's evaluation lives in repro/internal/exp
-// and is timed by the benchmarks in bench_test.go (BenchmarkDeltaVsFull
-// covers incremental maintenance, BenchmarkEdgeLabeledVsUnlabeled
-// edge-label selectivity). See README.md for the architecture overview,
-// including the session/plan-cache layering, the labelled and
+// and is timed by the benchmarks in bench_test.go (BenchmarkTopK covers
+// Limit(k) early termination, BenchmarkDeltaVsFull incremental
+// maintenance, BenchmarkEdgeLabeledVsUnlabeled edge-label selectivity).
+// See README.md for the architecture overview, including the Exec/Stream
+// query API, the session/plan-cache layering, the labelled and
 // edge-labelled matching workloads and the streaming-updates model.
 package repro

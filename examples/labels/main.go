@@ -35,7 +35,7 @@ func main() {
 	labelled := huge.NewLabeledQuery("triangle-rare", edges, []int{rare, rare, rare})
 
 	for _, q := range []*huge.Query{unlabelled, labelled} {
-		res, err := sess.Run(ctx, q)
+		res, err := sess.Exec(ctx, q, huge.CountOnly()).Wait()
 		if err != nil {
 			panic(err)
 		}

@@ -41,7 +41,7 @@ func main() {
 		wg.Add(1)
 		go func(i int, q *huge.Query) {
 			defer wg.Done()
-			results[i], errs[i] = sess.Run(context.Background(), q)
+			results[i], errs[i] = sess.Exec(context.Background(), q, huge.CountOnly()).Wait()
 		}(i, q)
 	}
 	wg.Wait()

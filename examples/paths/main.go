@@ -1,12 +1,15 @@
 // Hop-constrained path enumeration: the path-query application of Section
 // 6. HUGE's PULL-EXTEND chains enumerate all simple paths of exactly h
-// hops; filtering the endpoints at the sink yields s-t path enumeration,
-// and sweeping h upward finds the shortest path between two vertices.
+// hops; filtering the endpoints yields s-t path enumeration, and sweeping
+// h upward finds the shortest path between two vertices. The matches are
+// consumed through Exec's pull-based Stream — the consumer iterates, the
+// engine produces, and backpressure flows through the bounded scheduler
+// queues.
 package main
 
 import (
+	"context"
 	"fmt"
-	"sync/atomic"
 
 	"repro/huge"
 )
@@ -28,6 +31,7 @@ func main() {
 	fmt.Printf("road network: %d vertices, %d edges\n", g.NumVertices(), g.NumEdges())
 
 	sys := huge.NewSystem(g, huge.Options{Machines: 4, Workers: 2})
+	ctx := context.Background()
 
 	// Pick a destination a few hops from the source by walking the graph,
 	// so the sweep below finds it.
@@ -41,20 +45,23 @@ func main() {
 
 	shortest := -1
 	for h := 1; h <= 4; h++ {
-		q := pathQuery(h)
-		var stCount atomic.Uint64
-		res, err := sys.Enumerate(q, func(m []huge.VertexID) {
+		// Stream every h-hop path off the engine and filter the endpoints
+		// as they arrive.
+		st := sys.Exec(ctx, pathQuery(h))
+		var stCount uint64
+		for m := range st.Matches() {
 			a, b := m[0], m[len(m)-1]
 			if (a == src && b == dst) || (a == dst && b == src) {
-				stCount.Add(1)
+				stCount++
 			}
-		})
+		}
+		res, err := st.Wait()
 		if err != nil {
 			panic(err)
 		}
 		fmt.Printf("  h=%d: %12d simple paths total, %6d between s and t (%.3fs)\n",
-			h, res.Count, stCount.Load(), res.Elapsed.Seconds())
-		if stCount.Load() > 0 && shortest < 0 {
+			h, res.Count, stCount, res.Elapsed.Seconds())
+		if stCount > 0 && shortest < 0 {
 			shortest = h
 		}
 	}
@@ -63,4 +70,12 @@ func main() {
 	} else {
 		fmt.Println("no s-t path within 4 hops")
 	}
+
+	// Existence probes don't need counts at all: Limit(1) stops the engine
+	// at the very first path of the given length.
+	st := sys.Exec(ctx, pathQuery(4), huge.Limit(1))
+	if m, ok := st.Next(); ok {
+		fmt.Printf("one 4-hop path, engine stopped immediately after: %v\n", m)
+	}
+	st.Close() // release the run; a Canceled result is fine for a probe
 }

@@ -1,7 +1,8 @@
 // Quickstart: generate a social-network stand-in, deploy it on a simulated
 // 4-machine HUGE cluster, and count squares (the paper's Table 1 query)
-// with the optimal hybrid plan — then re-run the query through a serving
-// session to show the fingerprint-keyed plan cache at work.
+// through the unified Exec API — then stream the first few matches with an
+// engine-side top-k limit, and re-run the query through a serving session
+// to show the fingerprint-keyed plan cache at work.
 package main
 
 import (
@@ -18,12 +19,14 @@ func main() {
 		g.NumVertices(), g.NumEdges(), g.MaxDegree())
 
 	sys := huge.NewSystem(g, huge.Options{Machines: 4, Workers: 2})
+	ctx := context.Background()
 
 	q := huge.Q1() // the square (4-cycle)
 	p := sys.Plan(q)
 	fmt.Print(p.String())
 
-	res, err := sys.RunPlan(q, p)
+	// Count with a hand-picked plan: Exec + options, Wait for the Result.
+	res, err := sys.Exec(ctx, q, huge.WithPlan(p), huge.CountOnly()).Wait()
 	if err != nil {
 		panic(err)
 	}
@@ -34,13 +37,25 @@ func main() {
 	fmt.Printf("peak intermediate results: %d tuples (bounded by the adaptive scheduler)\n",
 		res.Metrics.PeakTuples)
 
+	// Top-k: Limit(5) plants a match budget inside the engine, so scans and
+	// extends stop at the next batch boundary once 5 squares are claimed —
+	// no full enumeration, orders of magnitude fewer peak tuples.
+	st := sys.Exec(ctx, q, huge.Limit(5))
+	for m := range st.Matches() {
+		fmt.Printf("  square %v\n", m)
+	}
+	if res, err = st.Wait(); err != nil {
+		panic(err)
+	}
+	fmt.Printf("top-k: %d matches, peak %d tuples (full run peaked far higher)\n",
+		res.Count, res.Metrics.PeakTuples)
+
 	// The serving layer: sessions share the System's plan cache, so the
 	// repeated square — even relabelled — skips the optimiser.
 	sess := sys.NewSession()
-	ctx := context.Background()
 	relabelled := huge.NewQuery("square-relabelled", [][2]int{{2, 0}, {0, 3}, {3, 1}, {1, 2}})
 	for _, rq := range []*huge.Query{q, relabelled} {
-		res, err := sess.Run(ctx, rq)
+		res, err := sess.Exec(ctx, rq, huge.CountOnly()).Wait()
 		if err != nil {
 			panic(err)
 		}

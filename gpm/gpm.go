@@ -7,6 +7,7 @@
 package gpm
 
 import (
+	"context"
 	"fmt"
 	"slices"
 	"strings"
@@ -164,7 +165,7 @@ type MotifCount struct {
 func Spectrum(sys *huge.System, k int) ([]MotifCount, error) {
 	var out []MotifCount
 	for _, q := range ConnectedPatterns(k) {
-		res, err := sys.Run(q)
+		res, err := sys.Exec(context.Background(), q, huge.CountOnly()).Wait()
 		if err != nil {
 			return nil, fmt.Errorf("gpm: pattern %s: %w", q.Name(), err)
 		}

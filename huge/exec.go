@@ -1,0 +1,345 @@
+package huge
+
+// Exec is the one core query entry point of the serving layer. Every public
+// way of running a query — counting, enumerating, a hand-picked plan, a
+// delta view, top-k — is Exec plus options; the historical method variants
+// (Run, RunConcurrent, RunPlan, RunPlanContext, Enumerate, EnumerateContext
+// and their Session twins) survive as thin deprecated wrappers.
+//
+//	st := sys.Exec(ctx, q, huge.Limit(10))   // engine-side top-k
+//	for m := range st.Matches() {            // pull-based match stream
+//	    fmt.Println(m)                       // (break aborts the engine run)
+//	}
+//	res, err := st.Wait()                    // the run's Result
+//
+// A Limit(k) is enforced inside the engine: a shared atomic match budget
+// halts source scans, extends, the compressed counting path and DELTA-SCAN
+// flows at their next batch boundary once k matches are claimed, so the
+// run produces exactly min(k, total) matches without enumerating the rest.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"iter"
+	"time"
+
+	"repro/internal/engine"
+)
+
+// streamBufferRows is the match-channel capacity of a streaming Exec: big
+// enough to decouple the engine's batch production from the consumer, small
+// enough that an unconsumed stream applies backpressure instead of
+// buffering the whole result.
+const streamBufferRows = 1024
+
+// Option configures one Exec call. Options compose; conflicting ones
+// (CountOnly with OnMatch) surface as an error from Stream.Wait.
+type Option func(*execOptions)
+
+type execOptions struct {
+	limit     int // -1 = unlimited
+	plan      *Plan
+	countOnly bool
+	timeout   time.Duration
+	onMatch   func(match []VertexID)
+	optErr    error // first invalid option, reported by the Stream
+}
+
+func (o *execOptions) fail(err error) {
+	if o.optErr == nil {
+		o.optErr = err
+	}
+}
+
+// Limit stops the query after k matches, engine-side: source scans,
+// extends, compressed counting and delta flows all halt cooperatively once
+// a shared match budget is exhausted, so exactly min(k, total) matches are
+// produced (and counted) without enumerating the rest. Limit(0) runs
+// nothing and reports zero matches.
+//
+// On a delta-mode query the limit applies to the stream of NEW matches;
+// the vanished-match side is skipped entirely, so Result.DeltaDead and
+// Result.Delta stay zero under a limit.
+func Limit(k int) Option {
+	return func(o *execOptions) {
+		if k < 0 {
+			o.fail(fmt.Errorf("huge: Limit(%d): k must be >= 0", k))
+			return
+		}
+		o.limit = k
+	}
+}
+
+// WithPlan runs the query with a specific execution plan instead of the
+// plan-cache-backed optimal one. The plan is used as given (treat it as
+// immutable — it may be shared with the cache); delta-mode queries reject
+// it, since they always use the difference rewriting.
+func WithPlan(p *Plan) Option {
+	return func(o *execOptions) {
+		if p == nil {
+			o.fail(errors.New("huge: WithPlan(nil)"))
+			return
+		}
+		o.plan = p
+	}
+}
+
+// CountOnly asks for the match count only: no match is materialised to the
+// Stream, which lets the engine use the compressed counting path (counting
+// the final extension from candidate sets). Stream.Next reports exhaustion
+// immediately; use Stream.Wait for the Result.
+func CountOnly() Option {
+	return func(o *execOptions) { o.countOnly = true }
+}
+
+// Timeout aborts the run if it exceeds d, as if the caller's context had
+// been cancelled: Stream.Wait returns context.DeadlineExceeded.
+func Timeout(d time.Duration) Option {
+	return func(o *execOptions) {
+		if d <= 0 {
+			o.fail(fmt.Errorf("huge: Timeout(%v): duration must be positive", d))
+			return
+		}
+		o.timeout = d
+	}
+}
+
+// OnMatch delivers matches through fn instead of the Stream's pull
+// iterator: fn receives every match (indexed by query vertex), is called
+// concurrently from the engine's workers, and must be cheap and
+// goroutine-safe; the slice is only valid during the call. Use it when
+// callback dispatch is preferable to channel hand-off (it is how the
+// deprecated Enumerate wrappers are implemented). Mutually exclusive with
+// CountOnly.
+func OnMatch(fn func(match []VertexID)) Option {
+	return func(o *execOptions) {
+		if fn == nil {
+			o.fail(errors.New("huge: OnMatch(nil)"))
+			return
+		}
+		o.onMatch = fn
+	}
+}
+
+// Stream is a running query: a pull iterator over its matches and the
+// carrier of its final Result. It is returned immediately by Exec while the
+// engine runs in the background; consuming slower than the engine produces
+// applies backpressure through the scheduler's bounded queues.
+//
+// A Stream must be terminated by exhausting it (Next returning false, or a
+// completed Matches loop), by Wait, or by Close — otherwise the engine
+// goroutines stay blocked on the unconsumed matches. Breaking out of a
+// Matches loop closes the stream automatically; after Next-style
+// consumption that stops early, call Close. Close (and a cancelled context,
+// and an expired Timeout) aborts the engine run, which drains its queues,
+// joins every goroutine and removes any spill files before Wait returns.
+//
+// For a CountOnly or OnMatch run the iterator is empty by construction and
+// the Stream is just the Result carrier.
+type Stream struct {
+	rows   chan []VertexID
+	done   chan struct{}
+	cancel context.CancelFunc
+
+	// res/err are written by the run goroutine before done is closed and
+	// must only be read after <-done.
+	res Result
+	err error
+}
+
+// Next returns the next match, indexed by query vertex, or ok=false once
+// the stream is exhausted (run complete, limit reached, aborted, or a
+// CountOnly/OnMatch run). The returned slice is owned by the caller.
+func (st *Stream) Next() (match []VertexID, ok bool) {
+	m, ok := <-st.rows
+	return m, ok
+}
+
+// Matches returns the stream as a range-able iterator:
+//
+//	for m := range st.Matches() { ... }
+//
+// Breaking out of the loop closes the stream (aborting the engine run), so
+// an early exit never leaks goroutines or spill files.
+func (st *Stream) Matches() iter.Seq[[]VertexID] {
+	return func(yield func([]VertexID) bool) {
+		for m := range st.rows {
+			if !yield(m) {
+				st.Close()
+				return
+			}
+		}
+	}
+}
+
+// Wait blocks until the run completes and returns its Result. Matches not
+// consumed through Next/Matches are discarded (they are still counted).
+// Wait may be called any number of times, from any goroutine.
+func (st *Stream) Wait() (Result, error) {
+	for range st.rows {
+	}
+	<-st.done
+	return st.res, st.err
+}
+
+// Close abandons the stream: it aborts the engine run (as a context cancel
+// would), waits for every engine goroutine to drain and exit, and returns
+// the terminal Result — the run's own if it had already completed, the
+// cancellation error otherwise. Closing a finished or already-closed
+// stream is a no-op.
+func (st *Stream) Close() (Result, error) {
+	st.cancel()
+	return st.Wait()
+}
+
+// doneStream builds an already-terminated Stream (option errors).
+func doneStream(err error) *Stream {
+	st := &Stream{rows: make(chan []VertexID), done: make(chan struct{}), cancel: func() {}, err: err}
+	close(st.rows)
+	close(st.done)
+	return st
+}
+
+// Exec starts q on the current snapshot and returns its Stream. The default
+// mode streams every match through the Stream's pull iterator; CountOnly,
+// OnMatch, Limit, WithPlan and Timeout adjust it. Cancelling ctx aborts the
+// run. Exec is safe for any number of concurrent callers; like the rest of
+// the System API, each run gets an isolated execution context and shares
+// the fingerprint-keyed plan cache.
+func (s *System) Exec(ctx context.Context, q *Query, opts ...Option) *Stream {
+	return s.exec(ctx, s.snapshot(), q, nil, opts)
+}
+
+// Exec starts q against the session's pinned snapshot and returns its
+// Stream (see System.Exec). The run is recorded in the session's Stats
+// when it completes.
+func (se *Session) Exec(ctx context.Context, q *Query, opts ...Option) *Stream {
+	return se.sys.exec(ctx, se.pinned(), q, se.record, opts)
+}
+
+// exec validates options, sets up the Stream and launches the run
+// goroutine. onDone, when set, observes the terminal (Result, error) —
+// the session stats hook.
+func (s *System) exec(ctx context.Context, sn *snapshot, q *Query, onDone func(Result, error), opts []Option) *Stream {
+	eo := execOptions{limit: -1}
+	for _, opt := range opts {
+		opt(&eo)
+	}
+	if eo.optErr == nil && q == nil {
+		eo.optErr = errors.New("huge: Exec of a nil query")
+	}
+	if eo.optErr == nil && eo.countOnly && eo.onMatch != nil {
+		eo.optErr = errors.New("huge: CountOnly and OnMatch are mutually exclusive")
+	}
+	if eo.optErr != nil {
+		if onDone != nil {
+			onDone(Result{}, eo.optErr)
+		}
+		return doneStream(eo.optErr)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var runCtx context.Context
+	var cancel context.CancelFunc
+	if eo.timeout > 0 {
+		runCtx, cancel = context.WithTimeout(ctx, eo.timeout)
+	} else {
+		runCtx, cancel = context.WithCancel(ctx)
+	}
+
+	streaming := !eo.countOnly && eo.onMatch == nil
+	buf := streamBufferRows
+	if eo.limit >= 0 && eo.limit < buf {
+		buf = eo.limit
+	}
+	st := &Stream{rows: make(chan []VertexID, buf), done: make(chan struct{}), cancel: cancel}
+
+	var budget *engine.Budget
+	if eo.limit >= 0 {
+		budget = engine.NewBudget(uint64(eo.limit))
+	}
+	fn := eo.onMatch
+	if streaming {
+		// The channel send races against cancellation so an abandoned
+		// stream never wedges an engine worker: Close cancels runCtx, which
+		// unblocks every sender, and the engine then drains and exits.
+		fn = func(m []VertexID) {
+			select {
+			case st.rows <- m:
+			case <-runCtx.Done():
+			}
+		}
+	} else {
+		close(st.rows) // Next reports exhaustion immediately
+	}
+
+	go func() {
+		res, err := s.execRun(runCtx, sn, q, &eo, fn, budget)
+		cancel() // release the context/timer; senders are already done
+		// The completion hook (session stats) fires before done is closed,
+		// so a caller that Waits and then reads Session.Stats observes the
+		// run — the same ordering the old synchronous wrappers gave.
+		if onDone != nil {
+			onDone(res, err)
+		}
+		st.res, st.err = res, err
+		if streaming {
+			close(st.rows)
+		}
+		close(st.done)
+	}()
+	return st
+}
+
+// execRun resolves the plan (cache-backed unless WithPlan) and executes:
+// the single run path behind every public entry point.
+func (s *System) execRun(ctx context.Context, sn *snapshot, q *Query, eo *execOptions, fn func([]VertexID), budget *engine.Budget) (Result, error) {
+	if q.IsDelta() {
+		if eo.plan != nil {
+			// A hand-picked plan enumerates the full result; silently
+			// running it for a delta view would report Delta == 0 and
+			// corrupt any maintained count. Delta mode always uses the
+			// difference rewriting.
+			return Result{}, errors.New("huge: delta-mode queries use the difference rewriting; Exec them without WithPlan")
+		}
+		return s.runDelta(ctx, sn, q, fn, budget)
+	}
+	p := eo.plan
+	var cached bool
+	if p == nil {
+		// A limited run prefers the barrier-free left-deep (wco) pipeline
+		// over the cost-optimal plan: a PUSH-JOIN must materialise both
+		// feeder stages in full before its first output row, so a match
+		// budget could only ever halt the final stage — whereas in a single
+		// scan-extend pipeline the budget stops every operator at its next
+		// batch boundary, cutting work and peak memory by orders of
+		// magnitude for small k. (Top-k callers ask for small k; a caller
+		// who wants the cost-optimal plan anyway can pass WithPlan.) Both
+		// families are memoised under their own cache keys.
+		family := "optimal"
+		if budget != nil {
+			family = "wco"
+		}
+		if fn == nil {
+			// Counting: any isomorphic cached plan serves.
+			p, cached = s.planFor(sn, q, family)
+		} else {
+			// Match delivery demands a plan whose vertex numbering matches q
+			// verbatim (matches are indexed by query vertex): a cached
+			// relabelled twin is rejected and replaced by a plan built from
+			// q — which still serves every counting caller, since the
+			// fingerprint is unchanged.
+			qfp := q.Fingerprint()
+			p, cached = s.cachedPlan(s.planKey(sn, q, family),
+				func(p *Plan) bool { return p.Q.Fingerprint() == qfp && p.Q.SameNumbering(q) },
+				func() *Plan { return s.buildPlan(sn, q, family) })
+		}
+	}
+	res, err := s.runPlan(ctx, sn, p, fn, budget)
+	if eo.plan == nil {
+		res.PlanCached = cached
+	}
+	return res, err
+}

@@ -1,0 +1,226 @@
+package huge_test
+
+// Compatibility tests: every deprecated wrapper (Run, RunConcurrent,
+// RunPlan, RunPlanContext, Enumerate, EnumerateContext and the Session
+// variants) must return Results identical to the Exec calls they forward
+// to — for q1–q8 on plain, vertex-labelled and edge-labelled graphs, and
+// for delta-mode views — including under -race with >= 4 concurrent
+// sessions interleaved with System.Apply and Session.Refresh.
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/huge"
+	"repro/internal/gen"
+	"repro/internal/query"
+)
+
+// TestDeprecatedWrappersMatchExec runs every wrapper next to its Exec
+// equivalent and requires identical counts (and for the plan-carrying
+// wrappers, the identical shared plan).
+func TestDeprecatedWrappersMatchExec(t *testing.T) {
+	// Sized so every catalog query is non-vacuous (q3 and q8 included) while
+	// the full q1–q8 × wrapper matrix stays fast under -race.
+	base := gen.PowerLaw(50, 3, 7)
+	variants := []struct {
+		name string
+		g    *huge.Graph
+		mk   func(*huge.Query) *huge.Query
+	}{
+		{"plain", base, func(q *huge.Query) *huge.Query { return q }},
+		{"vertex-labelled", huge.WithLabels(base, make([]huge.LabelID, base.NumVertices())),
+			func(q *huge.Query) *huge.Query { return q.WithVertexLabels(make([]int, q.NumVertices())) }},
+		{"edge-labelled", huge.WithEdgeLabels(base, func(u, v huge.VertexID) huge.LabelID { return 0 }),
+			func(q *huge.Query) *huge.Query { return q.WithEdgeLabels(make([]int, q.NumEdges())) }},
+	}
+	ctx := context.Background()
+	for _, v := range variants {
+		sys := huge.NewSystem(v.g, huge.Options{Machines: 3, Workers: 2})
+		sess := sys.NewSession()
+		for _, base := range query.Catalog() {
+			q := v.mk(base)
+			want, err := sys.Exec(ctx, q, huge.CountOnly()).Wait()
+			if err != nil {
+				t.Fatalf("%s/%s: Exec: %v", v.name, q.Name(), err)
+			}
+			p := sys.Plan(q)
+			enumCount := func(fn func(func(match []huge.VertexID)) (huge.Result, error)) (huge.Result, error) {
+				var n atomic.Uint64
+				res, err := fn(func([]huge.VertexID) { n.Add(1) })
+				if err == nil && n.Load() != res.Count {
+					t.Errorf("%s/%s: enumerated %d matches, counted %d", v.name, q.Name(), n.Load(), res.Count)
+				}
+				return res, err
+			}
+			wrappers := map[string]func() (huge.Result, error){
+				"System.Run":            func() (huge.Result, error) { return sys.Run(q) },
+				"System.RunConcurrent":  func() (huge.Result, error) { return sys.RunConcurrent(ctx, q) },
+				"System.RunPlan":        func() (huge.Result, error) { return sys.RunPlan(q, p) },
+				"System.RunPlanContext": func() (huge.Result, error) { return sys.RunPlanContext(ctx, q, p) },
+				"System.Enumerate": func() (huge.Result, error) {
+					return enumCount(func(fn func([]huge.VertexID)) (huge.Result, error) { return sys.Enumerate(q, fn) })
+				},
+				"System.EnumerateContext": func() (huge.Result, error) {
+					return enumCount(func(fn func([]huge.VertexID)) (huge.Result, error) { return sys.EnumerateContext(ctx, q, fn) })
+				},
+				"Session.Run":     func() (huge.Result, error) { return sess.Run(ctx, q) },
+				"Session.RunPlan": func() (huge.Result, error) { return sess.RunPlan(ctx, q, p) },
+				"Session.Enumerate": func() (huge.Result, error) {
+					return enumCount(func(fn func([]huge.VertexID)) (huge.Result, error) { return sess.Enumerate(ctx, q, fn) })
+				},
+			}
+			for name, call := range wrappers {
+				res, err := call()
+				if err != nil {
+					t.Fatalf("%s/%s: %s: %v", v.name, q.Name(), name, err)
+				}
+				if res.Count != want.Count {
+					t.Errorf("%s/%s: %s count %d, Exec count %d", v.name, q.Name(), name, res.Count, want.Count)
+				}
+			}
+			// The plan-carrying wrappers share the exact plan they were given.
+			if res, err := sys.RunPlan(q, p); err != nil || res.Plan != p {
+				t.Errorf("%s/%s: RunPlan result plan not the given plan (err %v)", v.name, q.Name(), err)
+			}
+		}
+	}
+}
+
+// TestDeprecatedWrappersMatchExecDelta: the wrappers carry delta-mode
+// views through Exec unchanged — all delta fields identical.
+func TestDeprecatedWrappersMatchExecDelta(t *testing.T) {
+	g := gen.PowerLaw(400, 4, 23)
+	sys := huge.NewSystem(g, huge.Options{Machines: 3, Workers: 2})
+	ctx := context.Background()
+	var d huge.Delta
+	for _, u := range gen.UpdateStream(g, 50, 3) {
+		if u.Del {
+			d.Delete = append(d.Delete, [2]huge.VertexID{u.U, u.V})
+		} else {
+			d.Insert = append(d.Insert, [2]huge.VertexID{u.U, u.V})
+		}
+	}
+	sys.Apply(d)
+	sess := sys.NewSession()
+	for _, q := range []*huge.Query{huge.Triangle(), huge.Q1(), huge.Q2()} {
+		dq := q.Delta()
+		want, err := sys.Exec(ctx, dq, huge.CountOnly()).Wait()
+		if err != nil {
+			t.Fatalf("%s: Exec: %v", q.Name(), err)
+		}
+		var enumerated atomic.Uint64
+		wrappers := map[string]func() (huge.Result, error){
+			"System.Run":           func() (huge.Result, error) { return sys.Run(dq) },
+			"System.RunConcurrent": func() (huge.Result, error) { return sys.RunConcurrent(ctx, dq) },
+			"System.Enumerate": func() (huge.Result, error) {
+				return sys.Enumerate(dq, func([]huge.VertexID) { enumerated.Add(1) })
+			},
+			"Session.Run": func() (huge.Result, error) { return sess.Run(ctx, dq) },
+		}
+		for name, call := range wrappers {
+			res, err := call()
+			if err != nil {
+				t.Fatalf("%s: %s: %v", q.Name(), name, err)
+			}
+			if res.Count != want.Count || res.Delta != want.Delta ||
+				res.DeltaNew != want.DeltaNew || res.DeltaDead != want.DeltaDead {
+				t.Errorf("%s: %s (count %d Δ%d new %d dead %d) != Exec (count %d Δ%d new %d dead %d)",
+					q.Name(), name, res.Count, res.Delta, res.DeltaNew, res.DeltaDead,
+					want.Count, want.Delta, want.DeltaNew, want.DeltaDead)
+			}
+		}
+		if enumerated.Load() != want.DeltaNew {
+			t.Errorf("%s: Enumerate streamed %d new matches, want %d", q.Name(), enumerated.Load(), want.DeltaNew)
+		}
+		// RunPlan rejects delta views through the new path too.
+		if _, err := sys.RunPlan(dq, sys.Plan(q)); err == nil {
+			t.Errorf("%s: RunPlan accepted a delta view", q.Name())
+		}
+	}
+}
+
+// TestExecConcurrentSessionsWithApply exercises the whole surface under
+// -race: four sessions mixing wrapper calls, counting Execs, limited
+// streams and delta views, interleaved with System.Apply and
+// Session.Refresh on the shared deployment.
+func TestExecConcurrentSessionsWithApply(t *testing.T) {
+	g := gen.PowerLaw(400, 3, 31)
+	sys := huge.NewSystem(g, huge.Options{Machines: 3, Workers: 2})
+	queries := []*huge.Query{huge.Triangle(), huge.Q1(), huge.Q2(), huge.Q4()}
+	updates := gen.UpdateStream(g, 120, 9)
+
+	var wg sync.WaitGroup
+	// Updater: a stream of small Applies racing the sessions below.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for lo := 0; lo+10 <= len(updates); lo += 10 {
+			var d huge.Delta
+			for _, u := range updates[lo : lo+10] {
+				if u.Del {
+					d.Delete = append(d.Delete, [2]huge.VertexID{u.U, u.V})
+				} else {
+					d.Insert = append(d.Insert, [2]huge.VertexID{u.U, u.V})
+				}
+			}
+			sys.Apply(d)
+		}
+	}()
+
+	ctx := context.Background()
+	for s := 0; s < 4; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			sess := sys.NewSession()
+			for i := 0; i < 10; i++ {
+				q := queries[(s+i)%len(queries)]
+				switch i % 4 {
+				case 0:
+					// Wrapper vs Exec on the same pinned snapshot: identical.
+					wres, err1 := sess.Run(ctx, q)
+					eres, err2 := sess.Exec(ctx, q, huge.CountOnly()).Wait()
+					if err1 != nil || err2 != nil {
+						t.Errorf("s%d/%s: run errs %v / %v", s, q.Name(), err1, err2)
+						return
+					}
+					if wres.Count != eres.Count {
+						t.Errorf("s%d/%s: wrapper count %d != Exec count %d", s, q.Name(), wres.Count, eres.Count)
+					}
+				case 1:
+					// Engine-side limit under concurrency.
+					st := sess.Exec(ctx, q, huge.Limit(3))
+					var n uint64
+					for range st.Matches() {
+						n++
+					}
+					res, err := st.Wait()
+					if err != nil {
+						t.Errorf("s%d/%s: limited: %v", s, q.Name(), err)
+						return
+					}
+					if n > 3 || res.Count != n {
+						t.Errorf("s%d/%s: limited stream %d matches, counted %d", s, q.Name(), n, res.Count)
+					}
+				case 2:
+					// Abandoned stream: break after one match.
+					st := sess.Exec(ctx, q)
+					for range st.Matches() {
+						break
+					}
+				case 3:
+					// Delta view on the pinned epoch.
+					if _, err := sess.Exec(ctx, q.Delta(), huge.CountOnly()).Wait(); err != nil {
+						t.Errorf("s%d/%s: delta: %v", s, q.Name(), err)
+						return
+					}
+					sess.Refresh()
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+}

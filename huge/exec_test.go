@@ -1,0 +1,306 @@
+package huge_test
+
+// Tests of the unified Exec API: exact top-k semantics across plain,
+// vertex-labelled, edge-labelled and delta-mode runs (oracle-checked
+// totals), stream consumption modes, option validation, and the
+// goroutine/spill-file leak regression for abandoned streams.
+
+import (
+	"context"
+	"errors"
+	"os"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/gpm"
+	"repro/huge"
+	"repro/internal/baseline"
+	"repro/internal/gen"
+	"repro/internal/query"
+)
+
+// execQueries is the acceptance set: the paper's q1–q8 plus the triangle
+// and every 4-vertex gpm pattern.
+func execQueries() []*huge.Query {
+	qs := append([]*huge.Query{huge.Triangle()}, query.Catalog()...)
+	return append(qs, gpm.ConnectedPatterns(4)...)
+}
+
+// TestExecLimitExactCount: Exec with Limit(k) must report exactly
+// min(k, total) matches — total oracle-checked — for every acceptance
+// query, on a plain, a vertex-labelled and an edge-labelled graph.
+func TestExecLimitExactCount(t *testing.T) {
+	base := gen.PowerLaw(200, 3, 17)
+	variants := []struct {
+		name string
+		g    *huge.Graph
+		mk   func(*huge.Query) *huge.Query
+	}{
+		// Uniformly-labelled twins keep the oracle totals equal to the
+		// unconstrained ones while exercising the labelled scan/extend paths.
+		{"plain", base, func(q *huge.Query) *huge.Query { return q }},
+		{"vertex-labelled", huge.WithLabels(base, make([]huge.LabelID, base.NumVertices())),
+			func(q *huge.Query) *huge.Query { return q.WithVertexLabels(make([]int, q.NumVertices())) }},
+		{"edge-labelled", huge.WithEdgeLabels(base, func(u, v huge.VertexID) huge.LabelID { return 0 }),
+			func(q *huge.Query) *huge.Query { return q.WithEdgeLabels(make([]int, q.NumEdges())) }},
+	}
+	ctx := context.Background()
+	for _, v := range variants {
+		sys := huge.NewSystem(v.g, huge.Options{Machines: 3, Workers: 2})
+		for _, q := range execQueries() {
+			vq := v.mk(q)
+			want := baseline.GroundTruthCount(v.g, vq)
+			// k >= total forces a full enumeration through the bounded
+			// (DFS, small-batch) path; exercising that boundary on the
+			// small patterns keeps the suite fast under -race while the
+			// big patterns still prove exact sub-total claiming.
+			ks := []uint64{0, 1, 3}
+			if q.NumVertices() <= 4 {
+				ks = append(ks, want, want+9)
+			}
+			for _, k := range ks {
+				wantK := min(k, want)
+				res, err := sys.Exec(ctx, vq, huge.CountOnly(), huge.Limit(int(k))).Wait()
+				if err != nil {
+					t.Fatalf("%s/%s k=%d: %v", v.name, q.Name(), k, err)
+				}
+				if res.Count != wantK {
+					t.Errorf("%s/%s k=%d: count %d, want %d", v.name, q.Name(), k, res.Count, wantK)
+				}
+			}
+		}
+	}
+}
+
+// TestExecLimitStreamsExactlyK: the streaming form — the iterator must
+// yield exactly min(k, total) matches, each a valid embedding per the
+// oracle's count indexing, and Wait's Count must agree.
+func TestExecLimitStreamsExactlyK(t *testing.T) {
+	g := gen.PowerLaw(400, 3, 29)
+	sys := huge.NewSystem(g, huge.Options{Machines: 3, Workers: 2})
+	ctx := context.Background()
+	for _, q := range []*huge.Query{huge.Triangle(), huge.Q1(), huge.Q2(), huge.Q4()} {
+		want := baseline.GroundTruthCount(g, q)
+		for _, k := range []uint64{1, 5, want + 3} {
+			wantK := min(k, want)
+			st := sys.Exec(ctx, q, huge.Limit(int(k)))
+			var got [][]huge.VertexID
+			for m := range st.Matches() {
+				got = append(got, m)
+			}
+			res, err := st.Wait()
+			if err != nil {
+				t.Fatalf("%s k=%d: %v", q.Name(), k, err)
+			}
+			if uint64(len(got)) != wantK || res.Count != wantK {
+				t.Errorf("%s k=%d: streamed %d, counted %d, want %d",
+					q.Name(), k, len(got), res.Count, wantK)
+			}
+			for _, m := range got {
+				if len(m) != q.NumVertices() {
+					t.Fatalf("%s: match %v has %d vertices, want %d", q.Name(), m, len(m), q.NumVertices())
+				}
+			}
+		}
+	}
+}
+
+// TestExecLimitDeltaMode: on a Query.Delta() view the limit applies to the
+// stream of new matches — exactly min(k, totalNew) are produced, where
+// totalNew is cross-checked via the differential identity.
+func TestExecLimitDeltaMode(t *testing.T) {
+	g := gen.PowerLaw(500, 4, 11)
+	sys := huge.NewSystem(g, huge.Options{Machines: 3, Workers: 2})
+	ctx := context.Background()
+	var d huge.Delta
+	for _, u := range gen.UpdateStream(g, 60, 7) {
+		if u.Del {
+			d.Delete = append(d.Delete, [2]huge.VertexID{u.U, u.V})
+		} else {
+			d.Insert = append(d.Insert, [2]huge.VertexID{u.U, u.V})
+		}
+	}
+	sys.Apply(d)
+	for _, q := range []*huge.Query{huge.Triangle(), huge.Q1(), huge.Q2()} {
+		dq := q.Delta()
+		full, err := sys.Exec(ctx, dq, huge.CountOnly()).Wait()
+		if err != nil {
+			t.Fatalf("%s full delta: %v", q.Name(), err)
+		}
+		// Sanity: the unlimited run satisfies the differential identity.
+		newTotal := full.DeltaNew
+		if oracle := baseline.GroundTruthCount(sys.Graph(), q); uint64(int64(oracle)-full.Delta) !=
+			baseline.GroundTruthCount(g, q) {
+			t.Fatalf("%s: differential identity broken: delta %+d", q.Name(), full.Delta)
+		}
+		for _, k := range []uint64{0, 1, newTotal, newTotal + 4} {
+			wantK := min(k, newTotal)
+			res, err := sys.Exec(ctx, dq, huge.CountOnly(), huge.Limit(int(k))).Wait()
+			if err != nil {
+				t.Fatalf("%s k=%d: %v", q.Name(), k, err)
+			}
+			if res.Count != wantK || res.DeltaNew != wantK {
+				t.Errorf("%s k=%d: count %d (DeltaNew %d), want %d", q.Name(), k, res.Count, res.DeltaNew, wantK)
+			}
+			if res.Delta != 0 || res.DeltaDead != 0 {
+				t.Errorf("%s k=%d: Delta %d DeltaDead %d, want 0 under a limit", q.Name(), k, res.Delta, res.DeltaDead)
+			}
+			// Streaming form: the iterator carries the same min(k, totalNew).
+			st := sys.Exec(ctx, dq, huge.Limit(int(k)))
+			var streamed uint64
+			for range st.Matches() {
+				streamed++
+			}
+			if _, err := st.Wait(); err != nil {
+				t.Fatalf("%s k=%d stream: %v", q.Name(), k, err)
+			}
+			if streamed != wantK {
+				t.Errorf("%s k=%d: streamed %d new matches, want %d", q.Name(), k, streamed, wantK)
+			}
+		}
+	}
+}
+
+// TestExecOptionValidation: invalid or conflicting options surface as the
+// Stream's error without running anything.
+func TestExecOptionValidation(t *testing.T) {
+	g := gen.PowerLaw(50, 3, 3)
+	sys := huge.NewSystem(g, huge.Options{})
+	ctx := context.Background()
+	for name, st := range map[string]*huge.Stream{
+		"negative limit":     sys.Exec(ctx, huge.Triangle(), huge.Limit(-1)),
+		"nil plan":           sys.Exec(ctx, huge.Triangle(), huge.WithPlan(nil)),
+		"nil callback":       sys.Exec(ctx, huge.Triangle(), huge.OnMatch(nil)),
+		"zero timeout":       sys.Exec(ctx, huge.Triangle(), huge.Timeout(0)),
+		"count+callback":     sys.Exec(ctx, huge.Triangle(), huge.CountOnly(), huge.OnMatch(func([]huge.VertexID) {})),
+		"nil query":          sys.Exec(ctx, nil),
+		"delta with plan":    sys.Exec(ctx, huge.Triangle().Delta(), huge.WithPlan(sys.Plan(huge.Triangle()))),
+		"session bad option": sys.NewSession().Exec(ctx, huge.Triangle(), huge.Limit(-3)),
+	} {
+		if m, ok := st.Next(); ok {
+			t.Fatalf("%s: Next yielded %v, want exhausted", name, m)
+		}
+		if _, err := st.Wait(); err == nil {
+			t.Errorf("%s: Wait error nil, want non-nil", name)
+		}
+	}
+	// A session records failed Execs as errors.
+	sess := sys.NewSession()
+	if _, err := sess.Exec(ctx, huge.Triangle(), huge.Limit(-1)).Wait(); err == nil {
+		t.Fatal("want option error")
+	}
+	if st := sess.Stats(); st.Queries != 1 || st.Errors != 1 {
+		t.Errorf("session stats after failed Exec: %+v, want 1 query, 1 error", st)
+	}
+}
+
+// TestExecTimeout: an expired Timeout aborts the run with
+// context.DeadlineExceeded.
+func TestExecTimeout(t *testing.T) {
+	g := gen.PowerLaw(3000, 8, 17)
+	sys := huge.NewSystem(g, huge.Options{Machines: 2, Workers: 2})
+	_, err := sys.Exec(context.Background(), huge.Q6(), huge.CountOnly(), huge.Timeout(time.Microsecond)).Wait()
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+}
+
+// TestExecOnMatchDelivery: the OnMatch option delivers every match through
+// the callback, with the count agreeing (the deprecated Enumerate shape).
+func TestExecOnMatchDelivery(t *testing.T) {
+	g := gen.PowerLaw(300, 3, 7)
+	sys := huge.NewSystem(g, huge.Options{Machines: 3, Workers: 2})
+	q := huge.Q1()
+	want := baseline.GroundTruthCount(g, q)
+	var n atomic.Uint64
+	res, err := sys.Exec(context.Background(), q, huge.OnMatch(func(m []huge.VertexID) {
+		n.Add(1)
+	})).Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != want || n.Load() != want {
+		t.Fatalf("count %d, callbacks %d, want %d", res.Count, n.Load(), want)
+	}
+}
+
+// TestExecAbandonedStreamReleasesResources is the leak regression test:
+// start a streaming Exec on a large generated graph with a spilling
+// PUSH-JOIN plan, consume one match, drop the stream (break out of the
+// iterator), and assert the engine goroutines exit and the spill temp
+// directory is empty.
+func TestExecAbandonedStreamReleasesResources(t *testing.T) {
+	spillDir := t.TempDir()
+	t.Setenv("TMPDIR", spillDir) // spill files land where we can see them
+	g := huge.Generate("GO", 1)
+	// Small join buffers force the SEED plan's pushing joins to spill.
+	sys := huge.NewSystem(g, huge.Options{Machines: 3, Workers: 2, JoinBufferRows: 256})
+	q := huge.Q5()
+	p := sys.PlanFor(q, "seed")
+	baseGoroutines := runtime.NumGoroutine()
+
+	st := sys.Exec(context.Background(), q, huge.WithPlan(p))
+	consumed := 0
+	for range st.Matches() {
+		if consumed++; consumed >= 1 {
+			// The run is mid-join (far more matches remain than the stream
+			// buffers), so the spilled feed relations must be live on disk
+			// right now — which is what makes the cleanup assertion below
+			// meaningful.
+			if spills := countSpills(t, spillDir); spills == 0 {
+				t.Error("no spill files while the join stage is mid-flight; shrink JoinBufferRows")
+			}
+			break // abandons the stream: Matches closes it
+		}
+	}
+	if consumed != 1 {
+		t.Fatalf("consumed %d matches, want 1", consumed)
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for runtime.NumGoroutine() > baseGoroutines && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > baseGoroutines {
+		buf := make([]byte, 1<<20)
+		t.Fatalf("goroutines %d > baseline %d after abandoning stream\n%s",
+			n, baseGoroutines, buf[:runtime.Stack(buf, true)])
+	}
+	if spills := countSpills(t, spillDir); spills != 0 {
+		t.Errorf("%d spill files left behind by abandoned stream", spills)
+	}
+}
+
+func countSpills(t *testing.T, dir string) int {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "huge-join-spill-") {
+			n++
+		}
+	}
+	return n
+}
+
+// TestExecAbandonViaContextCancel: cancelling the caller's context releases
+// the run the same way Close does.
+func TestExecAbandonViaContextCancel(t *testing.T) {
+	g := gen.PowerLaw(2000, 6, 13)
+	sys := huge.NewSystem(g, huge.Options{Machines: 2, Workers: 2})
+	ctx, cancel := context.WithCancel(context.Background())
+	st := sys.Exec(ctx, huge.Q6())
+	if _, ok := st.Next(); !ok {
+		t.Fatal("no first match before cancel")
+	}
+	cancel()
+	if _, err := st.Wait(); err != nil && !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want nil or Canceled", err)
+	}
+}

@@ -7,8 +7,17 @@
 //
 //	g := huge.Generate("LJ", 1)                  // or huge.LoadEdgeList(r)
 //	sys := huge.NewSystem(g, huge.Options{Machines: 4})
-//	res, err := sys.Run(huge.Q1())               // square query
+//	res, err := sys.Exec(ctx, huge.Q1(), huge.CountOnly()).Wait()
 //	fmt.Println(res.Count, res.Metrics.BytesPulled)
+//
+// Exec is the single query entry point: it takes composable options —
+// Limit(k) for engine-side top-k early termination, CountOnly for the
+// compressed counting path, WithPlan for a hand-picked plan, Timeout,
+// OnMatch for callback delivery — and returns a *Stream that is both a
+// pull iterator over the matches (Next / Matches) and the carrier of the
+// run's Result (Wait). The historical entry points (Run, RunConcurrent,
+// RunPlan, RunPlanContext, Enumerate, EnumerateContext) remain as thin
+// deprecated wrappers over Exec.
 //
 // A System is a concurrent query service: every run executes in its own
 // isolated execution context (metrics, caches, join buffers), so any
@@ -37,7 +46,6 @@ package huge
 
 import (
 	"context"
-	"errors"
 	"io"
 	"sync"
 	"time"
@@ -534,86 +542,90 @@ type Result struct {
 	DeltaDead uint64
 }
 
-// Run enumerates q with the optimal plan. Safe for concurrent use; equal
-// patterns (even under vertex relabelling) share one cached plan.
+// Run counts q's matches with the optimal plan. Safe for concurrent use;
+// equal patterns (even under vertex relabelling) share one cached plan.
+//
+// Deprecated: Use Exec — sys.Exec(ctx, q, huge.CountOnly()).Wait().
 func (s *System) Run(q *Query) (Result, error) {
-	return s.RunConcurrent(context.Background(), q)
+	return s.Exec(context.Background(), q, CountOnly()).Wait()
 }
 
 // RunConcurrent is Run with a context: cancelling ctx aborts the engine
-// run and returns the context's error. Any number of RunConcurrent calls
-// may execute on one System simultaneously; each gets isolated metrics.
-// A Query.Delta() view enumerates only this epoch's match delta.
+// run and returns the context's error. A Query.Delta() view enumerates
+// only this epoch's match delta.
+//
+// Deprecated: Use Exec — sys.Exec(ctx, q, huge.CountOnly()).Wait().
 func (s *System) RunConcurrent(ctx context.Context, q *Query) (Result, error) {
-	return s.runConcurrentOn(ctx, s.snapshot(), q)
+	return s.Exec(ctx, q, CountOnly()).Wait()
 }
 
-func (s *System) runConcurrentOn(ctx context.Context, sn *snapshot, q *Query) (Result, error) {
-	if q.IsDelta() {
-		return s.runDelta(ctx, sn, q, nil)
-	}
-	p, cached := s.planFor(sn, q, "optimal")
-	res, err := s.runPlan(ctx, sn, q, p, nil)
-	res.PlanCached = cached
-	return res, err
-}
-
-// RunPlan enumerates q with a specific plan.
+// RunPlan counts q's matches with a specific plan.
+//
+// Deprecated: Use Exec — sys.Exec(ctx, q, huge.WithPlan(p), huge.CountOnly()).Wait().
 func (s *System) RunPlan(q *Query, p *Plan) (Result, error) {
-	return s.RunPlanContext(context.Background(), q, p)
+	return s.Exec(context.Background(), q, WithPlan(p), CountOnly()).Wait()
 }
 
 // RunPlanContext is RunPlan with cancellation.
+//
+// Deprecated: Use Exec — sys.Exec(ctx, q, huge.WithPlan(p), huge.CountOnly()).Wait().
 func (s *System) RunPlanContext(ctx context.Context, q *Query, p *Plan) (Result, error) {
-	return s.runPlan(ctx, s.snapshot(), q, p, nil)
+	return s.Exec(ctx, q, WithPlan(p), CountOnly()).Wait()
 }
 
 // Enumerate streams every match to fn (indexed by query vertex; the slice
 // is only valid during the call; fn must be safe for concurrent calls).
-// The plan cache is consulted only when the memoised plan was built for a
-// query with q's exact vertex numbering — a merely isomorphic plan would
-// stream rows in the other query's numbering.
+//
+// Deprecated: Use Exec — range over sys.Exec(ctx, q).Matches(), or pass
+// huge.OnMatch(fn) for callback delivery.
 func (s *System) Enumerate(q *Query, fn func(match []VertexID)) (Result, error) {
-	return s.EnumerateContext(context.Background(), q, fn)
+	return s.Exec(context.Background(), q, OnMatch(fn)).Wait()
 }
 
-// EnumerateContext is Enumerate with cancellation. Enumeration demands a
-// plan whose vertex numbering matches q verbatim (streamed matches are
-// indexed by query vertex), so the validity check also requires
-// SameNumbering: a cached relabelled twin is rejected and replaced by a
-// plan built from q — which still serves every counting caller, since the
-// fingerprint is unchanged. For a Query.Delta() view, fn receives the NEW
-// matches (those containing an inserted edge); vanished matches are only
-// counted, in Result.DeltaDead.
+// EnumerateContext is Enumerate with cancellation. For a Query.Delta()
+// view, fn receives the NEW matches (those containing an inserted edge);
+// vanished matches are only counted, in Result.DeltaDead.
+//
+// Deprecated: Use Exec — range over sys.Exec(ctx, q).Matches(), or pass
+// huge.OnMatch(fn) for callback delivery.
 func (s *System) EnumerateContext(ctx context.Context, q *Query, fn func(match []VertexID)) (Result, error) {
-	return s.enumerateOn(ctx, s.snapshot(), q, fn)
-}
-
-func (s *System) enumerateOn(ctx context.Context, sn *snapshot, q *Query, fn func(match []VertexID)) (Result, error) {
-	if q.IsDelta() {
-		return s.runDelta(ctx, sn, q, fn)
-	}
-	qfp := q.Fingerprint()
-	p, cached := s.cachedPlan(s.planKey(sn, q, "optimal"),
-		func(p *Plan) bool { return p.Q.Fingerprint() == qfp && p.Q.SameNumbering(q) },
-		func() *Plan { return s.buildPlan(sn, q, "optimal") })
-	res, err := s.runPlan(ctx, sn, q, p, fn)
-	res.PlanCached = cached
-	return res, err
+	return s.Exec(ctx, q, OnMatch(fn)).Wait()
 }
 
 // engineConfig assembles the per-run engine configuration from the
-// system's options.
-func (s *System) engineConfig(onResult func([]VertexID)) engine.Config {
-	return engine.Config{
+// system's options, the run's match consumer and its top-k budget.
+func (s *System) engineConfig(onResult func([]VertexID), budget *engine.Budget) engine.Config {
+	cfg := engine.Config{
 		BatchRows:      s.opts.BatchRows,
 		QueueRows:      s.opts.QueueRows,
 		LoadBalance:    s.opts.LoadBalance,
 		JoinBufferRows: s.opts.JoinBufferRows,
 		OnResult:       onResult,
 		Compress:       !s.opts.NoCompress,
+		Budget:         budget,
 	}
+	if budget != nil {
+		// A bounded run schedules as pure DFS (one batch in flight per
+		// operator): wide queues would let every operator bulk-produce a
+		// full level before the sink claims its first budget slot, doing
+		// exactly the work Limit(k) exists to avoid. DFS is the quickest
+		// path to the first match and Theorem 5.4's minimal memory; the
+		// budget then halts the pipeline within a batch boundary of the
+		// k-th match. Batches shrink with it — DFS's memory and overshoot
+		// bound is one batch's expansion per operator, so a bulk-throughput
+		// batch size would reintroduce exactly the wasted work the budget
+		// exists to avoid (a single hub-heavy 4K-row batch can expand into
+		// hundreds of thousands of tuples).
+		cfg.QueueRows = 1
+		if cfg.BatchRows <= 0 || cfg.BatchRows > boundedBatchRows {
+			cfg.BatchRows = boundedBatchRows
+		}
+	}
+	return cfg
 }
+
+// boundedBatchRows is the batch size of budget-bounded (Limit) runs.
+const boundedBatchRows = 64
 
 // reindexed wraps fn to re-index engine rows (slot order) by query vertex.
 func reindexed(df *dataflow.Dataflow, fn func([]VertexID)) func([]VertexID) {
@@ -630,14 +642,7 @@ func reindexed(df *dataflow.Dataflow, fn func([]VertexID)) func([]VertexID) {
 	}
 }
 
-func (s *System) runPlan(ctx context.Context, sn *snapshot, q *Query, p *Plan, fn func([]VertexID)) (Result, error) {
-	if q.IsDelta() {
-		// A hand-picked plan enumerates the full result; silently running
-		// it for a delta view would report Delta == 0 and corrupt any
-		// maintained count. Delta mode always uses the difference
-		// rewriting, so route callers to Run/Enumerate.
-		return Result{}, errors.New("huge: delta-mode queries run via Run/Enumerate (difference rewriting), not RunPlan")
-	}
+func (s *System) runPlan(ctx context.Context, sn *snapshot, p *Plan, fn func([]VertexID), budget *engine.Budget) (Result, error) {
 	df, err := plan.Translate(p)
 	if err != nil {
 		return Result{}, err
@@ -646,7 +651,7 @@ func (s *System) runPlan(ctx context.Context, sn *snapshot, q *Query, p *Plan, f
 	// this query, so concurrent runs never observe each other.
 	ex := sn.cl.NewExec()
 	start := time.Now()
-	count, err := engine.Run(ctx, ex, df, s.engineConfig(reindexed(df, fn)))
+	count, err := engine.Run(ctx, ex, df, s.engineConfig(reindexed(df, fn), budget))
 	if err != nil {
 		return Result{}, err
 	}
@@ -666,7 +671,14 @@ func (s *System) runPlan(ctx context.Context, sn *snapshot, q *Query, p *Plan, f
 // full(t) + Delta == full(t+1). At epoch 0 there is no delta and the
 // result is zero. Plans are not cached — the rewriting is linear in the
 // query, and the sets change every epoch anyway.
-func (s *System) runDelta(ctx context.Context, sn *snapshot, q *Query, fn func([]VertexID)) (Result, error) {
+//
+// A top-k budget spans the per-pinned-edge flows of the NEW side: each
+// flow claims from the same budget and the loop stops once it is
+// exhausted, so the stream carries exactly min(k, totalNew) new matches.
+// The vanished-match side is skipped under a limit — it enumerates the
+// previous snapshot in full, which is precisely the work a top-k caller
+// asked to avoid — so DeltaDead and Delta stay zero then.
+func (s *System) runDelta(ctx context.Context, sn *snapshot, q *Query, fn func([]VertexID), budget *engine.Budget) (Result, error) {
 	flows, err := plan.TranslateDelta(q)
 	if err != nil {
 		return Result{}, err
@@ -679,8 +691,11 @@ func (s *System) runDelta(ctx context.Context, sn *snapshot, q *Query, fn func([
 		}
 		var total uint64
 		for _, df := range flows {
+			if budget != nil && budget.Exhausted() {
+				break
+			}
 			ex := cl.NewExec()
-			cfg := s.engineConfig(reindexed(df, fn))
+			cfg := s.engineConfig(reindexed(df, fn), budget)
 			cfg.DeltaEdges = set
 			n, err := engine.Run(ctx, ex, df, cfg)
 			if err != nil {
@@ -695,14 +710,16 @@ func (s *System) runDelta(ctx context.Context, sn *snapshot, q *Query, fn func([
 	if err != nil {
 		return Result{}, err
 	}
-	deadCount, err := runSide(sn.prevCl, sn.deleted, nil)
-	if err != nil {
-		return Result{}, err
-	}
 	res.Count = newCount
 	res.DeltaNew = newCount
-	res.DeltaDead = deadCount
-	res.Delta = int64(newCount) - int64(deadCount)
+	if budget == nil {
+		deadCount, err := runSide(sn.prevCl, sn.deleted, nil)
+		if err != nil {
+			return Result{}, err
+		}
+		res.DeltaDead = deadCount
+		res.Delta = int64(newCount) - int64(deadCount)
+	}
 	res.Elapsed = time.Since(start)
 	return res, nil
 }

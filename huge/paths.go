@@ -5,6 +5,7 @@ package huge
 // the h-hop path pattern.
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 )
@@ -29,7 +30,7 @@ func (s *System) SimplePaths(src, dst VertexID, hops int) (uint64, error) {
 	}
 	q := pathPattern(hops)
 	var n atomic.Uint64
-	_, err := s.Enumerate(q, func(m []VertexID) {
+	_, err := s.Exec(context.Background(), q, OnMatch(func(m []VertexID) {
 		a, b := m[0], m[len(m)-1]
 		// The path pattern's symmetry breaking fixes one orientation, so
 		// each undirected s-t path shows up exactly once with either
@@ -37,7 +38,7 @@ func (s *System) SimplePaths(src, dst VertexID, hops int) (uint64, error) {
 		if (a == src && b == dst) || (a == dst && b == src) {
 			n.Add(1)
 		}
-	})
+	})).Wait()
 	if err != nil {
 		return 0, err
 	}

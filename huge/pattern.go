@@ -15,6 +15,7 @@ package huge
 // without a "-[l]-" infix match any edge label.
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"strings"
@@ -129,12 +130,12 @@ func safeNewQuery(name string, edges [][2]int, labels, elabels []int) (q *Query,
 	return NewEdgeLabeledQuery(name, edges, labels, elabels), nil
 }
 
-// MatchPattern parses and runs a pattern in one call.
+// MatchPattern parses and counts a pattern in one call.
 func (s *System) MatchPattern(name, pattern string) (Result, map[string]int, error) {
 	q, names, err := ParsePattern(name, pattern)
 	if err != nil {
 		return Result{}, nil, err
 	}
-	res, err := s.Run(q)
+	res, err := s.Exec(context.Background(), q, CountOnly()).Wait()
 	return res, names, err
 }

@@ -97,36 +97,38 @@ func (se *Session) record(res Result, err error) {
 	se.elapsed += res.Elapsed
 }
 
-// Run enumerates q with the (plan-cache-backed) optimal plan, against the
-// session's pinned snapshot. A Query.Delta() view enumerates the match
-// delta of the pinned snapshot's epoch.
+// Run counts q's matches with the (plan-cache-backed) optimal plan,
+// against the session's pinned snapshot. A Query.Delta() view enumerates
+// the match delta of the pinned snapshot's epoch.
+//
+// Deprecated: Use Exec — sess.Exec(ctx, q, huge.CountOnly()).Wait().
 func (se *Session) Run(ctx context.Context, q *Query) (Result, error) {
-	res, err := se.sys.runConcurrentOn(ctx, se.pinned(), q)
-	se.record(res, err)
-	return res, err
+	return se.Exec(ctx, q, CountOnly()).Wait()
 }
 
-// RunPlan enumerates q with a specific plan against the pinned snapshot.
+// RunPlan counts q's matches with a specific plan against the pinned
+// snapshot.
+//
+// Deprecated: Use Exec — sess.Exec(ctx, q, huge.WithPlan(p), huge.CountOnly()).Wait().
 func (se *Session) RunPlan(ctx context.Context, q *Query, p *Plan) (Result, error) {
-	res, err := se.sys.runPlan(ctx, se.pinned(), q, p, nil)
-	se.record(res, err)
-	return res, err
+	return se.Exec(ctx, q, WithPlan(p), CountOnly()).Wait()
 }
 
 // Enumerate streams every match to fn (see System.Enumerate), against the
 // session's pinned snapshot.
+//
+// Deprecated: Use Exec — range over sess.Exec(ctx, q).Matches(), or pass
+// huge.OnMatch(fn) for callback delivery.
 func (se *Session) Enumerate(ctx context.Context, q *Query, fn func(match []VertexID)) (Result, error) {
-	res, err := se.sys.enumerateOn(ctx, se.pinned(), q, fn)
-	se.record(res, err)
-	return res, err
+	return se.Exec(ctx, q, OnMatch(fn)).Wait()
 }
 
-// MatchPattern parses a Cypher-flavoured pattern and runs it.
+// MatchPattern parses a Cypher-flavoured pattern and counts its matches.
 func (se *Session) MatchPattern(ctx context.Context, name, pattern string) (Result, map[string]int, error) {
 	q, names, err := ParsePattern(name, pattern)
 	if err != nil {
 		return Result{}, nil, err
 	}
-	res, err := se.Run(ctx, q)
+	res, err := se.Exec(ctx, q, CountOnly()).Wait()
 	return res, names, err
 }

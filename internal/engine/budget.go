@@ -1,0 +1,50 @@
+package engine
+
+import "sync/atomic"
+
+// Budget is the shared atomic match budget of a top-k run: it starts with k
+// result slots and every stage of the dataflow claims slots before counting
+// (or emitting) matches. Once the last slot is claimed the run is logically
+// complete — sources stop producing at the next batch boundary, extend
+// operators discard their queued input, and the scheduler drains and joins
+// exactly as it does on normal completion — so `Limit(k)` terminates
+// engine-side instead of filtering a full enumeration at the consumer.
+//
+// One Budget may span several engine.Run invocations (the per-pinned-edge
+// flows of a delta-mode run share one), which is why it is a standalone
+// value threaded through Config rather than run-local state. All methods
+// are safe for concurrent use from every machine and worker goroutine.
+type Budget struct {
+	remaining atomic.Int64
+}
+
+// NewBudget returns a budget with k result slots.
+func NewBudget(k uint64) *Budget {
+	b := &Budget{}
+	b.remaining.Store(int64(k))
+	return b
+}
+
+// Take claims up to n slots and returns the number actually granted —
+// n while slots remain, the remainder at the boundary, 0 once exhausted.
+// Callers must count (or emit) exactly as many matches as were granted;
+// that contract is what makes the final count exactly min(k, total).
+func (b *Budget) Take(n uint64) uint64 {
+	for {
+		cur := b.remaining.Load()
+		if cur <= 0 {
+			return 0
+		}
+		take := int64(n)
+		if take > cur {
+			take = cur
+		}
+		if b.remaining.CompareAndSwap(cur, cur-take) {
+			return uint64(take)
+		}
+	}
+}
+
+// Exhausted reports whether every slot has been claimed. Stages poll it at
+// batch boundaries: the cheap read is the cooperative-halt signal.
+func (b *Budget) Exhausted() bool { return b.remaining.Load() <= 0 }

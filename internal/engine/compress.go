@@ -115,10 +115,14 @@ func (r *machineRun) countChunk(e *dataflow.Extend, c *dataflow.Batch, twoStage 
 	if pred.impossible {
 		return 0, nil
 	}
+	bud := r.ex.eng.cfg.Budget
 	var lists [][]graph.VertexID
 	var isect graph.IntersectScratch
 	var total uint64
 	for i := 0; i < c.Rows(); i++ {
+		if bud != nil && bud.Exhausted() {
+			return total, nil
+		}
 		row := c.Row(i)
 		lists = lists[:0]
 		empty := false
@@ -137,40 +141,46 @@ func (r *machineRun) countChunk(e *dataflow.Extend, c *dataflow.Batch, twoStage 
 			continue
 		}
 		cand := graph.IntersectMany(lists, &isect)
+		var n uint64
 		if len(e.NewFilters) == 0 && pred.trivial() {
 			// Fast path: count candidates, subtract the ones that collide
 			// with matched vertices (candidate lists are sorted sets, so a
 			// matched vertex appears at most once).
-			n := uint64(len(cand))
+			n = uint64(len(cand))
 			for _, u := range row {
 				if graph.ContainsSorted(cand, u) {
 					n--
 				}
 			}
-			total += n
-			continue
-		}
-	candidates:
-		for _, v := range cand {
-			if !pred.ok(row, v) {
-				continue
-			}
-			for _, u := range row {
-				if u == v {
-					continue candidates
+		} else {
+		candidates:
+			for _, v := range cand {
+				if !pred.ok(row, v) {
+					continue
 				}
-			}
-			for _, f := range e.NewFilters {
-				if f.NewLess {
-					if v >= row[f.Slot] {
+				for _, u := range row {
+					if u == v {
 						continue candidates
 					}
-				} else if v <= row[f.Slot] {
-					continue candidates
 				}
+				for _, f := range e.NewFilters {
+					if f.NewLess {
+						if v >= row[f.Slot] {
+							continue candidates
+						}
+					} else if v <= row[f.Slot] {
+						continue candidates
+					}
+				}
+				n++
 			}
-			total++
 		}
+		if bud != nil {
+			// Claim per input row: workers race for the shared budget, and
+			// whatever is granted is exactly what gets counted.
+			n = bud.Take(n)
+		}
+		total += n
 	}
 	return total, nil
 }

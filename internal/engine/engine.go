@@ -70,6 +70,14 @@ type Config struct {
 	// query-edge positions. Must be non-nil when the dataflow contains a
 	// DeltaScan; ignored otherwise.
 	DeltaEdges *graph.EdgeSet
+	// Budget, when non-nil, is the shared match budget of a top-k run:
+	// the sink (and the compressed counting path) claim slots per result,
+	// and once the budget is exhausted every stage halts cooperatively at
+	// its next batch boundary — sources stop emitting, extends discard
+	// queued input, later stages are skipped — so the run produces exactly
+	// min(k, total) matches without enumerating the rest. The same Budget
+	// may be shared across several Run invocations (delta-mode flows).
+	Budget *Budget
 }
 
 func (c Config) withDefaults() Config {
@@ -149,6 +157,14 @@ func Run(ctx context.Context, ex *cluster.Exec, df *dataflow.Dataflow, cfg Confi
 	for _, st := range df.Stages {
 		if err := ctx.Err(); err != nil {
 			return 0, err
+		}
+		if cfg.Budget != nil && cfg.Budget.Exhausted() {
+			// Top-k early termination: the budget was claimed in full (by an
+			// earlier stage of this run, or an earlier run sharing the
+			// budget), so the remaining stages could only produce matches
+			// nobody may count. The deferred Discard above releases any join
+			// relations the skipped stages would have consumed.
+			break
 		}
 		if err := e.runStage(ctx, st); err != nil {
 			return 0, err

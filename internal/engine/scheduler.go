@@ -31,6 +31,15 @@ func (ex *stageExec) done() bool {
 	return ex.sourcesActive.Load() == 0 && ex.pendingBatches.Load() == 0 && ex.firstErrFast() == nil
 }
 
+// stopped reports that the run's match budget is exhausted: operators halt
+// at their next batch boundary — sources stop emitting, extends discard
+// dequeued input — and the stage winds down through the normal
+// drain-and-join path, not the error path.
+func (ex *stageExec) stopped() bool {
+	b := ex.eng.cfg.Budget
+	return b != nil && b.Exhausted()
+}
+
 func (ex *stageExec) firstErrFast() error {
 	if err := ex.ctx.Err(); err != nil {
 		ex.setErr(err)
@@ -239,6 +248,12 @@ func (r *machineRun) runOp(op int) error {
 	switch {
 	case op == 0:
 		for !r.sourceDone && !r.outFull(0) {
+			if r.ex.stopped() {
+				// Budget exhausted: retire the source as if it had run dry.
+				r.sourceDone = true
+				r.ex.sourcesActive.Add(-1)
+				break
+			}
 			b, ok, err := r.source.nextBatch(r.ex.eng.cfg.BatchRows)
 			if err != nil {
 				return err
@@ -258,6 +273,12 @@ func (r *machineRun) runOp(op int) error {
 			b := r.dequeue(op - 1)
 			if b == nil {
 				break
+			}
+			if r.ex.stopped() {
+				// Budget exhausted: discard queued input so pending counts
+				// drain to zero and every machine terminates.
+				r.batchProcessed(b)
+				continue
 			}
 			if compress {
 				// Compression [63]: the final extension's matches are
@@ -303,9 +324,15 @@ func (r *machineRun) terminal(b *dataflow.Batch) error {
 	eng := r.ex.eng
 	t := r.ex.st.Terminal
 	if t.Sink {
-		eng.ex.Metrics.Results.Add(uint64(b.Rows()))
+		accepted := uint64(b.Rows())
+		if eng.cfg.Budget != nil {
+			// Claim one budget slot per result; rows beyond the last slot
+			// are dropped, so the run totals exactly min(k, total).
+			accepted = eng.cfg.Budget.Take(accepted)
+		}
+		eng.ex.Metrics.Results.Add(accepted)
 		if eng.cfg.OnResult != nil {
-			for i := 0; i < b.Rows(); i++ {
+			for i := 0; i < int(accepted); i++ {
 				eng.cfg.OnResult(b.Row(i))
 			}
 		}

@@ -6,6 +6,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -188,7 +189,8 @@ func (e *Env) RunHUGE(g *graph.Graph, q *query.Query, o HugeOpts) RunResult {
 		Latency:     e.latency(),
 		NoCompress:  true,
 	})
-	res, err := sys.RunPlan(q, sys.PlanFor(q, planName))
+	res, err := sys.Exec(context.Background(), q,
+		huge.WithPlan(sys.PlanFor(q, planName)), huge.CountOnly()).Wait()
 	if err != nil {
 		return RunResult{Name: name, Err: err}
 	}
