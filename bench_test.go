@@ -9,6 +9,7 @@ package repro
 
 import (
 	"context"
+	"fmt"
 	"testing"
 	"time"
 
@@ -539,6 +540,129 @@ func BenchmarkDeltaVsFull(b *testing.B) {
 				b.Fatal(err)
 			}
 			b.ReportMetric(float64(res.DeltaNew+res.DeltaDead), "changedMatches")
+		}
+	})
+}
+
+// fanoutPatterns is the standing-query workload: 8 distinct small patterns,
+// the shape of a production subscription population (many consumers, few
+// patterns).
+func fanoutPatterns() []*huge.Query {
+	return []*huge.Query{
+		huge.Triangle(),
+		huge.NewQuery("p3", [][2]int{{0, 1}, {1, 2}}),
+		huge.NewQuery("p4", [][2]int{{0, 1}, {1, 2}, {2, 3}}),
+		huge.NewQuery("star3", [][2]int{{0, 1}, {0, 2}, {0, 3}}),
+		huge.NewQuery("square", [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}}),
+		huge.NewQuery("tailed-tri", [][2]int{{0, 1}, {1, 2}, {0, 2}, {2, 3}}),
+		huge.NewQuery("p5", [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}}),
+		huge.NewQuery("diamond", [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}, {0, 2}}),
+	}
+}
+
+// fanoutDeltas builds a flip-flop delta pair (d and its inverse) of ops
+// updates, so repeated applies oscillate between two snapshots and every
+// iteration pays comparable maintenance work.
+func fanoutDeltas(g *huge.Graph, ops int, seed int64) [2]huge.Delta {
+	var d, inv huge.Delta
+	for _, u := range gen.UpdateStream(g, ops, seed) {
+		e := [2]huge.VertexID{u.U, u.V}
+		if u.Del {
+			d.Delete = append(d.Delete, e)
+			inv.Insert = append(inv.Insert, e)
+		} else {
+			d.Insert = append(d.Insert, e)
+			inv.Delete = append(inv.Delete, e)
+		}
+	}
+	return [2]huge.Delta{d, inv}
+}
+
+// BenchmarkSubscribeFanout measures the standing-query serving claim: a
+// large subscriber population over ~8 patterns costs per Apply about the
+// 8 shared delta runs plus one channel operation per subscriber — NOT one
+// delta run per subscriber. Variants: Apply alone (repartition floor), 8
+// standalone delta runs per Apply (what the shared maintenance should
+// roughly cost regardless of population), shared fan-out at 1K and 100K
+// subscribers, and a naive per-subscriber re-run at 64 subscribers (the
+// quadratic baseline, measured small and extrapolated by cmd/hugebench
+// into BENCH_6.json). Allocations per op are reported to track the
+// delta-path scratch pooling.
+func BenchmarkSubscribeFanout(b *testing.B) {
+	patterns := fanoutPatterns()
+	newSys := func() (*huge.System, [2]huge.Delta) {
+		// A mild-tailed graph and a small delta: the quantity under test is
+		// the fan-out overhead per subscriber, not enumeration volume (the
+		// p5/star/diamond patterns explode combinatorially on heavy tails).
+		g := gen.PowerLaw(2000, 3, 21)
+		return huge.NewSystem(g, huge.Options{Machines: 2, Workers: 2}), fanoutDeltas(g, 40, 5)
+	}
+
+	b.Run("apply-only", func(b *testing.B) {
+		sys, dd := newSys()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sys.Apply(dd[i%2])
+		}
+	})
+
+	// The standalone baseline enumerates matches (OnMatch), as subscription
+	// delivery does — counting-only runs would compare compressed counting
+	// against materialisation.
+	enumerate := func(b *testing.B, sys *huge.System, q *huge.Query) {
+		b.Helper()
+		if _, err := sys.Exec(context.Background(), q.Delta(),
+			huge.OnMatch(func([]huge.VertexID) {})).Wait(); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	b.Run("standalone-8", func(b *testing.B) {
+		sys, dd := newSys()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sys.Apply(dd[i%2])
+			for _, q := range patterns {
+				enumerate(b, sys, q)
+			}
+		}
+	})
+
+	for _, subs := range []int{1_000, 100_000} {
+		b.Run(fmt.Sprintf("shared-subs=%d", subs), func(b *testing.B) {
+			sys, dd := newSys()
+			for i := 0; i < subs; i++ {
+				// Small buffers keep 100K channels modest; the shed policy
+				// keeps undrained subscribers at one failed-send per event.
+				if _, err := sys.Subscribe(patterns[i%len(patterns)], huge.SubBuffer(4)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sys.Apply(dd[i%2])
+			}
+			b.StopTimer()
+			ms := sys.MaintenanceStats()
+			b.ReportMetric(float64(ms.SharedRuns)/float64(b.N), "sharedRuns/apply")
+			b.ReportMetric(float64(ms.DedupedRuns)/float64(b.N), "dedupedRuns/apply")
+			b.ReportMetric(float64(ms.FannedEvents+ms.ShedEvents)/float64(b.N), "fanouts/apply")
+		})
+	}
+
+	b.Run("naive-subs=64", func(b *testing.B) {
+		sys, dd := newSys()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sys.Apply(dd[i%2])
+			// Naive serving: every subscriber re-runs its own delta query.
+			for s := 0; s < 64; s++ {
+				enumerate(b, sys, patterns[s%len(patterns)])
+			}
 		}
 	})
 }

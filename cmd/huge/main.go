@@ -7,7 +7,10 @@
 // plan cache. With -updates it replays an insert/delete stream (hugegen
 // -updates emits one) in batches through System.Apply, maintaining the
 // match count with delta-mode enumeration and cross-checking the running
-// total against a final full re-count.
+// total against a final full re-count. Adding -subscribe n registers n
+// standing subscriptions on the query before the replay: every Apply then
+// ALSO serves all n subscribers from one shared delta run, and each epoch's
+// delivered event is cross-checked against the session's own delta counts.
 //
 // Usage:
 //
@@ -19,6 +22,7 @@
 //	huge -labels 16 -pattern "(a:1)-(b:2), (b:2)-(c:1), (c:1)-(a:1)"
 //	huge -elabels 8 -pattern "(a)-[2]-(b), (b)-[2]-(c), (c)-[2]-(a)"  # edge labels
 //	huge -input go.txt -query triangle -updates go.txt.updates -update-batch 200
+//	huge -input go.txt -query triangle -updates go.txt.updates -subscribe 1000
 package main
 
 import (
@@ -52,6 +56,7 @@ func main() {
 		showPlan = flag.Bool("show-plan", false, "print the execution plan before running")
 		updates  = flag.String("updates", "", "replay an insert/delete stream file (\"+ u v\" / \"- u v\" lines) with delta-mode maintenance")
 		batch    = flag.Int("update-batch", 100, "operations applied per delta batch during -updates replay")
+		subCount = flag.Int("subscribe", 0, "register N standing subscriptions served from one shared delta run per -updates batch")
 	)
 	flag.Parse()
 
@@ -171,8 +176,12 @@ func main() {
 		}
 		fmt.Printf("query %s: %d matches in %v%s\n", q.Name(), res.Count, res.Elapsed, cachedNote)
 	}
+	if *subCount > 0 && *updates == "" {
+		fmt.Fprintln(os.Stderr, "-subscribe requires -updates (subscriptions are served during replay)")
+		os.Exit(2)
+	}
 	if *updates != "" {
-		if err := replayUpdates(ctx, sys, sess, q, *updates, *batch, res.Count); err != nil {
+		if err := replayUpdates(ctx, sys, sess, q, *updates, *batch, res.Count, *subCount); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -192,14 +201,32 @@ func main() {
 
 // replayUpdates applies the stream in batches, maintaining the match
 // count via delta-mode enumeration and verifying the running total against
-// a full re-enumeration of the final snapshot.
-func replayUpdates(ctx context.Context, sys *huge.System, sess *huge.Session, q *huge.Query, path string, batchSize int, baseCount uint64) error {
+// a full re-enumeration of the final snapshot. With subCount > 0 it also
+// registers that many standing subscriptions on q and cross-checks each
+// epoch's delivered event against the session's own delta counts — all
+// subCount subscribers ride ONE shared delta run per batch.
+func replayUpdates(ctx context.Context, sys *huge.System, sess *huge.Session, q *huge.Query, path string, batchSize int, baseCount uint64, subCount int) error {
 	ops, err := readUpdates(path)
 	if err != nil {
 		return err
 	}
 	if batchSize < 1 {
 		batchSize = 1
+	}
+	var subs []*huge.Subscription
+	for i := 0; i < subCount; i++ {
+		// Buffer 1 suffices: maintenance runs synchronously inside Apply
+		// and the loop below drains every subscriber each epoch.
+		sub, err := sys.Subscribe(q, huge.SubBuffer(1))
+		if err != nil {
+			return err
+		}
+		subs = append(subs, sub)
+		defer sub.Close()
+	}
+	if subCount > 0 {
+		fmt.Printf("standing queries: %d subscribers over %d pattern group(s)\n",
+			sys.Subscriptions(), sys.SubscriptionGroups())
 	}
 	running := int64(baseCount)
 	dq := q.Delta()
@@ -229,6 +256,36 @@ func replayUpdates(ctx context.Context, sys *huge.System, sess *huge.Session, q 
 		running += res.Delta
 		fmt.Printf("epoch %d: %d ops, delta %+d (new %d, dead %d) in %v -> %d matches\n",
 			epoch, hi-lo, res.Delta, res.DeltaNew, res.DeltaDead, res.Elapsed, running)
+		// Drain every subscriber. Maintenance is synchronous inside Apply,
+		// so the epoch's event (delivered only when the pattern's delta is
+		// non-empty) is already buffered — a non-blocking read is exact.
+		for i, sub := range subs {
+			var ev huge.Event
+			var got bool
+			select {
+			case ev, got = <-sub.C():
+			default:
+			}
+			if i > 0 {
+				continue // all subscribers carry the same payload; check one, drain the rest
+			}
+			switch {
+			case !got && res.DeltaNew+res.DeltaDead != 0:
+				return fmt.Errorf("epoch %d: subscription delivered no event, session saw +%d/-%d",
+					epoch, res.DeltaNew, res.DeltaDead)
+			case got && (uint64(len(ev.New)) != res.DeltaNew || uint64(len(ev.Dead)) != res.DeltaDead):
+				return fmt.Errorf("epoch %d: subscription event new=%d dead=%d, session saw new=%d dead=%d",
+					epoch, len(ev.New), len(ev.Dead), res.DeltaNew, res.DeltaDead)
+			case got:
+				fmt.Printf("  subs: event new=%d dead=%d (matches session delta) fanned to %d subscribers\n",
+					len(ev.New), len(ev.Dead), len(subs))
+			}
+		}
+	}
+	if subCount > 0 {
+		ms := sys.MaintenanceStats()
+		fmt.Printf("standing queries: %d shared runs served %d subscriber-events (%d re-runs avoided), shed %d\n",
+			ms.SharedRuns, ms.FannedEvents, ms.DedupedRuns, ms.ShedEvents)
 	}
 	full, err := sess.Exec(ctx, q, huge.CountOnly()).Wait()
 	if err != nil {

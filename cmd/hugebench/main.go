@@ -8,10 +8,12 @@
 //	hugebench -exp fig6 -queries q1,q2 -datasets EU,LJ
 //
 // Experiments: table1 fig5 fig6 table4 fig7 fig8 table5 fig9 fig10 table6
-// fig11 all.
+// fig11 all — plus bench6, the standing-query fan-out benchmark, which also
+// writes its machine-readable results to -out (default BENCH_6.json).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -30,6 +32,8 @@ func main() {
 		latency  = flag.Bool("latency", false, "inject modelled network latency")
 		queries  = flag.String("queries", "", "fig6: comma-separated queries (default q1..q6)")
 		datasets = flag.String("datasets", "", "fig6: comma-separated datasets (default EU,LJ,OR,UK,FS)")
+		subs     = flag.Int("subs", 100_000, "bench6: shared-mode subscriber population")
+		out      = flag.String("out", "BENCH_6.json", "bench6: output JSON path")
 	)
 	flag.Parse()
 
@@ -76,6 +80,25 @@ func main() {
 		tables = []exp.Table{e.Table6()}
 	case "fig11":
 		tables = []exp.Table{e.Fig11()}
+	case "bench6":
+		cfg := exp.DefaultBench6Config()
+		cfg.Subscribers = *subs
+		if *tiny {
+			cfg.Scales = []int{1}
+			cfg.Iters = 2
+		}
+		rep := exp.Bench6(cfg)
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *out)
+		tables = []exp.Table{rep.Table()}
 	case "all":
 		e.All(qs, ds, func(t exp.Table) { fmt.Println(t.String()) })
 		return

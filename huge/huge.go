@@ -42,6 +42,16 @@
 // (Session.Refresh re-pins), and q.Delta() runs enumerate only the match
 // delta of the latest update — full(t) + Result.Delta == full(t+1) — so
 // repeated patterns stay warm while the graph changes underneath.
+//
+// For consumers that want every update's match delta pushed to them,
+// System.Subscribe registers a standing query: after each Apply the system
+// runs ONE shared delta enumeration per distinct pattern (subscriptions
+// are grouped by canonical fingerprint, so relabelled twins share a run)
+// and fans the labelled match deltas out to all subscribers over bounded
+// buffered channels — non-blocking, with a per-subscription slow-consumer
+// policy (SubShed marks gaps in Event.Missed; SubDisconnect closes with
+// ErrSlowConsumer). 100K subscribers over a handful of patterns cost a
+// handful of enumerations per Apply, not 100K.
 package huge
 
 import (
@@ -83,6 +93,9 @@ type (
 	Plan = plan.Plan
 	// Summary is the metric snapshot of one run.
 	Summary = metrics.Summary
+	// MaintenanceSummary is the cumulative standing-query maintenance
+	// counter snapshot of a System (System.MaintenanceStats).
+	MaintenanceSummary = metrics.MaintenanceSummary
 )
 
 // NewQuery builds a query graph from an edge list over vertices 0..n-1.
@@ -274,6 +287,14 @@ type System struct {
 	// pattern pay the exponential optimiser once, not N times.
 	planMu   sync.Mutex
 	inflight map[string]*keyLock
+
+	// Standing-query subscriptions (subscribe.go): subscribers grouped by
+	// canonical query fingerprint, per-group cached delta flows and
+	// numbering variants, and lifetime maintenance counters.
+	subs    *plan.Registry[*Subscription]
+	groupMu sync.Mutex // guards groups and orders registration vs group deletion
+	groups  map[string]*subGroup
+	maint   metrics.Maintenance
 }
 
 // snapshot returns the current version; runs capture it once and use it
@@ -348,6 +369,8 @@ func NewSystem(g *Graph, opts Options) *System {
 		snap:     newSnapshot(g, opts),
 		opts:     opts,
 		inflight: map[string]*keyLock{},
+		subs:     plan.NewRegistry[*Subscription](),
+		groups:   map[string]*subGroup{},
 	}
 	if opts.PlanCachePlans >= 0 {
 		s.plans = plan.NewCache(opts.PlanCachePlans)
@@ -426,6 +449,10 @@ func (s *System) Apply(d Delta) uint64 {
 	if s.plans != nil {
 		s.plans.InvalidateGraph(cur.statsFP)
 	}
+	// Serve standing queries before returning: one shared delta run per
+	// live pattern group on the snapshot just installed (subscribe.go).
+	// Running under applyMu keeps per-epoch event order per subscriber.
+	s.maintainSubscriptions(next)
 	return ng.Epoch()
 }
 
@@ -683,6 +710,17 @@ func (s *System) runDelta(ctx context.Context, sn *snapshot, q *Query, fn func([
 	if err != nil {
 		return Result{}, err
 	}
+	return s.runDeltaFlows(ctx, sn, flows, fn, nil, budget)
+}
+
+// runDeltaFlows is the delta-run core shared by runDelta and the
+// standing-query maintenance path: it executes already-translated delta
+// flows against one snapshot's inserted/deleted sets. newFn receives every
+// created match, deadFn (when the dead side runs at all — see runDelta on
+// budgets) every destroyed one; either may be nil to count only.
+// Separating translation from execution lets subscription groups cache
+// their flows once and pay only the enumeration on every Apply.
+func (s *System) runDeltaFlows(ctx context.Context, sn *snapshot, flows []*dataflow.Dataflow, newFn, deadFn func([]VertexID), budget *engine.Budget) (Result, error) {
 	start := time.Now()
 	var res Result
 	runSide := func(cl *cluster.Cluster, set *graph.EdgeSet, fn func([]VertexID)) (uint64, error) {
@@ -706,14 +744,14 @@ func (s *System) runDelta(ctx context.Context, sn *snapshot, q *Query, fn func([
 		}
 		return total, nil
 	}
-	newCount, err := runSide(sn.cl, sn.inserted, fn)
+	newCount, err := runSide(sn.cl, sn.inserted, newFn)
 	if err != nil {
 		return Result{}, err
 	}
 	res.Count = newCount
 	res.DeltaNew = newCount
 	if budget == nil {
-		deadCount, err := runSide(sn.prevCl, sn.deleted, nil)
+		deadCount, err := runSide(sn.prevCl, sn.deleted, deadFn)
 		if err != nil {
 			return Result{}, err
 		}

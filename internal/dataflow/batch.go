@@ -1,6 +1,10 @@
 package dataflow
 
-import "repro/internal/graph"
+import (
+	"sync"
+
+	"repro/internal/graph"
+)
 
 // Batch is the minimum data-processing unit (Section 4.2): a fixed-width
 // block of partial matches stored row-major in one flat slice, matching the
@@ -56,3 +60,40 @@ func (b *Batch) SplitRows(n int) []*Batch {
 // MemBytes returns the batch's storage footprint, used by the memory-bound
 // accounting in the scheduler tests.
 func (b *Batch) MemBytes() uint64 { return uint64(cap(b.Data)) * 4 }
+
+// batchPool recycles Batch headers and their backing arrays between runs:
+// every batch the engine processes passes through exactly one retirement
+// point, so back-to-back delta maintenance (one run per query edge per
+// Apply, forever) reuses warm buffers instead of re-allocating its entire
+// batch traffic each epoch.
+var batchPool = sync.Pool{New: func() any { return new(Batch) }}
+
+// maxPooledCap bounds the backing arrays the pool retains: one oversized
+// hub expansion must not pin megabytes until the next GC.
+const maxPooledCap = 1 << 20
+
+// GetBatch returns an empty batch with capacity for capRows rows of the
+// given width, reusing pooled storage when it fits. Callers that retire
+// batches through Recycle get allocation-free steady-state batching.
+func GetBatch(width, capRows int) *Batch {
+	b := batchPool.Get().(*Batch)
+	need := width * capRows
+	if cap(b.Data) < need {
+		b.Data = make([]graph.VertexID, 0, need)
+	}
+	b.Width = width
+	b.Data = b.Data[:0]
+	return b
+}
+
+// Recycle returns a batch to the pool. The caller must hold the only live
+// reference: sub-batches created by SplitRows alias the parent's storage,
+// so a parent may only be recycled after its splits are fully processed
+// (and the splits themselves must never be recycled).
+func (b *Batch) Recycle() {
+	if b == nil || cap(b.Data) > maxPooledCap {
+		return
+	}
+	b.Data = b.Data[:0]
+	batchPool.Put(b)
+}

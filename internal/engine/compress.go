@@ -116,15 +116,15 @@ func (r *machineRun) countChunk(e *dataflow.Extend, c *dataflow.Batch, twoStage 
 		return 0, nil
 	}
 	bud := r.ex.eng.cfg.Budget
-	var lists [][]graph.VertexID
-	var isect graph.IntersectScratch
+	sc := scratchPool.Get().(*extendScratch)
+	defer sc.release()
 	var total uint64
 	for i := 0; i < c.Rows(); i++ {
 		if bud != nil && bud.Exhausted() {
 			return total, nil
 		}
 		row := c.Row(i)
-		lists = lists[:0]
+		sc.lists = sc.lists[:0]
 		empty := false
 		for _, s := range e.ExtSlots {
 			nb, err := r.neighborsFor(row[s], twoStage)
@@ -135,12 +135,12 @@ func (r *machineRun) countChunk(e *dataflow.Extend, c *dataflow.Batch, twoStage 
 				empty = true
 				break
 			}
-			lists = append(lists, nb)
+			sc.lists = append(sc.lists, nb)
 		}
 		if empty {
 			continue
 		}
-		cand := graph.IntersectMany(lists, &isect)
+		cand := graph.IntersectMany(sc.lists, &sc.isect)
 		var n uint64
 		if len(e.NewFilters) == 0 && pred.trivial() {
 			// Fast path: count candidates, subtract the ones that collide

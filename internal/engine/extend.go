@@ -102,6 +102,25 @@ type extendScratch struct {
 	missErr error
 }
 
+// scratchPool recycles extend scratch between batches and runs: the
+// intersect buffers and row buffers grow to their working size once and
+// are then reused by every subsequent extend — in steady-state update
+// serving (one delta run per query edge per Apply) this removes the
+// per-batch scratch allocations entirely.
+var scratchPool = sync.Pool{New: func() any { return new(extendScratch) }}
+
+// release returns a drained scratch to the pool. The adjacency references
+// in lists are cleared so the pool never pins a superseded graph snapshot;
+// a leftover empty output batch (closeScratch moves out the non-empty ones)
+// goes back to the batch pool rather than leaking.
+func (sc *extendScratch) release() {
+	clear(sc.lists)
+	sc.lists = sc.lists[:0]
+	sc.out.Recycle()
+	sc.out, sc.outs, sc.missErr = nil, nil, nil
+	scratchPool.Put(sc)
+}
+
 // intersectStage performs the multiway intersections (lines 10-21 of
 // Algorithm 4) in parallel across the machine's workers, with chunk-level
 // intra-machine work stealing per Section 5.3.
@@ -113,16 +132,18 @@ func (r *machineRun) intersectStage(e *dataflow.Extend, b *dataflow.Batch, twoSt
 		return nil, nil
 	}
 	if workers == 1 || len(chunks) == 1 {
-		sc := &extendScratch{}
+		sc := scratchPool.Get().(*extendScratch)
 		for _, c := range chunks {
 			r.extendChunk(e, c, twoStage, sc)
 		}
-		return closeScratch(sc), sc.missErr
+		outs, err := closeScratch(sc), sc.missErr
+		sc.release()
+		return outs, err
 	}
 
 	scratches := make([]*extendScratch, workers)
 	for i := range scratches {
-		scratches[i] = &extendScratch{}
+		scratches[i] = scratchPool.Get().(*extendScratch)
 	}
 	var wg sync.WaitGroup
 	switch eng.cfg.LoadBalance {
@@ -178,6 +199,7 @@ func (r *machineRun) intersectStage(e *dataflow.Extend, b *dataflow.Batch, twoSt
 		if sc.missErr != nil && err == nil {
 			err = sc.missErr
 		}
+		sc.release()
 	}
 	return outs, err
 }
@@ -289,7 +311,7 @@ func (r *machineRun) extendChunk(e *dataflow.Extend, c *dataflow.Batch, twoStage
 	outWidth := len(e.OutLayout)
 	maxRows := eng.cfg.BatchRows
 	if sc.out == nil {
-		sc.out = dataflow.NewBatch(outWidth, maxRows)
+		sc.out = dataflow.GetBatch(outWidth, maxRows)
 	}
 	pred := r.newCandPred(e)
 	if pred.impossible {
@@ -319,7 +341,7 @@ func (r *machineRun) extendChunk(e *dataflow.Extend, c *dataflow.Batch, twoStage
 			if graph.ContainsSorted(cand, row[e.VerifySlot]) && pred.ok(row, row[e.VerifySlot]) {
 				if sc.out.Rows() >= maxRows {
 					sc.outs = append(sc.outs, sc.out)
-					sc.out = dataflow.NewBatch(outWidth, maxRows)
+					sc.out = dataflow.GetBatch(outWidth, maxRows)
 				}
 				sc.out.Append(row)
 			}
@@ -349,7 +371,7 @@ func (r *machineRun) extendChunk(e *dataflow.Extend, c *dataflow.Batch, twoStage
 			}
 			if sc.out.Rows() >= maxRows {
 				sc.outs = append(sc.outs, sc.out)
-				sc.out = dataflow.NewBatch(outWidth, maxRows)
+				sc.out = dataflow.GetBatch(outWidth, maxRows)
 			}
 			sc.rowBuf = append(sc.rowBuf[:0], row...)
 			sc.rowBuf = append(sc.rowBuf, v)

@@ -137,10 +137,15 @@ func (r *machineRun) dequeue(op int) *dataflow.Batch {
 
 // batchProcessed marks a dequeued batch fully handled: its outputs (if any)
 // were enqueued before this is called, so pendingBatches never dips to zero
-// while work remains.
+// while work remains. The batch is recycled here — this is the single
+// retirement point every enqueued batch passes through exactly once, and by
+// now any SplitRows chunks aliasing its storage have been fully consumed
+// (the intersect stage joins its workers before processExtend returns) and
+// every downstream consumer has copied what it keeps.
 func (r *machineRun) batchProcessed(b *dataflow.Batch) {
 	r.ex.eng.ex.Metrics.AddLiveTuples(-int64(b.Rows()))
 	r.ex.pendingBatches.Add(-1)
+	b.Recycle()
 }
 
 // pickOp chooses the next operator: the deepest operator with input, else
@@ -298,6 +303,8 @@ func (r *machineRun) runOp(op int) error {
 			for _, ob := range outs {
 				if ob.Rows() > 0 {
 					r.enqueue(op, ob)
+				} else {
+					ob.Recycle()
 				}
 			}
 			r.batchProcessed(b)

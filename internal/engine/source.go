@@ -81,7 +81,7 @@ func newScanIter(m *cluster.MachineExec, scan *dataflow.EdgeScan) *scanIter {
 }
 
 func (s *scanIter) nextBatch(maxRows int) (*dataflow.Batch, bool, error) {
-	b := dataflow.NewBatch(2, maxRows)
+	b := dataflow.GetBatch(2, maxRows)
 	row := make([]graph.VertexID, 2)
 	g := s.m.Part.Graph()
 	for b.Rows() < maxRows {
@@ -117,6 +117,7 @@ func (s *scanIter) nextBatch(maxRows int) (*dataflow.Batch, bool, error) {
 		}
 	}
 	if b.Rows() == 0 {
+		b.Recycle()
 		return nil, false, nil
 	}
 	return b, true, nil
@@ -181,7 +182,7 @@ func (s *deltaScanIter) nextBatch(maxRows int) (*dataflow.Batch, bool, error) {
 	if s.i >= len(s.rows) {
 		return nil, false, nil
 	}
-	b := dataflow.NewBatch(2, maxRows)
+	b := dataflow.GetBatch(2, maxRows)
 	for s.i < len(s.rows) && b.Rows() < maxRows {
 		row := s.rows[s.i]
 		s.i++
@@ -296,7 +297,7 @@ func (it *joinIter) nextBatch(maxRows int) (*dataflow.Batch, bool, error) {
 			return nil, false, err
 		}
 	}
-	b := dataflow.NewBatch(len(it.j.OutLayout), maxRows)
+	b := dataflow.GetBatch(len(it.j.OutLayout), maxRows)
 	for b.Rows() < maxRows {
 		if it.inGroup {
 			if it.gi*it.rightWidth < len(it.rightGroup) {
@@ -364,6 +365,7 @@ func (it *joinIter) nextBatch(maxRows int) (*dataflow.Batch, bool, error) {
 	if b.Rows() == 0 {
 		// The loop only exits with zero rows when both inputs are exhausted
 		// (the in-group branch always continues), so this is the end.
+		b.Recycle()
 		return nil, false, nil
 	}
 	return b, true, nil

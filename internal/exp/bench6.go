@@ -1,0 +1,258 @@
+package exp
+
+// Bench6 is the standing-query serving experiment behind BENCH_6.json: the
+// machine-readable counterpart of BenchmarkSubscribeFanout. For each graph
+// scale it times four per-Apply serving strategies over the same 8-pattern
+// workload — Apply alone, 8 standalone delta enumerations, the shared
+// maintenance path at a large subscriber population, and a naive
+// per-subscriber re-run measured small and extrapolated — and reports the
+// two headline ratios: shared serving vs the 8 standalone runs (target
+// <=2x) and the naive extrapolation vs shared (target >=25x).
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/huge"
+	"repro/internal/gen"
+)
+
+// Bench6Config parameterises the experiment.
+type Bench6Config struct {
+	Scales      []int // graph-size multipliers (vertices = 2000 * scale)
+	Subscribers int   // shared-mode population (the paper-scale claim: 100K)
+	NaiveSubs   int   // directly-measured naive population (extrapolated up)
+	DeltaOps    int   // update ops per Apply
+	Iters       int   // timed applies per mode (after one warmup)
+}
+
+// DefaultBench6Config mirrors BenchmarkSubscribeFanout's setup.
+func DefaultBench6Config() Bench6Config {
+	return Bench6Config{Scales: []int{1, 2, 4}, Subscribers: 100_000, NaiveSubs: 16, DeltaOps: 40, Iters: 3}
+}
+
+// Bench6Row is one scale's measurements. All *Ns figures are per Apply.
+type Bench6Row struct {
+	Scale       int `json:"scale"`
+	Vertices    int `json:"vertices"`
+	Edges       int `json:"edges"`
+	DeltaOps    int `json:"delta_ops"`
+	Patterns    int `json:"patterns"`
+	Subscribers int `json:"subscribers"`
+
+	ApplyNs      int64 `json:"apply_ns"`       // Apply alone (repartition floor)
+	StandaloneNs int64 `json:"standalone_ns"`  // Apply + 8 standalone delta enumerations
+	SharedNs     int64 `json:"shared_ns"`      // Apply + shared maintenance, Subscribers live
+	NaiveSubs    int   `json:"naive_subs"`     // directly measured naive population
+	NaiveNs      int64 `json:"naive_ns"`       // Apply + NaiveSubs per-subscriber re-runs
+	NaiveExtrapNs int64 `json:"naive_extrap_ns"` // naive cost extrapolated to Subscribers
+
+	SharedVsStandalone float64 `json:"shared_vs_standalone"` // SharedNs / StandaloneNs (claim: <=2)
+	NaiveVsShared      float64 `json:"naive_vs_shared"`      // NaiveExtrapNs / SharedNs (claim: >=25)
+
+	SharedAllocsPerApply uint64 `json:"shared_allocs_per_apply"`
+	SharedBytesPerApply  uint64 `json:"shared_bytes_per_apply"`
+	PeakTuples           int64  `json:"peak_tuples"` // max across the 8 patterns' delta runs
+
+	SharedRunsPerApply float64 `json:"shared_runs_per_apply"` // == Patterns when dedup works
+	FanoutsPerApply    float64 `json:"fanouts_per_apply"`
+}
+
+// Bench6Report is the BENCH_6.json document.
+type Bench6Report struct {
+	Benchmark string      `json:"benchmark"`
+	GOOS      string      `json:"goos"`
+	GOARCH    string      `json:"goarch"`
+	CPUs      int         `json:"cpus"`
+	Claims    B6Claims    `json:"claims"`
+	Rows      []Bench6Row `json:"rows"`
+}
+
+// B6Claims summarises the headline ratios across all scales (worst case).
+type B6Claims struct {
+	SharedVsStandaloneMax float64 `json:"shared_vs_standalone_max"` // target <= 2
+	NaiveVsSharedMin      float64 `json:"naive_vs_shared_min"`      // target >= 25
+}
+
+// Bench6 runs the experiment. It is wall-clock timed (not a testing
+// benchmark) so it can run from cmd/hugebench and serialise to JSON.
+func Bench6(cfg Bench6Config) Bench6Report {
+	if len(cfg.Scales) == 0 {
+		cfg = DefaultBench6Config()
+	}
+	rep := Bench6Report{
+		Benchmark: "SubscribeFanout",
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+	}
+	for _, s := range cfg.Scales {
+		rep.Rows = append(rep.Rows, bench6Scale(s, cfg))
+	}
+	for i, r := range rep.Rows {
+		if i == 0 || r.SharedVsStandalone > rep.Claims.SharedVsStandaloneMax {
+			rep.Claims.SharedVsStandaloneMax = r.SharedVsStandalone
+		}
+		if i == 0 || r.NaiveVsShared < rep.Claims.NaiveVsSharedMin {
+			rep.Claims.NaiveVsSharedMin = r.NaiveVsShared
+		}
+	}
+	return rep
+}
+
+// Table renders the report for the CLI, alongside the JSON artifact.
+func (r Bench6Report) Table() Table {
+	t := Table{
+		Title:  "BENCH_6: standing-query fan-out (shared vs standalone vs naive)",
+		Header: []string{"scale", "V", "E", "subs", "apply", "standalone-8", "shared", "naive-extrap", "shared/standalone", "naive/shared", "allocs/apply", "peakTuples"},
+	}
+	for _, row := range r.Rows {
+		d := func(ns int64) string { return fmtDur(time.Duration(ns)) }
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", row.Scale),
+			fmt.Sprintf("%d", row.Vertices),
+			fmt.Sprintf("%d", row.Edges),
+			fmt.Sprintf("%d", row.Subscribers),
+			d(row.ApplyNs), d(row.StandaloneNs), d(row.SharedNs), d(row.NaiveExtrapNs),
+			fmt.Sprintf("%.2fx", row.SharedVsStandalone),
+			fmt.Sprintf("%.0fx", row.NaiveVsShared),
+			fmt.Sprintf("%d", row.SharedAllocsPerApply),
+			fmt.Sprintf("%d", row.PeakTuples),
+		})
+	}
+	return t
+}
+
+// bench6Measure times fn over one warmup + iters timed rounds and returns
+// ns, heap allocations, and heap bytes per round.
+func bench6Measure(iters int, fn func(i int)) (ns int64, allocs, bytes uint64) {
+	fn(0) // warmup: plan caches, pool priming
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		fn(i + 1)
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	n := uint64(iters)
+	return elapsed.Nanoseconds() / int64(iters),
+		(after.Mallocs - before.Mallocs) / n,
+		(after.TotalAlloc - before.TotalAlloc) / n
+}
+
+func bench6Scale(scale int, cfg Bench6Config) Bench6Row {
+	patterns := bench6Patterns()
+	g := gen.PowerLaw(2000*scale, 3, 21)
+	newSys := func() (*huge.System, [2]huge.Delta) {
+		return huge.NewSystem(g, huge.Options{Machines: 2, Workers: 2}), bench6Deltas(g, cfg.DeltaOps, 5)
+	}
+	row := Bench6Row{
+		Scale:       scale,
+		Vertices:    g.NumVertices(),
+		Edges:       int(g.NumEdges()),
+		DeltaOps:    cfg.DeltaOps,
+		Patterns:    len(patterns),
+		Subscribers: cfg.Subscribers,
+		NaiveSubs:   cfg.NaiveSubs,
+	}
+
+	// Apply alone: the repartition floor every mode pays.
+	{
+		sys, dd := newSys()
+		row.ApplyNs, _, _ = bench6Measure(cfg.Iters, func(i int) { sys.Apply(dd[i%2]) })
+	}
+
+	// Standalone: one materialising delta enumeration per pattern per Apply
+	// — the cost the shared maintenance should approximate regardless of
+	// population size. Also records the peak intermediate-tuple footprint.
+	{
+		sys, dd := newSys()
+		row.StandaloneNs, _, _ = bench6Measure(cfg.Iters, func(i int) {
+			sys.Apply(dd[i%2])
+			for _, q := range patterns {
+				res := bench6Enumerate(sys, q)
+				if res.Metrics.PeakTuples > row.PeakTuples {
+					row.PeakTuples = res.Metrics.PeakTuples
+				}
+			}
+		})
+	}
+
+	// Shared: the subscription maintenance path at full population.
+	{
+		sys, dd := newSys()
+		for i := 0; i < cfg.Subscribers; i++ {
+			if _, err := sys.Subscribe(patterns[i%len(patterns)], huge.SubBuffer(4)); err != nil {
+				panic(err)
+			}
+		}
+		applies := 0
+		row.SharedNs, row.SharedAllocsPerApply, row.SharedBytesPerApply =
+			bench6Measure(cfg.Iters, func(i int) { sys.Apply(dd[i%2]); applies++ })
+		ms := sys.MaintenanceStats()
+		row.SharedRunsPerApply = float64(ms.SharedRuns) / float64(applies)
+		row.FanoutsPerApply = float64(ms.FannedEvents+ms.ShedEvents) / float64(applies)
+	}
+
+	// Naive: every subscriber re-runs its own delta query. Measured at a
+	// small population (it is quadratic by design) and extrapolated
+	// linearly: per-subscriber cost times the full population.
+	{
+		sys, dd := newSys()
+		row.NaiveNs, _, _ = bench6Measure(cfg.Iters, func(i int) {
+			sys.Apply(dd[i%2])
+			for s := 0; s < cfg.NaiveSubs; s++ {
+				bench6Enumerate(sys, patterns[s%len(patterns)])
+			}
+		})
+	}
+	perSub := (row.NaiveNs - row.ApplyNs) / int64(cfg.NaiveSubs)
+	row.NaiveExtrapNs = row.ApplyNs + perSub*int64(cfg.Subscribers)
+
+	row.SharedVsStandalone = float64(row.SharedNs) / float64(row.StandaloneNs)
+	row.NaiveVsShared = float64(row.NaiveExtrapNs) / float64(row.SharedNs)
+	return row
+}
+
+func bench6Enumerate(sys *huge.System, q *huge.Query) huge.Result {
+	res, err := sys.Exec(context.Background(), q.Delta(),
+		huge.OnMatch(func([]huge.VertexID) {})).Wait()
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// bench6Patterns mirrors the benchmark's 8-pattern subscription workload.
+func bench6Patterns() []*huge.Query {
+	return []*huge.Query{
+		huge.Triangle(),
+		huge.NewQuery("p3", [][2]int{{0, 1}, {1, 2}}),
+		huge.NewQuery("p4", [][2]int{{0, 1}, {1, 2}, {2, 3}}),
+		huge.NewQuery("star3", [][2]int{{0, 1}, {0, 2}, {0, 3}}),
+		huge.NewQuery("square", [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}}),
+		huge.NewQuery("tailed-tri", [][2]int{{0, 1}, {1, 2}, {0, 2}, {2, 3}}),
+		huge.NewQuery("p5", [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}}),
+		huge.NewQuery("diamond", [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}, {0, 2}}),
+	}
+}
+
+// bench6Deltas builds a flip-flop delta pair so repeated applies oscillate
+// between two snapshots and every round pays comparable maintenance work.
+func bench6Deltas(g *huge.Graph, ops int, seed int64) [2]huge.Delta {
+	var d, inv huge.Delta
+	for _, u := range gen.UpdateStream(g, ops, seed) {
+		e := [2]huge.VertexID{u.U, u.V}
+		if u.Del {
+			d.Delete = append(d.Delete, e)
+			inv.Insert = append(inv.Insert, e)
+		} else {
+			d.Insert = append(d.Insert, e)
+			inv.Delete = append(inv.Delete, e)
+		}
+	}
+	return [2]huge.Delta{d, inv}
+}

@@ -63,6 +63,51 @@ func (m *Metrics) HitRate() float64 {
 	return float64(h) / float64(h+mi)
 }
 
+// Maintenance aggregates the standing-query maintenance counters of a
+// serving System across its lifetime: every Apply that found live
+// subscriptions runs one shared delta enumeration per distinct plan
+// fingerprint and fans the match deltas out, and these counters are how
+// the amortisation is observed — SharedRuns grows with distinct patterns
+// while ServedSubscribers grows with population, so the deduped work is
+// their difference. All counters are atomic; one Maintenance instance is
+// shared by every Apply of a System.
+type Maintenance struct {
+	Applies           atomic.Uint64 // Apply calls that ran subscription maintenance
+	SharedRuns        atomic.Uint64 // shared delta enumerations (one per live fingerprint group)
+	ServedSubscribers atomic.Uint64 // subscribers those runs served (cumulative)
+	DedupedRuns       atomic.Uint64 // per-subscriber runs avoided: served - shared, per group
+	FannedEvents      atomic.Uint64 // events delivered to subscriber channels
+	FannedMatches     atomic.Uint64 // match payloads delivered (new+dead, summed over subscribers)
+	ShedEvents        atomic.Uint64 // events dropped on a full buffer (shed policy)
+	Disconnected      atomic.Uint64 // subscriptions force-closed as slow consumers
+}
+
+// MaintenanceSummary is a point-in-time copy of the maintenance counters.
+type MaintenanceSummary struct {
+	Applies           uint64
+	SharedRuns        uint64
+	ServedSubscribers uint64
+	DedupedRuns       uint64
+	FannedEvents      uint64
+	FannedMatches     uint64
+	ShedEvents        uint64
+	Disconnected      uint64
+}
+
+// Snapshot copies the maintenance counters.
+func (m *Maintenance) Snapshot() MaintenanceSummary {
+	return MaintenanceSummary{
+		Applies:           m.Applies.Load(),
+		SharedRuns:        m.SharedRuns.Load(),
+		ServedSubscribers: m.ServedSubscribers.Load(),
+		DedupedRuns:       m.DedupedRuns.Load(),
+		FannedEvents:      m.FannedEvents.Load(),
+		FannedMatches:     m.FannedMatches.Load(),
+		ShedEvents:        m.ShedEvents.Load(),
+		Disconnected:      m.Disconnected.Load(),
+	}
+}
+
 // Summary is a point-in-time copy of all counters, for reports and tests.
 type Summary struct {
 	BytesPushed, BytesPulled uint64

@@ -1,0 +1,124 @@
+package plan
+
+// Standing-query subscriber registry: the serving layer registers each
+// long-lived subscription under its query's canonical fingerprint — the
+// same first component CacheKey builds plan-cache keys from — so
+// subscriptions dedupe exactly like cached plans do: every subscriber of
+// one pattern (including relabelled twins, which fingerprint identically)
+// lands in one group, and the post-Apply maintenance path runs ONE shared
+// delta enumeration per group instead of one per subscriber.
+//
+// The registry is generic over the subscriber handle type so this package
+// stays free of serving-layer imports.
+
+import "sync"
+
+// Registry is a thread-safe fingerprint-keyed registry of standing-query
+// subscribers. The zero value is not usable; construct with NewRegistry.
+type Registry[T any] struct {
+	mu     sync.RWMutex
+	nextID uint64
+	groups map[string]map[uint64]T
+	count  int
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry[T any]() *Registry[T] {
+	return &Registry[T]{groups: make(map[string]map[uint64]T)}
+}
+
+// Add registers v under fingerprint fp and returns its registry-unique ID
+// (never zero), used to Remove it later. When init is non-nil it runs with
+// the new ID while the registry write lock is held: no View pass can be in
+// flight during init, so state it captures (e.g. the graph epoch a
+// subscriber is current as of) is atomically ordered against every
+// maintenance pass — a pass either ran entirely before the registration or
+// observes the fully-initialised entry.
+func (r *Registry[T]) Add(fp string, v T, init func(id uint64)) uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.nextID++
+	id := r.nextID
+	g := r.groups[fp]
+	if g == nil {
+		g = make(map[uint64]T)
+		r.groups[fp] = g
+	}
+	g[id] = v
+	r.count++
+	if init != nil {
+		init(id)
+	}
+	return id
+}
+
+// Remove unregisters (fp, id). It reports whether the entry existed and
+// the number of subscribers remaining in the group (0 once the group is
+// gone — empty groups are deleted).
+func (r *Registry[T]) Remove(fp string, id uint64) (existed bool, remaining int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.groups[fp]
+	if g == nil {
+		return false, 0
+	}
+	if _, ok := g[id]; !ok {
+		return false, len(g)
+	}
+	delete(g, id)
+	r.count--
+	if len(g) == 0 {
+		delete(r.groups, fp)
+		return true, 0
+	}
+	return true, len(g)
+}
+
+// Fingerprints returns the fingerprints with at least one live subscriber,
+// in unspecified order — the maintenance path's group work-list.
+func (r *Registry[T]) Fingerprints() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	fps := make([]string, 0, len(r.groups))
+	for fp := range r.groups {
+		fps = append(fps, fp)
+	}
+	return fps
+}
+
+// View invokes fn with fp's live membership under the registry's read
+// lock: the map must be treated as read-only and must not escape fn.
+// Holding the lock across fn means no subscriber can be added to or
+// removed from any group while fn runs — an Unsubscribe racing a
+// maintenance pass blocks until the pass's View returns, which is what
+// makes "never send on a closed subscription channel" a structural
+// guarantee rather than a per-send check. fn is not called for an empty
+// group.
+func (r *Registry[T]) View(fp string, fn func(members map[uint64]T)) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if g := r.groups[fp]; len(g) > 0 {
+		fn(g)
+	}
+}
+
+// GroupSize returns the number of live subscribers under fp.
+func (r *Registry[T]) GroupSize(fp string) int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.groups[fp])
+}
+
+// Len returns the total number of live subscribers.
+func (r *Registry[T]) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.count
+}
+
+// NumGroups returns the number of distinct fingerprints with subscribers.
+func (r *Registry[T]) NumGroups() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.groups)
+}

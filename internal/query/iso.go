@@ -1,0 +1,29 @@
+package query
+
+// Cross-numbering isomorphism recovery, for serving layers that fan one
+// shared enumeration out to many equivalent queries: two queries with equal
+// canonical fingerprints are the same pattern under a vertex relabelling,
+// and the canonical permutations that realise their (identical) canonical
+// codes compose into an explicit isomorphism between them. A standing-query
+// registry keyed on fingerprints uses this to run one delta enumeration per
+// pattern and re-index the matches for every subscriber numbering.
+
+// IsomorphismTo returns the vertex mapping m from q's numbering onto o's
+// (m[v] is the o-vertex corresponding to q-vertex v), provided the two
+// queries share a canonical form — equal Fingerprints. The mapping
+// preserves adjacency and every vertex/edge label constraint, because both
+// participate in the canonical code. ok is false when the queries are not
+// the same canonical pattern; when q and o are numbered identically the
+// mapping is the identity.
+func (q *Query) IsomorphismTo(o *Query) (m []int, ok bool) {
+	if q.Fingerprint() != o.Fingerprint() {
+		return nil, false
+	}
+	_, pq := q.canonicalCode() // pq[i] = q-vertex at canonical position i
+	_, po := o.canonicalCode()
+	m = make([]int, q.n)
+	for i, v := range pq {
+		m[v] = po[i]
+	}
+	return m, true
+}
