@@ -10,6 +10,7 @@ package repro
 import (
 	"context"
 	"fmt"
+	"sync"
 	"testing"
 	"time"
 
@@ -663,6 +664,71 @@ func BenchmarkSubscribeFanout(b *testing.B) {
 			for s := 0; s < 64; s++ {
 				enumerate(b, sys, patterns[s%len(patterns)])
 			}
+		}
+	})
+}
+
+// BenchmarkGroupByVsEnumerate: engine-side aggregation (the BENCH_7
+// experiment at benchmark scale) — grouped counting inside the compressed
+// counting path against the two brackets that define it: CountOnly (the
+// floor it must stay within ~2x of on peak tuples) and a client-side
+// OnMatch enumeration loop building the same per-community map (the
+// ceiling it should undercut by >=10x, since enumeration materialises
+// every match the grouped run never builds).
+func BenchmarkGroupByVsEnumerate(b *testing.B) {
+	g := gen.CommunityLabels(gen.PowerLaw(3000, 5, 23), gen.DefaultCommunities, 29)
+	sys := huge.NewSystem(g, huge.Options{Machines: 4, Workers: 2})
+	ctx := context.Background()
+	q := huge.NewQuery("star3", [][2]int{{0, 1}, {0, 2}, {0, 3}})
+
+	report := func(b *testing.B, res huge.Result) {
+		b.Helper()
+		b.ReportMetric(float64(res.Metrics.PeakTuples), "peakTuples")
+		b.ReportMetric(float64(res.Count), "results")
+	}
+	b.Run("Count", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := sys.Exec(ctx, q, huge.CountOnly()).Wait()
+			if err != nil {
+				b.Fatal(err)
+			}
+			report(b, res)
+		}
+	})
+	b.Run("GroupBy", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := sys.Exec(ctx, q, huge.GroupBy(huge.VertexLabelOf(0))).Wait()
+			if err != nil {
+				b.Fatal(err)
+			}
+			report(b, res)
+			b.ReportMetric(float64(len(res.Groups)), "groups")
+		}
+	})
+	b.Run("TopGroups", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := sys.Exec(ctx, q,
+				huge.GroupBy(huge.VertexLabelOf(0)), huge.TopGroups(10)).Wait()
+			if err != nil {
+				b.Fatal(err)
+			}
+			report(b, res)
+		}
+	})
+	b.Run("Enumerate", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var mu sync.Mutex
+			counts := map[huge.LabelID]uint64{}
+			res, err := sys.Exec(ctx, q, huge.OnMatch(func(m []huge.VertexID) {
+				l := g.Label(m[0])
+				mu.Lock()
+				counts[l]++
+				mu.Unlock()
+			})).Wait()
+			if err != nil {
+				b.Fatal(err)
+			}
+			report(b, res)
 		}
 	})
 }

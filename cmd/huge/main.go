@@ -23,6 +23,13 @@
 //	huge -elabels 8 -pattern "(a)-[2]-(b), (b)-[2]-(c), (c)-[2]-(a)"  # edge labels
 //	huge -input go.txt -query triangle -updates go.txt.updates -update-batch 200
 //	huge -input go.txt -query triangle -updates go.txt.updates -subscribe 1000
+//	huge -labels 16 -query triangle -group vlabel:0 -topgroups 10 -hist 8
+//
+// With -group the run is an engine-side GROUP BY: matches are counted per
+// key (a data vertex, a vertex label, or an edge label) inside the
+// compressed counting path, never materialised, and the per-group table is
+// printed after the count. -topgroups keeps the k best groups, -hist adds
+// a log2 histogram of the group counts.
 package main
 
 import (
@@ -54,6 +61,9 @@ func main() {
 		topk     = flag.Int("k", 0, "stop after k matches (engine-side early termination) and print them; 0 = count all")
 		repeat   = flag.Int("repeat", 1, "run the query N times through one session (plan cached after run 1)")
 		showPlan = flag.Bool("show-plan", false, "print the execution plan before running")
+		groupArg = flag.String("group", "", "engine-side GROUP BY key: v:<qv> (data vertex), vlabel:<qv> (vertex label) or elabel:<a>,<b> (edge label)")
+		histArg  = flag.Int("hist", 0, "with -group: also print a log2 histogram of the group counts over N buckets")
+		topgArg  = flag.Int("topgroups", 0, "with -group: keep only the k highest-counted groups")
 		updates  = flag.String("updates", "", "replay an insert/delete stream file (\"+ u v\" / \"- u v\" lines) with delta-mode maintenance")
 		batch    = flag.Int("update-batch", 100, "operations applied per delta batch during -updates replay")
 		subCount = flag.Int("subscribe", 0, "register N standing subscriptions served from one shared delta run per -updates batch")
@@ -144,6 +154,26 @@ func main() {
 		fmt.Fprintln(os.Stderr, "-k cannot be combined with -updates (replay maintains the full count)")
 		os.Exit(2)
 	}
+	var groupKey huge.GroupKey
+	if *groupArg != "" {
+		var err error
+		groupKey, err = parseGroupKey(*groupArg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if *topk > 0 {
+			fmt.Fprintln(os.Stderr, "-k streams matches; a grouped run never materialises them (drop one)")
+			os.Exit(2)
+		}
+		if *updates != "" {
+			fmt.Fprintln(os.Stderr, "-group cannot be combined with -updates (replay maintains the ungrouped count)")
+			os.Exit(2)
+		}
+	} else if *histArg > 0 || *topgArg > 0 {
+		fmt.Fprintln(os.Stderr, "-hist and -topgroups require -group")
+		os.Exit(2)
+	}
 	var res huge.Result
 	var err error
 	for i := 0; i < *repeat; i++ {
@@ -153,14 +183,25 @@ func main() {
 		if p != nil {
 			opts = append(opts, huge.WithPlan(p))
 		}
-		if *topk > 0 {
+		switch {
+		case *topk > 0:
 			// Top-k: stream the first k matches off the engine and stop it.
 			st := sess.Exec(ctx, q, append(opts, huge.Limit(*topk))...)
 			for m := range st.Matches() {
 				fmt.Printf("  match %v\n", m)
 			}
 			res, err = st.Wait()
-		} else {
+		case *groupArg != "":
+			// Grouped runs are counting runs; the group table rides Result.
+			opts = append(opts, huge.GroupBy(groupKey))
+			if *histArg > 0 {
+				opts = append(opts, huge.Histogram(*histArg))
+			}
+			if *topgArg > 0 {
+				opts = append(opts, huge.TopGroups(*topgArg))
+			}
+			res, err = sess.Exec(ctx, q, opts...).Wait()
+		default:
 			res, err = sess.Exec(ctx, q, append(opts, huge.CountOnly())...).Wait()
 		}
 		if err != nil {
@@ -175,6 +216,9 @@ func main() {
 			cachedNote += fmt.Sprintf(" (stopped at k=%d)", *topk)
 		}
 		fmt.Printf("query %s: %d matches in %v%s\n", q.Name(), res.Count, res.Elapsed, cachedNote)
+	}
+	if *groupArg != "" {
+		printGroups(res, *groupArg, *topgArg, *histArg)
 	}
 	if *subCount > 0 && *updates == "" {
 		fmt.Fprintln(os.Stderr, "-subscribe requires -updates (subscriptions are served during replay)")
@@ -368,6 +412,63 @@ func maxU(a, b uint64) uint64 {
 		return a
 	}
 	return b
+}
+
+// parseGroupKey parses a -group key: "v:0", "vlabel:2" or "elabel:0,1".
+func parseGroupKey(s string) (huge.GroupKey, error) {
+	kind, rest, ok := strings.Cut(s, ":")
+	bad := func() (huge.GroupKey, error) {
+		return huge.GroupKey{}, fmt.Errorf("-group %q: want v:<qv>, vlabel:<qv> or elabel:<a>,<b>", s)
+	}
+	if !ok {
+		return bad()
+	}
+	switch kind {
+	case "v", "vlabel":
+		qv, err := strconv.Atoi(rest)
+		if err != nil {
+			return bad()
+		}
+		if kind == "v" {
+			return huge.VertexVar(qv), nil
+		}
+		return huge.VertexLabelOf(qv), nil
+	case "elabel":
+		as, bs, ok := strings.Cut(rest, ",")
+		if !ok {
+			return bad()
+		}
+		a, errA := strconv.Atoi(strings.TrimSpace(as))
+		b, errB := strconv.Atoi(strings.TrimSpace(bs))
+		if errA != nil || errB != nil {
+			return bad()
+		}
+		return huge.EdgeLabelOf(a, b), nil
+	}
+	return bad()
+}
+
+// printGroups renders the grouped run's table (and optional histogram):
+// Result.Groups is already selected and ordered — ranked when -topgroups
+// asked for the heap selection, key-ascending otherwise.
+func printGroups(res huge.Result, keyDesc string, topK, hist int) {
+	heading := fmt.Sprintf("groups by %s: %d", keyDesc, len(res.Groups))
+	if topK > 0 {
+		heading += fmt.Sprintf(" (top %d by count)", topK)
+	}
+	fmt.Println(heading)
+	for _, g := range res.Groups {
+		fmt.Printf("  key %-8d %d\n", g.Key, g.Count)
+	}
+	if hist > 0 {
+		fmt.Printf("histogram (log2 buckets over all groups):\n")
+		for i, n := range res.Hist {
+			if n == 0 {
+				continue
+			}
+			fmt.Printf("  [2^%d, 2^%d): %d groups\n", i, i+1, n)
+		}
+	}
 }
 
 // parseVertexLabels parses "-vlabels 2,*,2,*" into per-vertex constraints.

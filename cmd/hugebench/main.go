@@ -8,12 +8,12 @@
 //	hugebench -exp fig6 -queries q1,q2 -datasets EU,LJ
 //
 // Experiments: table1 fig5 fig6 table4 fig7 fig8 table5 fig9 fig10 table6
-// fig11 all — plus bench6, the standing-query fan-out benchmark, which also
-// writes its machine-readable results to -out (default BENCH_6.json).
+// fig11 all — plus bench6 (the standing-query fan-out benchmark) and bench7
+// (engine-side GROUP BY vs client-side enumeration), which also write their
+// machine-readable results to -out (default BENCH_6.json / BENCH_7.json).
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -33,7 +33,7 @@ func main() {
 		queries  = flag.String("queries", "", "fig6: comma-separated queries (default q1..q6)")
 		datasets = flag.String("datasets", "", "fig6: comma-separated datasets (default EU,LJ,OR,UK,FS)")
 		subs     = flag.Int("subs", 100_000, "bench6: shared-mode subscriber population")
-		out      = flag.String("out", "BENCH_6.json", "bench6: output JSON path")
+		out      = flag.String("out", "", "bench6/bench7: output JSON path (default BENCH_<n>.json)")
 	)
 	flag.Parse()
 
@@ -88,17 +88,17 @@ func main() {
 			cfg.Iters = 2
 		}
 		rep := exp.Bench6(cfg)
-		data, err := json.MarshalIndent(rep, "", "  ")
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		fmt.Printf("wrote %s\n", *out)
 		tables = []exp.Table{rep.Table()}
+		writeReport(orDefault(*out, "BENCH_6.json"), rep)
+	case "bench7":
+		cfg := exp.DefaultBench7Config()
+		if *tiny {
+			cfg.Scales = []int{1}
+			cfg.Iters = 2
+		}
+		rep := exp.Bench7(cfg)
+		tables = []exp.Table{rep.Table()}
+		writeReport(orDefault(*out, "BENCH_7.json"), rep)
 	case "all":
 		e.All(qs, ds, func(t exp.Table) { fmt.Println(t.String()) })
 		return
@@ -109,4 +109,21 @@ func main() {
 	for _, t := range tables {
 		fmt.Println(t.String())
 	}
+}
+
+func orDefault(s, def string) string {
+	if s == "" {
+		return def
+	}
+	return s
+}
+
+// writeReport serialises a benchmark report through the shared exp JSON
+// writer, so every BENCH_*.json artifact encodes identically.
+func writeReport(path string, rep any) {
+	if err := exp.WriteJSON(path, rep); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", path)
 }

@@ -11,6 +11,13 @@
 //	hugegen -dataset GO -out go.txt -updates 1000      # also writes go.txt.updates
 //	hugegen -dataset GO -out go.txt -updates 1000 -updates-out stream.txt
 //	hugegen -dataset GO -elabels 8 -out go.txt -updates 1000   # edge-labelled twin
+//	hugegen -dataset LJ -communities 64 -out lj-comm.txt       # group-by twin
+//
+// -communities attaches community-style vertex labels: a mildly skewed
+// Zipf over N communities (a few large ones, a long mid-sized tail) rather
+// than -vlabels' steep selectivity-oriented skew — the realistic "groups"
+// axis for GROUP BY workloads (`huge -group vlabel:<v>`). It composes with
+// -elabels; it is mutually exclusive with -vlabels.
 package main
 
 import (
@@ -29,16 +36,26 @@ func main() {
 		scale      = flag.Int("scale", 1, "scale multiplier")
 		out        = flag.String("out", "", "output file (default stdout)")
 		vlabels    = flag.Int("vlabels", 0, "attach N Zipf-distributed vertex labels (0 = unlabelled)")
+		comms      = flag.Int("communities", 0, "attach N community-style vertex labels (mild skew, sized for group-by workloads; 0 = off)")
 		elabels    = flag.Int("elabels", 0, "attach N Zipf-distributed edge labels (0 = unlabelled)")
 		updates    = flag.Int("updates", 0, "also emit a random insert/delete stream of N operations (with -elabels: labelled inserts + relabels)")
 		updatesOut = flag.String("updates-out", "", "update-stream file (default <out>.updates; required with -updates when writing to stdout)")
 		seed       = flag.Int64("seed", 1, "update-stream seed")
 	)
 	flag.Parse()
+	if *comms > 0 && *vlabels > 0 {
+		fmt.Fprintln(os.Stderr, "-communities and -vlabels both assign vertex labels; pick one")
+		os.Exit(2)
+	}
 	var g *graph.Graph
 	switch {
 	case *elabels > 0:
 		g = gen.EdgeLabeledByName(*dataset, *scale, *elabels, *vlabels)
+		if *comms > 0 {
+			g = gen.CommunityLabels(g, *comms, *seed+2)
+		}
+	case *comms > 0:
+		g = gen.CommunityLabeledByName(*dataset, *scale, *comms)
 	case *vlabels > 0:
 		g = gen.LabeledByName(*dataset, *scale, *vlabels)
 	default:

@@ -5,7 +5,10 @@ package repro
 // backward compatibility; all first-party code routes through Exec. This
 // guard — run as part of `go test`, next to `go vet` in CI — fails if any
 // non-test code outside huge/ calls one of them, so the wrappers can't
-// creep back into the codebase.
+// creep back into the codebase. New Exec capabilities (CountOnly, Limit,
+// OnMatch, and the aggregation options GroupBy/Histogram/TopGroups) are
+// options, not new wrapper methods — anything that would grow this list
+// should be an Option instead.
 
 import (
 	"fmt"

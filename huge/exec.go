@@ -24,6 +24,7 @@ import (
 	"iter"
 	"time"
 
+	"repro/internal/dataflow"
 	"repro/internal/engine"
 )
 
@@ -43,7 +44,10 @@ type execOptions struct {
 	countOnly bool
 	timeout   time.Duration
 	onMatch   func(match []VertexID)
-	optErr    error // first invalid option, reported by the Stream
+	group     *dataflow.GroupSpec // GroupBy key (nil = plain run)
+	hist      int                 // Histogram buckets (0 = none)
+	topGroups int                 // TopGroups k (0 = full table)
+	optErr    error               // first invalid option, reported by the Stream
 }
 
 func (o *execOptions) fail(err error) {
@@ -232,6 +236,16 @@ func (s *System) exec(ctx context.Context, sn *snapshot, q *Query, onDone func(R
 	if eo.optErr == nil && eo.countOnly && eo.onMatch != nil {
 		eo.optErr = errors.New("huge: CountOnly and OnMatch are mutually exclusive")
 	}
+	if eo.optErr == nil && eo.group == nil && (eo.hist > 0 || eo.topGroups > 0) {
+		eo.optErr = errors.New("huge: Histogram and TopGroups require GroupBy")
+	}
+	if eo.optErr == nil && eo.group != nil {
+		if eo.onMatch != nil {
+			eo.optErr = errGroupWithOnMatch
+		} else {
+			eo.optErr = validateGroup(eo.group, q)
+		}
+	}
 	if eo.optErr != nil {
 		if onDone != nil {
 			onDone(Result{}, eo.optErr)
@@ -249,7 +263,9 @@ func (s *System) exec(ctx context.Context, sn *snapshot, q *Query, onDone func(R
 		runCtx, cancel = context.WithCancel(ctx)
 	}
 
-	streaming := !eo.countOnly && eo.onMatch == nil
+	// A grouped run is a counting run: like CountOnly, no match reaches the
+	// Stream (the engine's compressed path never builds them).
+	streaming := !eo.countOnly && eo.onMatch == nil && eo.group == nil
 	buf := streamBufferRows
 	if eo.limit >= 0 && eo.limit < buf {
 		buf = eo.limit
@@ -296,6 +312,10 @@ func (s *System) exec(ctx context.Context, sn *snapshot, q *Query, onDone func(R
 // execRun resolves the plan (cache-backed unless WithPlan) and executes:
 // the single run path behind every public entry point.
 func (s *System) execRun(ctx context.Context, sn *snapshot, q *Query, eo *execOptions, fn func([]VertexID), budget *engine.Budget) (Result, error) {
+	var gr *groupRun
+	if eo.group != nil {
+		gr = newGroupRun(eo, q.IsDelta())
+	}
 	if q.IsDelta() {
 		if eo.plan != nil {
 			// A hand-picked plan enumerates the full result; silently
@@ -304,7 +324,7 @@ func (s *System) execRun(ctx context.Context, sn *snapshot, q *Query, eo *execOp
 			// difference rewriting.
 			return Result{}, errors.New("huge: delta-mode queries use the difference rewriting; Exec them without WithPlan")
 		}
-		return s.runDelta(ctx, sn, q, fn, budget)
+		return s.runDelta(ctx, sn, q, fn, budget, gr)
 	}
 	p := eo.plan
 	var cached bool
@@ -318,11 +338,16 @@ func (s *System) execRun(ctx context.Context, sn *snapshot, q *Query, eo *execOp
 		// magnitude for small k. (Top-k callers ask for small k; a caller
 		// who wants the cost-optimal plan anyway can pass WithPlan.) Both
 		// families are memoised under their own cache keys.
+		//
+		// A grouped run makes the same choice for a different reason: the
+		// wco pipeline's final operator is always a plain PULL-EXTEND before
+		// the sink, so the compressed counting path — where grouped counts
+		// accumulate without materialising matches — always applies.
 		family := "optimal"
-		if budget != nil {
+		if budget != nil || gr != nil {
 			family = "wco"
 		}
-		if fn == nil {
+		if fn == nil && gr == nil {
 			// Counting: any isomorphic cached plan serves.
 			p, cached = s.planFor(sn, q, family)
 		} else {
@@ -330,14 +355,16 @@ func (s *System) execRun(ctx context.Context, sn *snapshot, q *Query, eo *execOp
 			// verbatim (matches are indexed by query vertex): a cached
 			// relabelled twin is rejected and replaced by a plan built from
 			// q — which still serves every counting caller, since the
-			// fingerprint is unchanged.
+			// fingerprint is unchanged. A grouped run demands the same: its
+			// key references q's vertex numbering, so a relabelled twin
+			// would group by the wrong vertex.
 			qfp := q.Fingerprint()
 			p, cached = s.cachedPlan(s.planKey(sn, q, family),
 				func(p *Plan) bool { return p.Q.Fingerprint() == qfp && p.Q.SameNumbering(q) },
 				func() *Plan { return s.buildPlan(sn, q, family) })
 		}
 	}
-	res, err := s.runPlan(ctx, sn, p, fn, budget)
+	res, err := s.runPlan(ctx, sn, p, fn, budget, gr)
 	if eo.plan == nil {
 		res.PlanCached = cached
 	}

@@ -1,0 +1,264 @@
+package huge
+
+// Engine-side aggregation: GroupBy / Histogram / TopGroups turn Exec into a
+// one-call grouped analytics engine. A grouped run is a *counting* run —
+// matches are never materialised when the plan allows compression — whose
+// sink tallies per-group counts instead of a single total: worker-local
+// group tables accumulate inside the compressed counting path and merge
+// additively at the sink, the grouped analogue of how Limit's match budget
+// is claimed. "Count triangles per community label", "motif counts per hub
+// vertex", "top-10 edge labels by motif frequency" are one Exec call at
+// CountOnly cost, not a client-side enumeration loop.
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"repro/internal/dataflow"
+	"repro/internal/engine"
+)
+
+// GroupKey selects the grouping dimension of a GroupBy run. Build one with
+// VertexVar, VertexLabelOf or EdgeLabelOf.
+type GroupKey struct {
+	spec dataflow.GroupSpec
+	err  error
+}
+
+// VertexVar groups matches by the data vertex matched to query vertex v
+// (0-based, in the query's own vertex numbering): "how many triangles does
+// each hub close?".
+func VertexVar(v int) GroupKey {
+	if v < 0 {
+		return GroupKey{err: fmt.Errorf("huge: VertexVar(%d): negative query vertex", v)}
+	}
+	return GroupKey{spec: dataflow.GroupSpec{Kind: dataflow.GroupByVertex, QV: v}}
+}
+
+// VertexLabelOf groups matches by the data label of the vertex matched to
+// query vertex v: "count matches per community label". On a
+// vertex-unlabelled graph every match lands in group 0.
+func VertexLabelOf(v int) GroupKey {
+	if v < 0 {
+		return GroupKey{err: fmt.Errorf("huge: VertexLabelOf(%d): negative query vertex", v)}
+	}
+	return GroupKey{spec: dataflow.GroupSpec{Kind: dataflow.GroupByVertexLabel, QV: v}}
+}
+
+// EdgeLabelOf groups matches by the data label of the edge matched to query
+// edge (a, b), which must be an edge of the query. On an edge-unlabelled
+// graph every match lands in group 0.
+func EdgeLabelOf(a, b int) GroupKey {
+	if a < 0 || b < 0 {
+		return GroupKey{err: fmt.Errorf("huge: EdgeLabelOf(%d,%d): negative query vertex", a, b)}
+	}
+	return GroupKey{spec: dataflow.GroupSpec{Kind: dataflow.GroupByEdgeLabel, QA: a, QB: b}}
+}
+
+// GroupBy turns the run into a grouped counting run: Result.Groups reports
+// the per-group match counts, keyed by k, and Result.Count their total.
+// Grouping is computed engine-side — inside the compressed counting path
+// when it applies — so no match is materialised; consequently GroupBy is
+// mutually exclusive with OnMatch and with match iteration (the Stream's
+// iterator reports exhaustion immediately, like CountOnly; use Stream.Wait).
+//
+// Group keys are evaluated on the canonical symmetry-broken assignment the
+// engine enumerates, so a pattern with automorphisms counts every match
+// once, at its canonical numbering.
+//
+// Under Limit(k) the budget caps the total matches counted and the groups
+// see exactly the granted share: sum over Result.Groups == min(k, total).
+// On a Query.Delta() view the run reports per-group created and vanished
+// counts (GroupCount.Count / GroupCount.Dead), maintaining the per-group
+// identity full(t)[g] + new[g] − dead[g] == full(t+1)[g].
+func GroupBy(k GroupKey) Option {
+	return func(o *execOptions) {
+		if k.err != nil {
+			o.fail(k.err)
+			return
+		}
+		spec := k.spec
+		o.group = &spec
+	}
+}
+
+// Histogram asks (in addition to Result.Groups) for a log2 histogram of the
+// per-group counts in Result.Hist: bucket i tallies the groups whose count
+// lies in [2^i, 2^(i+1)), with the last bucket absorbing any overflow —
+// "how skewed are my communities' motif counts?" in one call. buckets must
+// be positive; requires GroupBy. The histogram is computed over all groups,
+// before any TopGroups truncation, and only counts the new-match side on a
+// delta view.
+func Histogram(buckets int) Option {
+	return func(o *execOptions) {
+		if buckets <= 0 {
+			o.fail(fmt.Errorf("huge: Histogram(%d): buckets must be positive", buckets))
+			return
+		}
+		o.hist = buckets
+	}
+}
+
+// TopGroups keeps only the k highest-counted groups in Result.Groups
+// (selected by a heap at merge time, ordered by descending count, ties by
+// ascending key) instead of the full table in key order: "top-10 labels by
+// motif frequency". k must be positive; requires GroupBy. Result.Count and
+// Result.Hist still reflect every group.
+func TopGroups(k int) Option {
+	return func(o *execOptions) {
+		if k <= 0 {
+			o.fail(fmt.Errorf("huge: TopGroups(%d): k must be positive", k))
+			return
+		}
+		o.topGroups = k
+	}
+}
+
+// GroupCount is one group's tally in Result.Groups. Key is the group key —
+// a VertexID for VertexVar, a LabelID for VertexLabelOf/EdgeLabelOf,
+// widened to uint64. For a Query.Delta() view, Count is the group's created
+// matches and Dead its vanished ones; otherwise Dead is zero.
+type GroupCount struct {
+	Key   uint64
+	Count uint64
+	Dead  uint64
+}
+
+// validateGroup checks a group spec against the query it will run on.
+func validateGroup(spec *dataflow.GroupSpec, q *Query) error {
+	n := q.NumVertices()
+	switch spec.Kind {
+	case dataflow.GroupByVertex, dataflow.GroupByVertexLabel:
+		if spec.QV >= n {
+			return fmt.Errorf("huge: GroupBy key vertex %d out of range (query has %d vertices)", spec.QV, n)
+		}
+	case dataflow.GroupByEdgeLabel:
+		if spec.QA >= n || spec.QB >= n || !q.HasEdge(spec.QA, spec.QB) {
+			return fmt.Errorf("huge: EdgeLabelOf(%d,%d) is not an edge of the query", spec.QA, spec.QB)
+		}
+	}
+	return nil
+}
+
+// groupRun is the per-run aggregation state of a grouped Exec: the shared
+// engine aggregates (one per delta side) plus the presentation knobs
+// resolved into Result.Groups/Result.Hist by finalize.
+type groupRun struct {
+	spec      dataflow.GroupSpec
+	agg       *engine.GroupAgg // created matches (or all matches, non-delta)
+	dead      *engine.GroupAgg // vanished matches of a delta view (nil otherwise)
+	hist      int
+	topGroups int
+}
+
+func newGroupRun(eo *execOptions, isDelta bool) *groupRun {
+	gr := &groupRun{spec: *eo.group, agg: engine.NewGroupAgg(), hist: eo.hist, topGroups: eo.topGroups}
+	if isDelta {
+		gr.dead = engine.NewGroupAgg()
+	}
+	return gr
+}
+
+// finalize resolves the merged aggregates into the Result fields: the group
+// table (full, key-ascending — or the TopGroups heap selection), and the
+// log2 histogram over all (pre-truncation) counts.
+func (gr *groupRun) finalize() (groups []GroupCount, hist []uint64) {
+	counts := gr.agg.Counts()
+	var deads map[uint64]uint64
+	if gr.dead != nil {
+		deads = gr.dead.Counts()
+	}
+	groups = make([]GroupCount, 0, len(counts)+len(deads))
+	for k, c := range counts {
+		groups = append(groups, GroupCount{Key: k, Count: c, Dead: deads[k]})
+	}
+	for k, d := range deads {
+		if _, ok := counts[k]; !ok {
+			groups = append(groups, GroupCount{Key: k, Count: 0, Dead: d})
+		}
+	}
+	if gr.hist > 0 {
+		hist = make([]uint64, gr.hist)
+		for _, g := range groups {
+			if g.Count == 0 {
+				continue
+			}
+			b := bits.Len64(g.Count) - 1 // floor(log2)
+			if b >= gr.hist {
+				b = gr.hist - 1
+			}
+			hist[b]++
+		}
+	}
+	switch {
+	case gr.topGroups > 0 && gr.topGroups < len(groups):
+		groups = selectTopGroups(groups, gr.topGroups)
+	case gr.topGroups > 0:
+		// k covers every group: no selection, but keep the ranked order the
+		// TopGroups contract promises.
+		sort.Slice(groups, func(i, j int) bool { return groupLess(groups[i], groups[j]) })
+	default:
+		sort.Slice(groups, func(i, j int) bool { return groups[i].Key < groups[j].Key })
+	}
+	return groups, hist
+}
+
+// groupLess orders groups for top-k selection: higher count first, ties by
+// ascending key.
+func groupLess(a, b GroupCount) bool {
+	if a.Count != b.Count {
+		return a.Count > b.Count
+	}
+	return a.Key < b.Key
+}
+
+// selectTopGroups heap-selects the k best groups in O(n log k): a min-heap
+// of size k keyed by the *inverse* order holds the current candidates, its
+// root the weakest; every stronger group displaces it. The result is then
+// sorted best-first.
+func selectTopGroups(groups []GroupCount, k int) []GroupCount {
+	heap := make([]GroupCount, 0, k)
+	// siftDown restores the heap property from i: the root is the weakest
+	// candidate (groupLess inverted).
+	siftDown := func(i int) {
+		for {
+			l, r := 2*i+1, 2*i+2
+			weakest := i
+			if l < len(heap) && groupLess(heap[weakest], heap[l]) {
+				weakest = l
+			}
+			if r < len(heap) && groupLess(heap[weakest], heap[r]) {
+				weakest = r
+			}
+			if weakest == i {
+				return
+			}
+			heap[i], heap[weakest] = heap[weakest], heap[i]
+			i = weakest
+		}
+	}
+	for _, g := range groups {
+		if len(heap) < k {
+			heap = append(heap, g)
+			for i := len(heap) - 1; i > 0; {
+				p := (i - 1) / 2
+				if !groupLess(heap[p], heap[i]) {
+					break
+				}
+				heap[i], heap[p] = heap[p], heap[i]
+				i = p
+			}
+			continue
+		}
+		if groupLess(g, heap[0]) {
+			heap[0] = g
+			siftDown(0)
+		}
+	}
+	sort.Slice(heap, func(i, j int) bool { return groupLess(heap[i], heap[j]) })
+	return heap
+}
+
+var errGroupWithOnMatch = errors.New("huge: GroupBy is mutually exclusive with OnMatch (grouped runs never materialise matches)")

@@ -13,11 +13,24 @@
 // Exec is the single query entry point: it takes composable options —
 // Limit(k) for engine-side top-k early termination, CountOnly for the
 // compressed counting path, WithPlan for a hand-picked plan, Timeout,
-// OnMatch for callback delivery — and returns a *Stream that is both a
-// pull iterator over the matches (Next / Matches) and the carrier of the
+// OnMatch for callback delivery, GroupBy/Histogram/TopGroups for
+// engine-side aggregation — and returns a *Stream that is both a pull
+// iterator over the matches (Next / Matches) and the carrier of the
 // run's Result (Wait). The historical entry points (Run, RunConcurrent,
 // RunPlan, RunPlanContext, Enumerate, EnumerateContext) remain as thin
 // deprecated wrappers over Exec.
+//
+// GroupBy(key) turns a run into a grouped counting run: matches are
+// tallied per group key — a query vertex's matched data vertex
+// (VertexVar), its label (VertexLabelOf), or a matched edge's label
+// (EdgeLabelOf) — inside the compressed counting path, so grouped
+// counts cost what CountOnly costs and never materialise a match.
+// Workers accumulate into pooled local tables that merge additively at
+// the sink; TopGroups(k) keeps the k largest groups (ranked), and
+// Histogram(b) adds a log2 profile over all group sizes. Grouping
+// composes with Limit (groups see exactly the granted share) and with
+// Delta views (per-group created/vanished counts, Result.Groups[i].Dead,
+// preserving the per-group delta identity).
 //
 // A System is a concurrent query service: every run executes in its own
 // isolated execution context (metrics, caches, join buffers), so any
@@ -567,6 +580,16 @@ type Result struct {
 	Delta     int64
 	DeltaNew  uint64
 	DeltaDead uint64
+	// Groups is the per-group match table of a GroupBy run: the full table
+	// in ascending key order, or the TopGroups(k) selection in descending
+	// count order. Nil without GroupBy. On a delta view each entry carries
+	// the group's created (Count) and vanished (Dead) matches, so
+	// full(t)[g] + Count − Dead == full(t+1)[g] per group.
+	Groups []GroupCount
+	// Hist is the Histogram(buckets) log2 histogram over per-group counts:
+	// Hist[i] tallies groups whose count is in [2^i, 2^(i+1)), the last
+	// bucket absorbing overflow. Nil without Histogram.
+	Hist []uint64
 }
 
 // Run counts q's matches with the optimal plan. Safe for concurrent use;
@@ -669,25 +692,38 @@ func reindexed(df *dataflow.Dataflow, fn func([]VertexID)) func([]VertexID) {
 	}
 }
 
-func (s *System) runPlan(ctx context.Context, sn *snapshot, p *Plan, fn func([]VertexID), budget *engine.Budget) (Result, error) {
+func (s *System) runPlan(ctx context.Context, sn *snapshot, p *Plan, fn func([]VertexID), budget *engine.Budget, gr *groupRun) (Result, error) {
 	df, err := plan.Translate(p)
 	if err != nil {
 		return Result{}, err
+	}
+	cfg := s.engineConfig(reindexed(df, fn), budget)
+	if gr != nil {
+		// Translate built df fresh for this run, so marking its sink for
+		// grouped counting never leaks into the shared (cached) plan.
+		if err := plan.AttachGroup(df, gr.spec); err != nil {
+			return Result{}, err
+		}
+		cfg.Groups = gr.agg
 	}
 	// Per-run execution context: metrics and adjacency caches private to
 	// this query, so concurrent runs never observe each other.
 	ex := sn.cl.NewExec()
 	start := time.Now()
-	count, err := engine.Run(ctx, ex, df, s.engineConfig(reindexed(df, fn), budget))
+	count, err := engine.Run(ctx, ex, df, cfg)
 	if err != nil {
 		return Result{}, err
 	}
-	return Result{
+	res := Result{
 		Count:   count,
 		Elapsed: time.Since(start),
 		Metrics: ex.Metrics.Snapshot(),
 		Plan:    p,
-	}, nil
+	}
+	if gr != nil {
+		res.Groups, res.Hist = gr.finalize()
+	}
+	return res, nil
 }
 
 // runDelta executes a Query.Delta() view on one snapshot: the difference
@@ -705,12 +741,22 @@ func (s *System) runPlan(ctx context.Context, sn *snapshot, p *Plan, fn func([]V
 // The vanished-match side is skipped under a limit — it enumerates the
 // previous snapshot in full, which is precisely the work a top-k caller
 // asked to avoid — so DeltaDead and Delta stay zero then.
-func (s *System) runDelta(ctx context.Context, sn *snapshot, q *Query, fn func([]VertexID), budget *engine.Budget) (Result, error) {
+func (s *System) runDelta(ctx context.Context, sn *snapshot, q *Query, fn func([]VertexID), budget *engine.Budget, gr *groupRun) (Result, error) {
 	flows, err := plan.TranslateDelta(q)
 	if err != nil {
 		return Result{}, err
 	}
-	return s.runDeltaFlows(ctx, sn, flows, fn, nil, budget)
+	if gr != nil {
+		// The flows were translated for this run only, so the group spec can
+		// ride on their sinks; both delta sides share the specs, differing
+		// only in which aggregate the engine config points at.
+		for _, df := range flows {
+			if err := plan.AttachGroup(df, gr.spec); err != nil {
+				return Result{}, err
+			}
+		}
+	}
+	return s.runDeltaFlows(ctx, sn, flows, fn, nil, budget, gr)
 }
 
 // runDeltaFlows is the delta-run core shared by runDelta and the
@@ -720,10 +766,10 @@ func (s *System) runDelta(ctx context.Context, sn *snapshot, q *Query, fn func([
 // budgets) every destroyed one; either may be nil to count only.
 // Separating translation from execution lets subscription groups cache
 // their flows once and pay only the enumeration on every Apply.
-func (s *System) runDeltaFlows(ctx context.Context, sn *snapshot, flows []*dataflow.Dataflow, newFn, deadFn func([]VertexID), budget *engine.Budget) (Result, error) {
+func (s *System) runDeltaFlows(ctx context.Context, sn *snapshot, flows []*dataflow.Dataflow, newFn, deadFn func([]VertexID), budget *engine.Budget, gr *groupRun) (Result, error) {
 	start := time.Now()
 	var res Result
-	runSide := func(cl *cluster.Cluster, set *graph.EdgeSet, fn func([]VertexID)) (uint64, error) {
+	runSide := func(cl *cluster.Cluster, set *graph.EdgeSet, fn func([]VertexID), agg *engine.GroupAgg) (uint64, error) {
 		if cl == nil || set.Len() == 0 {
 			return 0, nil
 		}
@@ -735,6 +781,7 @@ func (s *System) runDeltaFlows(ctx context.Context, sn *snapshot, flows []*dataf
 			ex := cl.NewExec()
 			cfg := s.engineConfig(reindexed(df, fn), budget)
 			cfg.DeltaEdges = set
+			cfg.Groups = agg
 			n, err := engine.Run(ctx, ex, df, cfg)
 			if err != nil {
 				return 0, err
@@ -744,19 +791,29 @@ func (s *System) runDeltaFlows(ctx context.Context, sn *snapshot, flows []*dataf
 		}
 		return total, nil
 	}
-	newCount, err := runSide(sn.cl, sn.inserted, newFn)
+	var newAgg, deadAgg *engine.GroupAgg
+	if gr != nil {
+		// The per-pinned-edge flows of each side merge additively into one
+		// aggregate per side — the dead side reads the previous snapshot's
+		// graph (via prevCl's machines), so its keys reflect labels as of t.
+		newAgg, deadAgg = gr.agg, gr.dead
+	}
+	newCount, err := runSide(sn.cl, sn.inserted, newFn, newAgg)
 	if err != nil {
 		return Result{}, err
 	}
 	res.Count = newCount
 	res.DeltaNew = newCount
 	if budget == nil {
-		deadCount, err := runSide(sn.prevCl, sn.deleted, deadFn)
+		deadCount, err := runSide(sn.prevCl, sn.deleted, deadFn, deadAgg)
 		if err != nil {
 			return Result{}, err
 		}
 		res.DeltaDead = deadCount
 		res.Delta = int64(newCount) - int64(deadCount)
+	}
+	if gr != nil {
+		res.Groups, res.Hist = gr.finalize()
 	}
 	res.Elapsed = time.Since(start)
 	return res, nil

@@ -396,7 +396,9 @@ func (s *System) maintainGroup(sn *snapshot, epoch uint64, flows []*dataflow.Dat
 			mu.Unlock()
 		}
 	}
-	_, err := s.runDeltaFlows(context.Background(), sn, flows, collect(&newM), collect(&deadM), budget)
+	// No group aggregation on the maintenance path: the flows are cached
+	// per subscription group and must never carry a per-run GroupSpec.
+	_, err := s.runDeltaFlows(context.Background(), sn, flows, collect(&newM), collect(&deadM), budget, nil)
 	s.maint.SharedRuns.Add(1)
 	s.maint.ServedSubscribers.Add(uint64(len(live)))
 	s.maint.DedupedRuns.Add(uint64(len(live) - 1))

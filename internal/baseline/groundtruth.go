@@ -6,6 +6,7 @@
 package baseline
 
 import (
+	"repro/internal/dataflow"
 	"repro/internal/graph"
 	"repro/internal/plan"
 	"repro/internal/query"
@@ -41,6 +42,53 @@ func GroundTruthPinnedCount(g *graph.Graph, q *query.Query, pinned *graph.EdgeSe
 		return true
 	})
 	return count
+}
+
+// groupKeyOf maps one match to its group key under spec, mirroring the
+// engine's key derivation (including the implicit-label-0 convention on
+// unlabelled graphs).
+func groupKeyOf(g *graph.Graph, spec dataflow.GroupSpec, m []graph.VertexID) uint64 {
+	switch spec.Kind {
+	case dataflow.GroupByVertex:
+		return uint64(m[spec.QV])
+	case dataflow.GroupByVertexLabel:
+		return uint64(g.Label(m[spec.QV]))
+	default: // GroupByEdgeLabel
+		return uint64(g.EdgeLabel(m[spec.QA], m[spec.QB]))
+	}
+}
+
+// GroundTruthGroupedCount enumerates q's matches and tallies them per group
+// key — the oracle for engine-side GROUP BY. Keys follow the engine's
+// derivation exactly, evaluated on the canonical symmetry-broken
+// assignment.
+func GroundTruthGroupedCount(g *graph.Graph, q *query.Query, spec dataflow.GroupSpec) map[uint64]uint64 {
+	counts := map[uint64]uint64{}
+	GroundTruthEnumerate(g, q, func(m []graph.VertexID) bool {
+		counts[groupKeyOf(g, spec, m)]++
+		return true
+	})
+	return counts
+}
+
+// GroundTruthPinnedGroupedCount tallies per group only the matches that use
+// at least one pinned edge — the oracle for grouped delta-mode runs:
+// applied to the inserted set on the new snapshot it yields the per-group
+// new matches, applied to the deleted set on the old snapshot the per-group
+// vanished ones, and full(t+1)[k] = full(t)[k] + new[k] − vanished[k] for
+// every key k.
+func GroundTruthPinnedGroupedCount(g *graph.Graph, q *query.Query, pinned *graph.EdgeSet, spec dataflow.GroupSpec) map[uint64]uint64 {
+	counts := map[uint64]uint64{}
+	GroundTruthEnumerate(g, q, func(m []graph.VertexID) bool {
+		for _, e := range q.Edges() {
+			if pinned.Has(m[e[0]], m[e[1]]) {
+				counts[groupKeyOf(g, spec, m)]++
+				break
+			}
+		}
+		return true
+	})
+	return counts
 }
 
 // GroundTruthEnumerate calls fn for every match (indexed by query vertex);

@@ -124,6 +124,9 @@ type Join struct {
 type Terminal struct {
 	// Sink is true for the final stage: results are counted/consumed.
 	Sink bool
+	// Group, on a sink, asks for grouped counting: every counted match also
+	// increments the group named by its GroupSpec key. Only valid with Sink.
+	Group *GroupSpec
 	// KeySlots, for a join feed, give the shuffle key. ConsumerStage is the
 	// stage whose JoinSource consumes this feed; Side is 0 (left) / 1 (right).
 	KeySlots      []int
@@ -236,6 +239,14 @@ func (d *Dataflow) Validate() error {
 			}
 		} else if s.Terminal.Sink {
 			return fmt.Errorf("dataflow: stage %d sinks but is not final", i)
+		}
+		if s.Terminal.Group != nil {
+			if !s.Terminal.Sink {
+				return fmt.Errorf("dataflow: stage %d has a group spec but does not sink", i)
+			}
+			if err := s.Terminal.Group.validate(s.OutputLayout()); err != nil {
+				return err
+			}
 		}
 	}
 	return nil

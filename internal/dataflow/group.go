@@ -1,0 +1,93 @@
+package dataflow
+
+import "fmt"
+
+// GroupKind selects how the group key of one match is derived. Grouped
+// counting is a *run* option, not a query property: the planner's cache
+// keys never encode it, and a GroupSpec is attached to the sink terminal of
+// a per-run translated dataflow (plan.AttachGroup), never to a cached plan.
+type GroupKind int
+
+const (
+	// GroupByVertex keys each match by the data vertex matched to query
+	// vertex QV ("count triangles per matched hub").
+	GroupByVertex GroupKind = iota
+	// GroupByVertexLabel keys each match by the data label of the vertex
+	// matched to QV ("count triangles per community label"). On a
+	// vertex-unlabelled graph every match lands in group 0.
+	GroupByVertexLabel
+	// GroupByEdgeLabel keys each match by the data label of the edge
+	// matched to query edge (QA, QB). On an edge-unlabelled graph every
+	// match lands in group 0.
+	GroupByEdgeLabel
+)
+
+func (k GroupKind) String() string {
+	switch k {
+	case GroupByVertex:
+		return "vertex"
+	case GroupByVertexLabel:
+		return "vertex-label"
+	case GroupByEdgeLabel:
+		return "edge-label"
+	}
+	return fmt.Sprintf("GroupKind(%d)", int(k))
+}
+
+// GroupSpec describes the grouping dimension of a grouped counting run:
+// every counted match contributes one to the group named by its key. The
+// key is evaluated on the canonical (symmetry-broken) assignment — the one
+// the engine enumerates — so a pattern with automorphisms counts each match
+// exactly once, at its canonical numbering.
+//
+// The spec rides on the sink stage's Terminal: the compressed counting path
+// (engine countChunk) derives keys without materialising matches when the
+// final operator is a PULL-EXTEND, and the sink terminal derives them from
+// materialised rows otherwise (verify-extend or PUSH-JOIN finals), so every
+// plan family supports grouping.
+type GroupSpec struct {
+	Kind GroupKind
+	// QV is the query vertex of the vertex / vertex-label kinds.
+	QV int
+	// QA, QB are the endpoints of the query edge of the edge-label kind.
+	QA, QB int
+}
+
+func (s GroupSpec) String() string {
+	switch s.Kind {
+	case GroupByEdgeLabel:
+		return fmt.Sprintf("elabel(v%d,v%d)", s.QA+1, s.QB+1)
+	case GroupByVertexLabel:
+		return fmt.Sprintf("vlabel(v%d)", s.QV+1)
+	}
+	return fmt.Sprintf("v%d", s.QV+1)
+}
+
+// validate checks the spec against the sink stage's output layout: every
+// query vertex the key reads must be matched by the time rows sink.
+func (s *GroupSpec) validate(layout []int) error {
+	has := func(qv int) bool {
+		for _, v := range layout {
+			if v == qv {
+				return true
+			}
+		}
+		return false
+	}
+	switch s.Kind {
+	case GroupByVertex, GroupByVertexLabel:
+		if !has(s.QV) {
+			return fmt.Errorf("dataflow: group key vertex v%d not in sink layout %v", s.QV+1, layout)
+		}
+	case GroupByEdgeLabel:
+		if s.QA == s.QB {
+			return fmt.Errorf("dataflow: group key edge (v%d,v%d) is a self-loop", s.QA+1, s.QB+1)
+		}
+		if !has(s.QA) || !has(s.QB) {
+			return fmt.Errorf("dataflow: group key edge (v%d,v%d) not in sink layout %v", s.QA+1, s.QB+1, layout)
+		}
+	default:
+		return fmt.Errorf("dataflow: unknown group kind %d", int(s.Kind))
+	}
+	return nil
+}

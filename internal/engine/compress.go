@@ -15,6 +15,11 @@ import (
 // rejected by injectivity or symmetry-breaking filters — no output rows are
 // built, queued, or re-scanned. The fetch stage and cache protocol are
 // identical to the materialising path.
+//
+// Grouped counting rides the same path: when the run carries a GroupAgg and
+// the sink a GroupSpec, each chunk accumulates per-group partial counts into
+// a pooled worker-local table that merges into the shared aggregate — the
+// additive analogue of how every chunk claims from the shared match Budget.
 func (r *machineRun) countExtend(e *dataflow.Extend, b *dataflow.Batch) (uint64, error) {
 	eng := r.ex.eng
 	twoStage := eng.ex.Cfg().CacheKind.TwoStage()
@@ -23,29 +28,63 @@ func (r *machineRun) countExtend(e *dataflow.Extend, b *dataflow.Batch) (uint64,
 			return 0, err
 		}
 	}
-	n, err := r.countIntersect(e, b, twoStage)
+	// The candidate predicate is hoisted here — one per batch, shared by
+	// every chunk and worker (it is read-only after construction) — instead
+	// of being rebuilt per chunk.
+	pred := r.newCandPred(e)
+	var n uint64
+	var err error
+	if !pred.impossible {
+		var keyer *groupKeyer
+		if eng.cfg.Groups != nil && r.ex.st.Terminal.Group != nil {
+			// Row slots of the input tuple are OutLayout minus the extension
+			// target; keys that read the target resolve per candidate.
+			rowLayout := e.OutLayout[:len(e.OutLayout)-1]
+			keyer, err = newGroupKeyer(*r.ex.st.Terminal.Group, rowLayout, e.TargetQV, r.m.Part.Graph())
+		}
+		if err == nil {
+			n, err = r.countIntersect(e, b, twoStage, &pred, keyer)
+		}
+	}
 	if twoStage {
 		r.m.Cache.Release()
 	}
 	return n, err
 }
 
-func (r *machineRun) countIntersect(e *dataflow.Extend, b *dataflow.Batch, twoStage bool) (uint64, error) {
+func (r *machineRun) countIntersect(e *dataflow.Extend, b *dataflow.Batch, twoStage bool, pred *candPred, keyer *groupKeyer) (uint64, error) {
 	eng := r.ex.eng
 	workers := eng.ex.Cfg().Workers
 	chunks := b.SplitRows(workers * 4)
 	if len(chunks) == 0 {
 		return 0, nil
 	}
+	// Worker-local group tables avoid contention on the shared aggregate
+	// under work stealing; each flushes (merges + returns to the pool) once
+	// its worker runs out of chunks.
+	newTable := func() *groupTable {
+		if keyer == nil {
+			return nil
+		}
+		return getGroupTable()
+	}
+	flush := func(gt *groupTable) {
+		if gt != nil {
+			gt.flush(eng.cfg.Groups)
+		}
+	}
 	if workers == 1 || len(chunks) == 1 {
+		gt := newTable()
 		var total uint64
 		for _, c := range chunks {
-			n, err := r.countChunk(e, c, twoStage)
+			n, err := r.countChunk(e, c, twoStage, pred, keyer, gt)
 			if err != nil {
+				flush(gt)
 				return 0, err
 			}
 			total += n
 		}
+		flush(gt)
 		return total, nil
 	}
 	var total atomic.Uint64
@@ -62,6 +101,8 @@ func (r *machineRun) countIntersect(e *dataflow.Extend, b *dataflow.Batch, twoSt
 			wg.Add(1)
 			go func(w int) {
 				defer wg.Done()
+				gt := newTable()
+				defer flush(gt)
 				for {
 					task, ok, stole := pool.Next(w)
 					if !ok {
@@ -70,7 +111,7 @@ func (r *machineRun) countIntersect(e *dataflow.Extend, b *dataflow.Batch, twoSt
 					if stole {
 						eng.ex.Metrics.StealsIntra.Add(1)
 					}
-					n, err := r.countChunk(e, task.(*dataflow.Batch), twoStage)
+					n, err := r.countChunk(e, task.(*dataflow.Batch), twoStage, pred, keyer, gt)
 					if err != nil {
 						firstErr.CompareAndSwap(nil, err)
 						return
@@ -92,8 +133,10 @@ func (r *machineRun) countIntersect(e *dataflow.Extend, b *dataflow.Batch, twoSt
 			wg.Add(1)
 			go func(w int) {
 				defer wg.Done()
+				gt := newTable()
+				defer flush(gt)
 				for _, c := range assign[w] {
-					n, err := r.countChunk(e, c, twoStage)
+					n, err := r.countChunk(e, c, twoStage, pred, keyer, gt)
 					if err != nil {
 						firstErr.CompareAndSwap(nil, err)
 						return
@@ -110,14 +153,17 @@ func (r *machineRun) countIntersect(e *dataflow.Extend, b *dataflow.Batch, twoSt
 	return total.Load(), nil
 }
 
-func (r *machineRun) countChunk(e *dataflow.Extend, c *dataflow.Batch, twoStage bool) (uint64, error) {
-	pred := r.newCandPred(e)
-	if pred.impossible {
-		return 0, nil
-	}
+func (r *machineRun) countChunk(e *dataflow.Extend, c *dataflow.Batch, twoStage bool, pred *candPred, keyer *groupKeyer, gt *groupTable) (uint64, error) {
 	bud := r.ex.eng.cfg.Budget
 	sc := scratchPool.Get().(*extendScratch)
 	defer sc.release()
+	// A row-determined key (it reads only matched slots) keeps the count
+	// fast path: the whole surviving candidate set lands in one group. A
+	// target-dependent key (it reads the vertex this extension matches)
+	// forces the per-candidate loop, where keys are collected so that under
+	// a budget exactly the granted share is attributed.
+	rowKeyed := keyer != nil && keyer.rowDetermined()
+	candKeyed := keyer != nil && !keyer.rowDetermined()
 	var total uint64
 	for i := 0; i < c.Rows(); i++ {
 		if bud != nil && bud.Exhausted() {
@@ -142,7 +188,8 @@ func (r *machineRun) countChunk(e *dataflow.Extend, c *dataflow.Batch, twoStage 
 		}
 		cand := graph.IntersectMany(sc.lists, &sc.isect)
 		var n uint64
-		if len(e.NewFilters) == 0 && pred.trivial() {
+		switch {
+		case len(e.NewFilters) == 0 && pred.trivial() && !candKeyed:
 			// Fast path: count candidates, subtract the ones that collide
 			// with matched vertices (candidate lists are sorted sets, so a
 			// matched vertex appears at most once).
@@ -152,35 +199,67 @@ func (r *machineRun) countChunk(e *dataflow.Extend, c *dataflow.Batch, twoStage 
 					n--
 				}
 			}
-		} else {
-		candidates:
+			if bud != nil {
+				// Claim per input row: workers race for the shared budget, and
+				// whatever is granted is exactly what gets counted.
+				n = bud.Take(n)
+			}
+		case candKeyed:
+			keys := gt.keys[:0]
 			for _, v := range cand {
-				if !pred.ok(row, v) {
+				if !acceptCandidate(e, pred, row, v) {
 					continue
 				}
-				for _, u := range row {
-					if u == v {
-						continue candidates
-					}
+				keys = append(keys, keyer.candKey(row, v))
+			}
+			gt.keys = keys
+			n = uint64(len(keys))
+			if bud != nil {
+				n = bud.Take(n)
+			}
+			// Budget interplay: the budget caps total matches counted and the
+			// groups see exactly the granted share — the first n keys.
+			for _, k := range keys[:n] {
+				gt.counts[k]++
+			}
+		default:
+			for _, v := range cand {
+				if acceptCandidate(e, pred, row, v) {
+					n++
 				}
-				for _, f := range e.NewFilters {
-					if f.NewLess {
-						if v >= row[f.Slot] {
-							continue candidates
-						}
-					} else if v <= row[f.Slot] {
-						continue candidates
-					}
-				}
-				n++
+			}
+			if bud != nil {
+				n = bud.Take(n)
 			}
 		}
-		if bud != nil {
-			// Claim per input row: workers race for the shared budget, and
-			// whatever is granted is exactly what gets counted.
-			n = bud.Take(n)
+		if rowKeyed && n > 0 {
+			gt.add(keyer.rowKey(row), n)
 		}
 		total += n
 	}
 	return total, nil
+}
+
+// acceptCandidate applies the full per-candidate check of a counting
+// extension: the shared label/delta predicate, injectivity against the
+// matched row, and the symmetry-breaking filters.
+func acceptCandidate(e *dataflow.Extend, pred *candPred, row []graph.VertexID, v graph.VertexID) bool {
+	if !pred.ok(row, v) {
+		return false
+	}
+	for _, u := range row {
+		if u == v {
+			return false
+		}
+	}
+	for _, f := range e.NewFilters {
+		if f.NewLess {
+			if v >= row[f.Slot] {
+				return false
+			}
+		} else if v <= row[f.Slot] {
+			return false
+		}
+	}
+	return true
 }

@@ -70,6 +70,14 @@ type Config struct {
 	// query-edge positions. Must be non-nil when the dataflow contains a
 	// DeltaScan; ignored otherwise.
 	DeltaEdges *graph.EdgeSet
+	// Groups, when non-nil, is the shared group-count aggregate of a
+	// grouped counting run: the sink stage must carry a matching
+	// Terminal.Group spec, and every counted match also increments the
+	// group named by its key — inside the compressed counting path when it
+	// applies, at the sink terminal otherwise. Like Budget, one GroupAgg may
+	// be shared across several Run invocations (delta-mode flows merge
+	// additively). Under a Budget, groups see exactly the granted share.
+	Groups *GroupAgg
 	// Budget, when non-nil, is the shared match budget of a top-k run:
 	// the sink (and the compressed counting path) claim slots per result,
 	// and once the budget is exhausted every stage halts cooperatively at
@@ -114,6 +122,13 @@ type joinBuffers struct {
 func Run(ctx context.Context, ex *cluster.Exec, df *dataflow.Dataflow, cfg Config) (uint64, error) {
 	if err := df.Validate(); err != nil {
 		return 0, err
+	}
+	if sink := df.Stages[len(df.Stages)-1]; (sink.Terminal.Group != nil) != (cfg.Groups != nil) {
+		// Half-configured grouping would silently drop per-group counts
+		// (spec without aggregate) or return an empty table (aggregate
+		// without spec); both are caller bugs, so fail loudly.
+		return 0, fmt.Errorf("engine: grouped run needs both a sink GroupSpec and Config.Groups (spec=%v, agg=%v)",
+			sink.Terminal.Group != nil, cfg.Groups != nil)
 	}
 	if ctx == nil {
 		ctx = context.Background()

@@ -338,6 +338,15 @@ func (r *machineRun) terminal(b *dataflow.Batch) error {
 			accepted = eng.cfg.Budget.Take(accepted)
 		}
 		eng.ex.Metrics.Results.Add(accepted)
+		if eng.cfg.Groups != nil && t.Group != nil && accepted > 0 {
+			// Materialised sink of a grouped run — the plan's final operator
+			// was a verify extend or a PUSH-JOIN, so compression didn't
+			// apply. Rows are complete matches here; only the budget-granted
+			// prefix is attributed, mirroring the compressed path.
+			if err := r.groupRows(*t.Group, b, int(accepted)); err != nil {
+				return err
+			}
+		}
 		if eng.cfg.OnResult != nil {
 			for i := 0; i < int(accepted); i++ {
 				eng.cfg.OnResult(b.Row(i))

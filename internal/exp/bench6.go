@@ -42,11 +42,11 @@ type Bench6Row struct {
 	Patterns    int `json:"patterns"`
 	Subscribers int `json:"subscribers"`
 
-	ApplyNs      int64 `json:"apply_ns"`       // Apply alone (repartition floor)
-	StandaloneNs int64 `json:"standalone_ns"`  // Apply + 8 standalone delta enumerations
-	SharedNs     int64 `json:"shared_ns"`      // Apply + shared maintenance, Subscribers live
-	NaiveSubs    int   `json:"naive_subs"`     // directly measured naive population
-	NaiveNs      int64 `json:"naive_ns"`       // Apply + NaiveSubs per-subscriber re-runs
+	ApplyNs       int64 `json:"apply_ns"`        // Apply alone (repartition floor)
+	StandaloneNs  int64 `json:"standalone_ns"`   // Apply + 8 standalone delta enumerations
+	SharedNs      int64 `json:"shared_ns"`       // Apply + shared maintenance, Subscribers live
+	NaiveSubs     int   `json:"naive_subs"`      // directly measured naive population
+	NaiveNs       int64 `json:"naive_ns"`        // Apply + NaiveSubs per-subscriber re-runs
 	NaiveExtrapNs int64 `json:"naive_extrap_ns"` // naive cost extrapolated to Subscribers
 
 	SharedVsStandalone float64 `json:"shared_vs_standalone"` // SharedNs / StandaloneNs (claim: <=2)

@@ -1,0 +1,216 @@
+package exp
+
+// Bench7 is the engine-side aggregation experiment behind BENCH_7.json: the
+// machine-readable counterpart of BenchmarkGroupByVsEnumerate. For each
+// (scale, pattern) it counts matches per community label three ways —
+// CountOnly (the floor: no grouping at all), engine-side GroupBy (grouped
+// counts inside the compressed counting path), and a client-side OnMatch
+// enumeration loop building the same map — and reports the two headline
+// ratios on peak intermediate tuples: GroupBy vs CountOnly (target <=2x;
+// grouping must ride the counting path, not reopen materialisation) and
+// enumeration vs GroupBy (target >=10x; the loop materialises every match
+// the grouped run never builds).
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/huge"
+	"repro/internal/gen"
+)
+
+// Bench7Config parameterises the experiment.
+type Bench7Config struct {
+	Scales      []int // graph-size multipliers (vertices = 3000 * scale)
+	Communities int   // vertex-label alphabet (community count)
+	TopK        int   // TopGroups selection size
+	Iters       int   // timed runs per mode (after one warmup)
+}
+
+// DefaultBench7Config mirrors BenchmarkGroupByVsEnumerate's setup.
+func DefaultBench7Config() Bench7Config {
+	return Bench7Config{Scales: []int{1, 2, 4}, Communities: gen.DefaultCommunities, TopK: 10, Iters: 3}
+}
+
+// Bench7Row is one (scale, pattern)'s measurements.
+type Bench7Row struct {
+	Scale       int    `json:"scale"`
+	Vertices    int    `json:"vertices"`
+	Edges       int    `json:"edges"`
+	Communities int    `json:"communities"`
+	Pattern     string `json:"pattern"`
+	Matches     uint64 `json:"matches"`
+	Groups      int    `json:"groups"` // distinct group keys seen
+
+	CountNs int64 `json:"count_ns"` // CountOnly (ungrouped floor)
+	GroupNs int64 `json:"group_ns"` // engine-side GroupBy
+	TopNs   int64 `json:"top_ns"`   // GroupBy + TopGroups(k)
+	EnumNs  int64 `json:"enum_ns"`  // client-side OnMatch loop
+
+	CountPeak int64 `json:"count_peak_tuples"`
+	GroupPeak int64 `json:"group_peak_tuples"`
+	EnumPeak  int64 `json:"enum_peak_tuples"`
+
+	GroupVsCountPeak float64 `json:"group_vs_count_peak"` // claim: <= 2
+	EnumVsGroupPeak  float64 `json:"enum_vs_group_peak"`  // claim: >= 10
+	GroupVsCountNs   float64 `json:"group_vs_count_ns"`
+	EnumVsGroupNs    float64 `json:"enum_vs_group_ns"`
+}
+
+// Bench7Report is the BENCH_7.json document.
+type Bench7Report struct {
+	Benchmark string      `json:"benchmark"`
+	GOOS      string      `json:"goos"`
+	GOARCH    string      `json:"goarch"`
+	CPUs      int         `json:"cpus"`
+	Claims    B7Claims    `json:"claims"`
+	Rows      []Bench7Row `json:"rows"`
+}
+
+// B7Claims summarises the headline ratios across all rows (worst case).
+type B7Claims struct {
+	GroupVsCountPeakMax float64 `json:"group_vs_count_peak_max"` // target <= 2
+	EnumVsGroupPeakMin  float64 `json:"enum_vs_group_peak_min"`  // target >= 10
+}
+
+// Bench7 runs the experiment. Wall-clock timed (not a testing benchmark) so
+// it can run from cmd/hugebench and serialise to JSON.
+func Bench7(cfg Bench7Config) Bench7Report {
+	if len(cfg.Scales) == 0 {
+		cfg = DefaultBench7Config()
+	}
+	rep := Bench7Report{
+		Benchmark: "GroupByVsEnumerate",
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+	}
+	for _, s := range cfg.Scales {
+		rep.Rows = append(rep.Rows, bench7Scale(s, cfg)...)
+	}
+	for i, r := range rep.Rows {
+		if i == 0 || r.GroupVsCountPeak > rep.Claims.GroupVsCountPeakMax {
+			rep.Claims.GroupVsCountPeakMax = r.GroupVsCountPeak
+		}
+		if i == 0 || r.EnumVsGroupPeak < rep.Claims.EnumVsGroupPeakMin {
+			rep.Claims.EnumVsGroupPeakMin = r.EnumVsGroupPeak
+		}
+	}
+	return rep
+}
+
+// Table renders the report for the CLI, alongside the JSON artifact.
+func (r Bench7Report) Table() Table {
+	t := Table{
+		Title:  "BENCH_7: engine-side GROUP BY (grouped counting vs CountOnly vs client-side enumeration)",
+		Header: []string{"scale", "pattern", "V", "E", "matches", "groups", "count", "group", "top-k", "enum", "grp/cnt peak", "enum/grp peak"},
+	}
+	for _, row := range r.Rows {
+		d := func(ns int64) string { return fmtDur(time.Duration(ns)) }
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", row.Scale),
+			row.Pattern,
+			fmt.Sprintf("%d", row.Vertices),
+			fmt.Sprintf("%d", row.Edges),
+			fmt.Sprintf("%d", row.Matches),
+			fmt.Sprintf("%d", row.Groups),
+			d(row.CountNs), d(row.GroupNs), d(row.TopNs), d(row.EnumNs),
+			fmt.Sprintf("%.2fx", row.GroupVsCountPeak),
+			fmt.Sprintf("%.0fx", row.EnumVsGroupPeak),
+		})
+	}
+	return t
+}
+
+// bench7Case is one measured workload: a final-extension-heavy pattern
+// (enumeration materialises a large last level the compressed counting path
+// never builds) together with the grouping key. The two cases cover both
+// engine key paths: keying on the hub is row-determined (the count fast
+// path tallies a whole candidate set into one group), keying on a leaf —
+// the extension target — is candidate-keyed (every candidate contributes
+// its own key).
+type bench7Case struct {
+	name    string
+	q       *huge.Query
+	key     huge.GroupKey
+	keyedQV int // query vertex whose label the client-side loop buckets by
+}
+
+// Bench7Cases are the grouped workload shapes behind the report rows.
+func Bench7Cases() []bench7Case {
+	star3 := huge.NewQuery("star3", [][2]int{{0, 1}, {0, 2}, {0, 3}})
+	return []bench7Case{
+		{"star3/hub", star3, huge.VertexLabelOf(0), 0},
+		{"star3/leaf", star3, huge.VertexLabelOf(3), 3},
+	}
+}
+
+func bench7Scale(scale int, cfg Bench7Config) []Bench7Row {
+	g := gen.CommunityLabels(gen.PowerLaw(3000*scale, 5, 23), cfg.Communities, 29)
+	// Weak scaling: the simulated cluster grows with the dataset (as in the
+	// paper's scalability experiment), keeping per-machine state comparable
+	// across scales.
+	sys := huge.NewSystem(g, huge.Options{Machines: 4 * scale, Workers: 2})
+	ctx := context.Background()
+	var rows []Bench7Row
+	for _, c := range Bench7Cases() {
+		q := c.q
+		row := Bench7Row{
+			Scale:       scale,
+			Vertices:    g.NumVertices(),
+			Edges:       int(g.NumEdges()),
+			Communities: cfg.Communities,
+			Pattern:     c.name,
+		}
+		// CountOnly: the ungrouped counting floor.
+		row.CountNs, _, _ = bench6Measure(cfg.Iters, func(int) {
+			res, err := sys.Exec(ctx, q, huge.CountOnly()).Wait()
+			if err != nil {
+				panic(err)
+			}
+			row.Matches = res.Count
+			row.CountPeak = res.Metrics.PeakTuples
+		})
+		// Engine-side GROUP BY on the case's community-label key.
+		row.GroupNs, _, _ = bench6Measure(cfg.Iters, func(int) {
+			res, err := sys.Exec(ctx, q, huge.GroupBy(c.key)).Wait()
+			if err != nil {
+				panic(err)
+			}
+			row.Groups = len(res.Groups)
+			row.GroupPeak = res.Metrics.PeakTuples
+		})
+		// TopGroups: same run plus the merge-time heap selection.
+		row.TopNs, _, _ = bench6Measure(cfg.Iters, func(int) {
+			if _, err := sys.Exec(ctx, q,
+				huge.GroupBy(c.key), huge.TopGroups(cfg.TopK)).Wait(); err != nil {
+				panic(err)
+			}
+		})
+		// Client-side: what grouped analytics cost before this PR — a full
+		// enumeration with the caller bucketing every match itself.
+		row.EnumNs, _, _ = bench6Measure(cfg.Iters, func(int) {
+			var mu sync.Mutex
+			counts := map[huge.LabelID]uint64{}
+			res, err := sys.Exec(ctx, q, huge.OnMatch(func(m []huge.VertexID) {
+				l := g.Label(m[c.keyedQV])
+				mu.Lock()
+				counts[l]++
+				mu.Unlock()
+			})).Wait()
+			if err != nil {
+				panic(err)
+			}
+			row.EnumPeak = res.Metrics.PeakTuples
+		})
+		row.GroupVsCountPeak = float64(row.GroupPeak) / float64(row.CountPeak)
+		row.EnumVsGroupPeak = float64(row.EnumPeak) / float64(row.GroupPeak)
+		row.GroupVsCountNs = float64(row.GroupNs) / float64(row.CountNs)
+		row.EnumVsGroupNs = float64(row.EnumNs) / float64(row.GroupNs)
+		rows = append(rows, row)
+	}
+	return rows
+}

@@ -1,0 +1,17 @@
+package exp
+
+import (
+	"encoding/json"
+	"os"
+)
+
+// WriteJSON marshals v as indented JSON with a trailing newline to path —
+// the one serialiser behind the committed BENCH_*.json artifacts, so every
+// benchmark report (bench6, bench7, ...) encodes identically.
+func WriteJSON(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -221,6 +221,30 @@ func EdgeLabeledByName(name string, scale, numEdgeLabels, vertexLabels int) *gra
 	return ZipfEdgeLabels(g, numEdgeLabels, 1.8, nameSeed(name)+1)
 }
 
+// DefaultCommunities is the community-count CommunityLabeledByName assigns.
+const DefaultCommunities = 64
+
+// CommunityLabels returns a community-labelled twin of g: vertices carry
+// one of `communities` labels drawn from a mildly skewed Zipf (s = 1.2) —
+// much flatter than the selectivity-oriented ZipfLabels default, so every
+// community is populated and the label axis looks like real community
+// sizes (a few large, a long tail of mid-sized ones). This is the "groups"
+// dimension of GROUP BY workloads: grouped counts see many non-trivial
+// groups instead of one giant head and a near-empty tail.
+func CommunityLabels(g *graph.Graph, communities int, seed int64) *graph.Graph {
+	if communities < 1 {
+		communities = DefaultCommunities
+	}
+	return ZipfLabels(g, communities, 1.2, seed)
+}
+
+// CommunityLabeledByName returns the named stand-in dataset with
+// community-style vertex labels attached — the group-by twin of
+// ByName(name, scale), deterministic per dataset name.
+func CommunityLabeledByName(name string, scale, communities int) *graph.Graph {
+	return CommunityLabels(ByName(name, scale), communities, nameSeed(name)+2)
+}
+
 func nameSeed(name string) int64 {
 	seed := int64(7)
 	for _, c := range name {

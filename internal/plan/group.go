@@ -1,0 +1,26 @@
+package plan
+
+import (
+	"fmt"
+
+	"repro/internal/dataflow"
+)
+
+// AttachGroup marks df's sink for grouped counting. Grouping is a *run*
+// option, not a query property: plan-cache keys never encode it, so the
+// spec must only ever be attached to a per-run translated dataflow
+// (Translate and TranslateDelta build a fresh Dataflow per call), never to
+// a dataflow shared across runs. The spec is validated against the sink's
+// output layout — every query vertex the key reads must be matched there.
+func AttachGroup(df *dataflow.Dataflow, spec dataflow.GroupSpec) error {
+	if len(df.Stages) == 0 {
+		return fmt.Errorf("plan: cannot attach group spec to empty dataflow")
+	}
+	sink := df.Stages[len(df.Stages)-1]
+	sink.Terminal.Group = &spec
+	if err := df.Validate(); err != nil {
+		sink.Terminal.Group = nil
+		return err
+	}
+	return nil
+}
