@@ -21,6 +21,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/exp"
 	"repro/internal/gen"
+	"repro/internal/graph"
 	"repro/internal/metrics"
 	"repro/internal/plan"
 	"repro/internal/query"
@@ -731,4 +732,73 @@ func BenchmarkGroupByVsEnumerate(b *testing.B) {
 			report(b, res)
 		}
 	})
+}
+
+// BenchmarkIntersectKernels: the degree-adaptive intersection kernels (the
+// BENCH_8.json experiment) — legacy merge/gallop list kernels vs the
+// hub-bitset dispatcher, on operand sets sampled from the hubs of a
+// power-law graph, plus the engine-level A/B on CountOnly triangles.
+func BenchmarkIntersectKernels(b *testing.B) {
+	g := gen.PowerLaw(3000, 16, 31)
+	var hubs []graph.VertexID
+	for v := 0; v < g.NumVertices(); v++ {
+		if g.HubBitset(graph.VertexID(v)) != nil {
+			hubs = append(hubs, graph.VertexID(v))
+		}
+	}
+	if len(hubs) < 2 {
+		b.Fatalf("no hubs at threshold %d", g.HubMinDegree())
+	}
+	var lists [][][]graph.VertexID
+	var sets [][]graph.NbrList
+	for i := 0; i < 64; i++ {
+		u, v := hubs[i%len(hubs)], hubs[(i*7+1)%len(hubs)]
+		if u == v {
+			v = hubs[(i*7+2)%len(hubs)]
+		}
+		lists = append(lists, [][]graph.VertexID{g.Neighbors(u), g.Neighbors(v)})
+		sets = append(sets, []graph.NbrList{
+			{List: g.Neighbors(u), Bits: g.HubBitset(u)},
+			{List: g.Neighbors(v), Bits: g.HubBitset(v)},
+		})
+	}
+	var sc graph.IntersectScratch
+	sink := 0
+	b.Run("Legacy", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, l := range lists {
+				sink += len(graph.IntersectMany(l, &sc))
+			}
+		}
+	})
+	b.Run("Adaptive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, s := range sets {
+				sink += graph.IntersectAdaptive(s, &sc).Len()
+			}
+		}
+	})
+	b.Run("CountAdaptive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, s := range sets {
+				sink += graph.IntersectCountAdaptive(s, &sc)
+			}
+		}
+	})
+	_ = sink
+
+	ctx := context.Background()
+	q := huge.NewQuery("tri", [][2]int{{0, 1}, {0, 2}, {1, 2}})
+	engineRun := func(b *testing.B, hubMin int) {
+		sys := huge.NewSystem(g, huge.Options{Machines: 4, Workers: 2, HubMinDegree: hubMin})
+		for i := 0; i < b.N; i++ {
+			res, err := sys.Exec(ctx, q, huge.CountOnly()).Wait()
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(res.Count), "results")
+		}
+	}
+	b.Run("EngineLegacy", func(b *testing.B) { engineRun(b, -1) })
+	b.Run("EngineAdaptive", func(b *testing.B) { engineRun(b, 0) })
 }

@@ -8,9 +8,11 @@
 //	hugebench -exp fig6 -queries q1,q2 -datasets EU,LJ
 //
 // Experiments: table1 fig5 fig6 table4 fig7 fig8 table5 fig9 fig10 table6
-// fig11 all — plus bench6 (the standing-query fan-out benchmark) and bench7
-// (engine-side GROUP BY vs client-side enumeration), which also write their
-// machine-readable results to -out (default BENCH_6.json / BENCH_7.json).
+// fig11 all — plus bench6 (the standing-query fan-out benchmark), bench7
+// (engine-side GROUP BY vs client-side enumeration) and bench8 (the
+// degree-adaptive intersection kernels, legacy vs hub-bitset dispatch),
+// which also write their machine-readable results to -out (default
+// BENCH_<n>.json).
 package main
 
 import (
@@ -99,6 +101,17 @@ func main() {
 		rep := exp.Bench7(cfg)
 		tables = []exp.Table{rep.Table()}
 		writeReport(orDefault(*out, "BENCH_7.json"), rep)
+	case "bench8":
+		cfg := exp.DefaultBench8Config()
+		if *tiny {
+			cfg.Scales = []int{1}
+			cfg.Iters = 2
+			cfg.HubPairs = 64
+			cfg.KernelRep = 2
+		}
+		rep := exp.Bench8(cfg)
+		tables = []exp.Table{rep.Table()}
+		writeReport(orDefault(*out, "BENCH_8.json"), rep)
 	case "all":
 		e.All(qs, ds, func(t exp.Table) { fmt.Println(t.String()) })
 		return

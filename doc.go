@@ -28,7 +28,15 @@
 // pin the snapshot they opened on, plan-cache keys carry the epoch, and
 // Query.Delta() enumerates only the match delta via difference-based
 // rewriting — full(t) + delta == full(t+1), oracle-verified, including
-// under edge-label churn. The benchmark harness that regenerates every
+// under edge-label churn. Underneath, the wco intersections run on
+// degree-adaptive kernels: each snapshot lazily carries packed neighbour
+// bitsets for its hub vertices, and graph.IntersectAdaptive dispatches
+// per operand pair between merge, galloping, bitset-probe and
+// word-parallel bitset-AND — with count-only variants so the compressed
+// counting path never materialises a candidate set it only needs to
+// count (measured in BENCH_8.json: ~19x on hub-heavy intersections,
+// <=1.02x overhead where no hubs exist). The benchmark harness that
+// regenerates every
 // table and figure of the paper's evaluation lives in repro/internal/exp
 // and is timed by the benchmarks in bench_test.go (BenchmarkTopK covers
 // Limit(k) early termination, BenchmarkDeltaVsFull incremental

@@ -236,6 +236,13 @@ type Options struct {
 	// PlanCachePlans bounds the fingerprint-keyed plan cache (number of
 	// plans; 0 = plan.DefaultCacheCapacity, negative = cache disabled).
 	PlanCachePlans int
+	// HubMinDegree tunes the degree-adaptive intersection kernels: the
+	// degree at which a vertex's neighbourhood also gets a packed hub
+	// bitset (built lazily, once per snapshot). 0 uses the auto threshold
+	// max(64, numV/32); a positive value forces that threshold; a negative
+	// value disables adaptive dispatch entirely (legacy merge/gallop
+	// kernels — the bench8 A/B baseline).
+	HubMinDegree int
 }
 
 // DefaultQueueRows is the adaptive queue capacity substituted when
@@ -364,6 +371,12 @@ func (o Options) clusterConfig() cluster.Config {
 
 // newSnapshot deploys one graph version: partitions, statistics, estimator.
 func newSnapshot(g *Graph, opts Options) *snapshot {
+	if opts.HubMinDegree > 0 {
+		// Every deployed snapshot (initial and per-Apply) carries the
+		// configured hub threshold, so the lazy bitset index of each version
+		// builds at the same degree cut.
+		g.SetHubMinDegree(opts.HubMinDegree)
+	}
 	cl := cluster.New(g, opts.clusterConfig())
 	stats := plan.ComputeStats(g)
 	return &snapshot{
@@ -652,6 +665,7 @@ func (s *System) engineConfig(onResult func([]VertexID), budget *engine.Budget) 
 		JoinBufferRows: s.opts.JoinBufferRows,
 		OnResult:       onResult,
 		Compress:       !s.opts.NoCompress,
+		NoAdaptive:     s.opts.HubMinDegree < 0,
 		Budget:         budget,
 	}
 	if budget != nil {

@@ -154,9 +154,10 @@ func (r *machineRun) countIntersect(e *dataflow.Extend, b *dataflow.Batch, twoSt
 }
 
 func (r *machineRun) countChunk(e *dataflow.Extend, c *dataflow.Batch, twoStage bool, pred *candPred, keyer *groupKeyer, gt *groupTable) (uint64, error) {
-	bud := r.ex.eng.cfg.Budget
+	eng := r.ex.eng
+	bud := eng.cfg.Budget
 	sc := scratchPool.Get().(*extendScratch)
-	defer sc.release()
+	defer sc.release(&eng.ex.Metrics.Kernels)
 	// A row-determined key (it reads only matched slots) keeps the count
 	// fast path: the whole surviving candidate set lands in one group. A
 	// target-dependent key (it reads the vertex this extension matches)
@@ -164,39 +165,43 @@ func (r *machineRun) countChunk(e *dataflow.Extend, c *dataflow.Batch, twoStage 
 	// a budget exactly the granted share is attributed.
 	rowKeyed := keyer != nil && keyer.rowDetermined()
 	candKeyed := keyer != nil && !keyer.rowDetermined()
+	hubMin := r.hubMinFor(pred.g)
 	var total uint64
 	for i := 0; i < c.Rows(); i++ {
 		if bud != nil && bud.Exhausted() {
 			return total, nil
 		}
 		row := c.Row(i)
-		sc.lists = sc.lists[:0]
+		sc.sets = sc.sets[:0]
 		empty := false
 		for _, s := range e.ExtSlots {
-			nb, err := r.neighborsFor(row[s], twoStage)
+			nset, err := r.nbrSetFor(row[s], twoStage, pred.g, hubMin)
 			if err != nil {
 				return 0, err
 			}
-			if len(nb) == 0 {
+			if len(nset.List) == 0 {
 				empty = true
 				break
 			}
-			sc.lists = append(sc.lists, nb)
+			sc.sets = append(sc.sets, nset)
 		}
 		if empty {
 			continue
 		}
-		cand := graph.IntersectMany(sc.lists, &sc.isect)
 		var n uint64
 		switch {
 		case len(e.NewFilters) == 0 && pred.trivial() && !candKeyed:
-			// Fast path: count candidates, subtract the ones that collide
-			// with matched vertices (candidate lists are sorted sets, so a
-			// matched vertex appears at most once).
-			n = uint64(len(cand))
-			for _, u := range row {
-				if graph.ContainsSorted(cand, u) {
-					n--
+			// Count-only fast path: the candidate set is never materialised —
+			// the adaptive count kernel reduces the all-hub case to a
+			// popcount, and the collision subtraction probes each matched
+			// vertex through every operand (a vertex is a candidate iff every
+			// operand contains it) instead of searching a built list.
+			n = uint64(graph.IntersectCountAdaptive(sc.sets, &sc.isect))
+			if n > 0 {
+				for _, u := range row {
+					if containsAll(sc.sets, u) {
+						n--
+					}
 				}
 			}
 			if bud != nil {
@@ -205,13 +210,17 @@ func (r *machineRun) countChunk(e *dataflow.Extend, c *dataflow.Batch, twoStage 
 				n = bud.Take(n)
 			}
 		case candKeyed:
+			// Candidate-keyed grouping tests and keys each candidate without
+			// materialising the set: a packed bitset result is iterated bit
+			// by bit.
+			cand := graph.IntersectAdaptive(sc.sets, &sc.isect)
 			keys := gt.keys[:0]
-			for _, v := range cand {
-				if !acceptCandidate(e, pred, row, v) {
-					continue
+			cand.Range(func(v graph.VertexID) bool {
+				if acceptCandidate(e, pred, row, v) {
+					keys = append(keys, keyer.candKey(row, v))
 				}
-				keys = append(keys, keyer.candKey(row, v))
-			}
+				return true
+			})
 			gt.keys = keys
 			n = uint64(len(keys))
 			if bud != nil {
@@ -223,11 +232,16 @@ func (r *machineRun) countChunk(e *dataflow.Extend, c *dataflow.Batch, twoStage 
 				gt.counts[k]++
 			}
 		default:
-			for _, v := range cand {
+			// Filtered counting (labels, delta old-edge rejection, symmetry
+			// filters): candidates are only tested, never collected — the
+			// shared candPred runs per set bit when the bitset path wins.
+			cand := graph.IntersectAdaptive(sc.sets, &sc.isect)
+			cand.Range(func(v graph.VertexID) bool {
 				if acceptCandidate(e, pred, row, v) {
 					n++
 				}
-			}
+				return true
+			})
 			if bud != nil {
 				n = bud.Take(n)
 			}
@@ -238,6 +252,18 @@ func (r *machineRun) countChunk(e *dataflow.Extend, c *dataflow.Batch, twoStage 
 		total += n
 	}
 	return total, nil
+}
+
+// containsAll reports whether u lies in every operand set — the adaptive
+// membership form of "u is a candidate", used to subtract already-matched
+// vertices from a count-only intersection.
+func containsAll(sets []graph.NbrList, u graph.VertexID) bool {
+	for _, s := range sets {
+		if !s.Contains(u) {
+			return false
+		}
+	}
+	return true
 }
 
 // acceptCandidate applies the full per-candidate check of a counting

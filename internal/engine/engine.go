@@ -78,6 +78,12 @@ type Config struct {
 	// be shared across several Run invocations (delta-mode flows merge
 	// additively). Under a Budget, groups see exactly the granted share.
 	Groups *GroupAgg
+	// NoAdaptive disables the degree-adaptive intersection kernels: extends
+	// then run the legacy merge/gallop list kernels only, never consulting
+	// or building the snapshot's hub-bitset index. Adaptive dispatch is the
+	// default; this switch exists for A/B measurement (bench8) and as an
+	// escape hatch.
+	NoAdaptive bool
 	// Budget, when non-nil, is the shared match budget of a top-k run:
 	// the sink (and the compressed counting path) claim slots per result,
 	// and once the budget is exhausted every stage halts cooperatively at

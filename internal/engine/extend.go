@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/dataflow"
 	"repro/internal/graph"
+	"repro/internal/metrics"
 	"repro/internal/steal"
 )
 
@@ -94,8 +95,9 @@ func (r *machineRun) fetchStage(e *dataflow.Extend, b *dataflow.Batch) error {
 
 // extendScratch is per-worker reusable state for the intersect stage.
 type extendScratch struct {
-	lists   [][]graph.VertexID
+	sets    []graph.NbrList
 	isect   graph.IntersectScratch
+	candBuf []graph.VertexID // materialised candidates of a bitset result
 	out     *dataflow.Batch
 	outs    []*dataflow.Batch
 	rowBuf  []graph.VertexID
@@ -109,13 +111,18 @@ type extendScratch struct {
 // per-batch scratch allocations entirely.
 var scratchPool = sync.Pool{New: func() any { return new(extendScratch) }}
 
-// release returns a drained scratch to the pool. The adjacency references
-// in lists are cleared so the pool never pins a superseded graph snapshot;
-// a leftover empty output batch (closeScratch moves out the non-empty ones)
-// goes back to the batch pool rather than leaking.
-func (sc *extendScratch) release() {
-	clear(sc.lists)
-	sc.lists = sc.lists[:0]
+// release returns a drained scratch to the pool, flushing its per-worker
+// kernel-dispatch tally into the run's shared metrics sink. The adjacency
+// and hub-bitset references in sets are cleared so the pool never pins a
+// superseded graph snapshot; a leftover empty output batch (closeScratch
+// moves out the non-empty ones) goes back to the batch pool rather than
+// leaking.
+func (sc *extendScratch) release(k *metrics.Kernels) {
+	k.AddCounts(sc.isect.Stats)
+	sc.isect.Stats = graph.KernelCounts{}
+	sc.isect.DropRefs()
+	clear(sc.sets)
+	sc.sets = sc.sets[:0]
 	sc.out.Recycle()
 	sc.out, sc.outs, sc.missErr = nil, nil, nil
 	scratchPool.Put(sc)
@@ -137,7 +144,7 @@ func (r *machineRun) intersectStage(e *dataflow.Extend, b *dataflow.Batch, twoSt
 			r.extendChunk(e, c, twoStage, sc)
 		}
 		outs, err := closeScratch(sc), sc.missErr
-		sc.release()
+		sc.release(&eng.ex.Metrics.Kernels)
 		return outs, err
 	}
 
@@ -199,7 +206,7 @@ func (r *machineRun) intersectStage(e *dataflow.Extend, b *dataflow.Batch, twoSt
 		if sc.missErr != nil && err == nil {
 			err = sc.missErr
 		}
-		sc.release()
+		sc.release(&eng.ex.Metrics.Kernels)
 	}
 	return outs, err
 }
@@ -302,6 +309,37 @@ func (r *machineRun) neighborsFor(v graph.VertexID, twoStage bool) ([]graph.Vert
 	return r.m.FetchDirect(v), nil
 }
 
+// hubMinFor resolves the hub-bitset threshold of the current run: 0 when
+// adaptive intersection is disabled (Config.NoAdaptive — the legacy
+// merge/gallop kernels, kept as the bench8 baseline), otherwise the
+// snapshot's threshold. The length check `len(nb) >= hubMin` is exact —
+// only vertices at or above the threshold carry bitsets — so non-hub
+// resolutions never pay even a map lookup, and graphs without hub-sized
+// lists never build the index at all.
+func (r *machineRun) hubMinFor(g *graph.Graph) int {
+	if r.ex.eng.cfg.NoAdaptive {
+		return 0
+	}
+	return g.HubMinDegree()
+}
+
+// nbrSetFor resolves one intersection operand: the adjacency list, plus
+// the vertex's packed hub bitset when the list is hub-sized. Hub bitsets
+// are derived index metadata over the pinned snapshot — like vertex
+// labels, they are replicated on every simulated machine, so consulting
+// one for a pulled remote list moves no extra adjacency bytes.
+func (r *machineRun) nbrSetFor(v graph.VertexID, twoStage bool, g *graph.Graph, hubMin int) (graph.NbrList, error) {
+	nb, err := r.neighborsFor(v, twoStage)
+	if err != nil {
+		return graph.NbrList{}, err
+	}
+	s := graph.NbrList{List: nb}
+	if hubMin > 0 && len(nb) >= hubMin {
+		s.Bits = g.HubBitset(v)
+	}
+	return s, nil
+}
+
 // extendChunk applies the extend to every row of one chunk, appending
 // results to the worker's scratch batches. The shared candidate predicate
 // (vertex label, edge labels, delta old-edge restriction) drops candidates
@@ -317,28 +355,32 @@ func (r *machineRun) extendChunk(e *dataflow.Extend, c *dataflow.Batch, twoStage
 	if pred.impossible {
 		return // a constrained label cannot occur in this graph
 	}
+	hubMin := r.hubMinFor(pred.g)
 	for i := 0; i < c.Rows(); i++ {
 		row := c.Row(i)
-		sc.lists = sc.lists[:0]
+		sc.sets = sc.sets[:0]
 		ok := true
 		for _, s := range e.ExtSlots {
-			nb, err := r.neighborsFor(row[s], twoStage)
+			nset, err := r.nbrSetFor(row[s], twoStage, pred.g, hubMin)
 			if err != nil {
 				sc.missErr = err
 				return
 			}
-			if len(nb) == 0 {
+			if len(nset.List) == 0 {
 				ok = false
 				break
 			}
-			sc.lists = append(sc.lists, nb)
+			sc.sets = append(sc.sets, nset)
 		}
 		if !ok {
 			continue
 		}
-		cand := graph.IntersectMany(sc.lists, &sc.isect)
+		cand := graph.IntersectAdaptive(sc.sets, &sc.isect)
 		if e.IsVerify() {
-			if graph.ContainsSorted(cand, row[e.VerifySlot]) && pred.ok(row, row[e.VerifySlot]) {
+			// Probe-only: the verified vertex is already matched, so the
+			// adaptive membership test (bitset or binary search) replaces
+			// any need for the candidate list itself.
+			if cand.Contains(row[e.VerifySlot]) && pred.ok(row, row[e.VerifySlot]) {
 				if sc.out.Rows() >= maxRows {
 					sc.outs = append(sc.outs, sc.out)
 					sc.out = dataflow.GetBatch(outWidth, maxRows)
@@ -347,8 +389,16 @@ func (r *machineRun) extendChunk(e *dataflow.Extend, c *dataflow.Batch, twoStage
 			}
 			continue
 		}
+		// This path builds output rows, so a packed bitset result is
+		// materialised (one pass over its set bits) into the worker's
+		// candidate buffer; a list result is consumed in place.
+		candList := cand.List
+		if cand.Bits != nil {
+			sc.candBuf = cand.AppendTo(sc.candBuf[:0])
+			candList = sc.candBuf
+		}
 	candidates:
-		for _, v := range cand {
+		for _, v := range candList {
 			// Shared label/delta predicate on the newly matched vertex.
 			if !pred.ok(row, v) {
 				continue

@@ -1,0 +1,139 @@
+package engine
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/cache"
+	"repro/internal/cluster"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/plan"
+	"repro/internal/query"
+)
+
+// hubGraph returns a skewed test graph with a hub threshold low enough
+// that its power-law hubs actually get bitsets (the auto threshold of 64
+// exceeds every degree at this scale).
+func hubGraph() *graph.Graph {
+	g := gen.PowerLaw(300, 4, 11)
+	g.SetHubMinDegree(8)
+	return g
+}
+
+// runKernel executes q on g and returns the count plus the run's kernel
+// dispatch tally.
+func runKernel(t *testing.T, g *graph.Graph, q *query.Query, ecfg Config) (uint64, graph.KernelCounts) {
+	t.Helper()
+	df, err := plan.Translate(plan.HugeWcoPlan(q))
+	if err != nil {
+		t.Fatalf("translate: %v", err)
+	}
+	ex := cluster.New(g, cluster.Config{NumMachines: 2, Workers: 2, CacheKind: cache.LRBU}).NewExec()
+	got, err := Run(context.Background(), ex, df, ecfg)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return got, ex.Metrics.Kernels.Snapshot()
+}
+
+// TestEngineKernelDispatchCounters proves the engine's hot paths actually
+// route through the adaptive dispatcher: a counting run must hit the
+// count-only kernels and the bitset paths, a materialising run the
+// list-building ones, and NoAdaptive must keep every bitset counter at
+// zero while producing the same counts.
+func TestEngineKernelDispatchCounters(t *testing.T) {
+	g := hubGraph()
+	q := query.Q2() // square: multiway intersections on both paths
+	want := baseline.GroundTruthCount(g, q)
+
+	// Compressed counting run: the final extend counts candidates without
+	// materialising them.
+	n, kc := runKernel(t, g, q, Config{BatchRows: 64, QueueRows: 256, Compress: true})
+	if n != want {
+		t.Fatalf("compressed count = %d, want %d", n, want)
+	}
+	if kc.BitsetProbe+kc.BitsetAnd+kc.CountProbe+kc.CountBitsetAnd == 0 {
+		t.Fatalf("hub graph with threshold 8 dispatched no bitset kernels: %+v", kc)
+	}
+
+	// Materialising run (OnResult forces row building).
+	var mu sync.Mutex
+	rows := 0
+	n2, kc2 := runKernel(t, g, q, Config{BatchRows: 64, QueueRows: 256,
+		OnResult: func([]graph.VertexID) { mu.Lock(); rows++; mu.Unlock() }})
+	if n2 != want || rows != int(want) {
+		t.Fatalf("materialising count = %d (rows %d), want %d", n2, rows, want)
+	}
+	if kc2.Merge+kc2.Gallop+kc2.BitsetProbe+kc2.BitsetAnd == 0 {
+		t.Fatalf("materialising run dispatched no kernels: %+v", kc2)
+	}
+
+	// NoAdaptive: same counts, legacy kernels only.
+	n3, kc3 := runKernel(t, g, q, Config{BatchRows: 64, QueueRows: 256, Compress: true, NoAdaptive: true})
+	if n3 != want {
+		t.Fatalf("NoAdaptive count = %d, want %d", n3, want)
+	}
+	if kc3.BitsetProbe+kc3.BitsetAnd+kc3.CountProbe+kc3.CountBitsetAnd != 0 {
+		t.Fatalf("NoAdaptive run still dispatched bitset kernels: %+v", kc3)
+	}
+	if kc3.Merge+kc3.Gallop+kc3.CountMerge+kc3.CountGallop == 0 {
+		t.Fatalf("NoAdaptive run dispatched no list kernels: %+v", kc3)
+	}
+}
+
+// TestEngineAdaptiveAcrossQueries checks adaptive-vs-oracle counts on every
+// catalog query over the hub graph, so each shape (triangles, squares,
+// cliques, stars) crosses the dispatcher — and asserts that across the
+// catalog the count-only kernels fire (queries whose final extend has no
+// symmetry filters take the count fast path).
+func TestEngineAdaptiveAcrossQueries(t *testing.T) {
+	g := hubGraph()
+	var agg graph.KernelCounts
+	for _, q := range query.Catalog() {
+		want := baseline.GroundTruthCount(g, q)
+		n, kc := runKernel(t, g, q, Config{BatchRows: 64, QueueRows: 256, Compress: true})
+		if n != want {
+			t.Errorf("%s: adaptive count = %d, want %d", q.Name(), n, want)
+		}
+		agg.Add(kc)
+	}
+	if agg.CountMerge+agg.CountGallop+agg.CountProbe+agg.CountBitsetAnd == 0 {
+		t.Errorf("no catalog query dispatched a count-only kernel: %+v", agg)
+	}
+	if agg.BitsetProbe+agg.BitsetAnd == 0 {
+		t.Errorf("no catalog query dispatched a bitset kernel: %+v", agg)
+	}
+}
+
+// TestHubBuildRaceUnderConcurrentRuns races the lazy hub-bitset build: many
+// concurrent Execs on one fresh snapshot all demand bitsets at once. Under
+// -race this proves the first-Exec build publishes cleanly to the others.
+func TestHubBuildRaceUnderConcurrentRuns(t *testing.T) {
+	g := hubGraph() // fresh snapshot: no hub index built yet
+	q := query.Triangle()
+	want := baseline.GroundTruthCount(g, q)
+	df, err := plan.Translate(plan.HugeWcoPlan(q))
+	if err != nil {
+		t.Fatalf("translate: %v", err)
+	}
+	cl := cluster.New(g, cluster.Config{NumMachines: 2, Workers: 2, CacheKind: cache.LRBU})
+	var wg sync.WaitGroup
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			n, err := Run(context.Background(), cl.NewExec(), df, Config{BatchRows: 32, QueueRows: 128, Compress: true})
+			if err != nil {
+				t.Errorf("concurrent run: %v", err)
+				return
+			}
+			if n != want {
+				t.Errorf("concurrent run count = %d, want %d", n, want)
+			}
+		}()
+	}
+	wg.Wait()
+}

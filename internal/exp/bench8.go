@@ -1,0 +1,322 @@
+package exp
+
+// Bench8 is the degree-adaptive intersection-kernel experiment behind
+// BENCH_8.json: the machine-readable counterpart of
+// BenchmarkIntersectKernels. It measures the tentpole on two axes:
+//
+//   - Kernel level, hub-heavy shape: operand sets sampled from the actual
+//     hub adjacency lists of a power-law graph, intersected with the legacy
+//     list kernels (merge/gallop only — what every extend ran before this
+//     PR) versus the adaptive dispatcher with hub bitsets attached, plus
+//     the count-only variant. Claim: the adaptive kernels win >= 2x on
+//     hub-heavy intersections at the largest scale.
+//
+//   - Engine level, uniform shape: full CountOnly executions on a road
+//     network — a graph with no hubs at all — with adaptive dispatch
+//     enabled (auto threshold) versus disabled (HubMinDegree -1). No
+//     vertex reaches hub degree, so the bitset index is never built and
+//     the two runs execute the same kernels; the ratio is the pure
+//     dispatch overhead. Claim: <= 1.05x (adaptive must cost nothing where
+//     it cannot help). The engine A/B also cross-checks that both modes
+//     return identical counts.
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"time"
+
+	"repro/huge"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// Bench8Config parameterises the experiment.
+type Bench8Config struct {
+	Scales    []int // graph-size multipliers (vertices = 3000 * scale)
+	Iters     int   // timed rounds per measurement (min is reported)
+	HubPairs  int   // sampled hub operand sets per kernel sweep
+	KernelRep int   // kernel sweep repetitions per timed round
+}
+
+// DefaultBench8Config mirrors BenchmarkIntersectKernels' setup.
+func DefaultBench8Config() Bench8Config {
+	return Bench8Config{Scales: []int{1, 2, 4}, Iters: 5, HubPairs: 256, KernelRep: 8}
+}
+
+// Bench8Row is one (shape, scale)'s measurements. Kernel-level fields are
+// populated for the hub shape, engine-level fields for both.
+type Bench8Row struct {
+	Shape    string `json:"shape"` // "powerlaw" (hub-heavy) | "road" (uniform)
+	Scale    int    `json:"scale"`
+	Vertices int    `json:"vertices"`
+	Edges    int    `json:"edges"`
+	HubMin   int    `json:"hub_min_degree"` // threshold of the auto index
+	Hubs     int    `json:"hubs"`           // vertices with a packed bitset
+
+	// Kernel level (hub shape only): one sweep = HubPairs sampled hub
+	// operand sets, each intersected KernelRep times.
+	KernelPairs    int     `json:"kernel_pairs,omitempty"`
+	LegacyNs       int64   `json:"legacy_ns,omitempty"`        // IntersectMany, lists only
+	AdaptiveNs     int64   `json:"adaptive_ns,omitempty"`      // IntersectAdaptive + bitsets
+	LegacyCountNs  int64   `json:"legacy_count_ns,omitempty"`  // materialise, then len()
+	CountNs        int64   `json:"count_ns,omitempty"`         // IntersectCountAdaptive
+	KernelSpeedup  float64 `json:"kernel_speedup,omitempty"`   // legacy / adaptive
+	CountSpeedup   float64 `json:"count_speedup,omitempty"`    // legacy-count / count
+	KernelAndCalls uint64  `json:"kernel_and_calls,omitempty"` // bitset-AND dispatches per sweep
+
+	// Engine level: CountOnly triangle counting, adaptive vs disabled.
+	Matches          uint64  `json:"matches"`
+	EngineLegacyNs   int64   `json:"engine_legacy_ns"`   // HubMinDegree -1
+	EngineAdaptiveNs int64   `json:"engine_adaptive_ns"` // auto threshold
+	EngineRatio      float64 `json:"engine_ratio"`       // adaptive / legacy (<1 is a win)
+	CountsEqual      bool    `json:"counts_equal"`
+}
+
+// Bench8Report is the BENCH_8.json document.
+type Bench8Report struct {
+	Benchmark string      `json:"benchmark"`
+	GOOS      string      `json:"goos"`
+	GOARCH    string      `json:"goarch"`
+	CPUs      int         `json:"cpus"`
+	Claims    B8Claims    `json:"claims"`
+	Rows      []Bench8Row `json:"rows"`
+}
+
+// B8Claims summarises the two headline numbers.
+type B8Claims struct {
+	// HubKernelSpeedupMin is the worst adaptive-vs-legacy kernel speedup on
+	// the hub shape at the largest scale. Target: >= 2.
+	HubKernelSpeedupMin float64 `json:"hub_kernel_speedup_min"`
+	// UniformEngineRegressionMax is the worst adaptive/legacy engine ratio
+	// across the uniform rows. Target: <= 1.05.
+	UniformEngineRegressionMax float64 `json:"uniform_engine_regression_max"`
+	// CountsEqual is true iff every engine A/B returned identical counts.
+	CountsEqual bool `json:"counts_equal"`
+}
+
+// Bench8 runs the experiment.
+func Bench8(cfg Bench8Config) Bench8Report {
+	if len(cfg.Scales) == 0 {
+		cfg = DefaultBench8Config()
+	}
+	rep := Bench8Report{
+		Benchmark: "IntersectKernels",
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+	}
+	rep.Claims.CountsEqual = true
+	maxScale := cfg.Scales[0]
+	for _, s := range cfg.Scales {
+		if s > maxScale {
+			maxScale = s
+		}
+	}
+	for _, s := range cfg.Scales {
+		rep.Rows = append(rep.Rows, bench8Hub(s, cfg), bench8Uniform(s, cfg))
+	}
+	first := true
+	for _, r := range rep.Rows {
+		if r.Shape == "powerlaw" && r.Scale == maxScale {
+			if first || r.KernelSpeedup < rep.Claims.HubKernelSpeedupMin {
+				rep.Claims.HubKernelSpeedupMin = r.KernelSpeedup
+				first = false
+			}
+		}
+		if r.Shape == "road" && r.EngineRatio > rep.Claims.UniformEngineRegressionMax {
+			rep.Claims.UniformEngineRegressionMax = r.EngineRatio
+		}
+		rep.Claims.CountsEqual = rep.Claims.CountsEqual && r.CountsEqual
+	}
+	return rep
+}
+
+// Table renders the report for the CLI, alongside the JSON artifact.
+func (r Bench8Report) Table() Table {
+	t := Table{
+		Title:  "BENCH_8: degree-adaptive intersection kernels (legacy merge/gallop vs hub-bitset dispatch)",
+		Header: []string{"shape", "scale", "V", "E", "hubs", "legacy", "adaptive", "kernel", "count", "eng legacy", "eng adaptive", "eng ratio", "counts"},
+	}
+	for _, row := range r.Rows {
+		d := func(ns int64) string {
+			if ns == 0 {
+				return "-"
+			}
+			return fmtDur(time.Duration(ns))
+		}
+		x := func(v float64) string {
+			if v == 0 {
+				return "-"
+			}
+			return fmt.Sprintf("%.2fx", v)
+		}
+		eq := "equal"
+		if !row.CountsEqual {
+			eq = "MISMATCH"
+		}
+		t.Rows = append(t.Rows, []string{
+			row.Shape,
+			fmt.Sprintf("%d", row.Scale),
+			fmt.Sprintf("%d", row.Vertices),
+			fmt.Sprintf("%d", row.Edges),
+			fmt.Sprintf("%d", row.Hubs),
+			d(row.LegacyNs), d(row.AdaptiveNs),
+			x(row.KernelSpeedup), x(row.CountSpeedup),
+			d(row.EngineLegacyNs), d(row.EngineAdaptiveNs),
+			x(row.EngineRatio), eq,
+		})
+	}
+	return t
+}
+
+// bench8Measure times fn over one warmup + iters rounds and returns the
+// minimum round time — ratios near 1.0 (the uniform no-regression claim)
+// need the noise floor, not the average.
+func bench8Measure(iters int, fn func()) int64 {
+	fn() // warmup
+	best := int64(0)
+	for i := 0; i < iters; i++ {
+		start := time.Now()
+		fn()
+		if ns := time.Since(start).Nanoseconds(); best == 0 || ns < best {
+			best = ns
+		}
+	}
+	return best
+}
+
+// bench8Hub measures the kernel-level hub workload plus the engine A/B on
+// a power-law graph.
+func bench8Hub(scale int, cfg Bench8Config) Bench8Row {
+	// m = 16 attachments keeps a few dozen vertices above the auto hub
+	// threshold (numV/32, which grows with scale) at every scale, so the
+	// hub workload exists across the whole grid.
+	g := gen.PowerLaw(3000*scale, 16, 31)
+	row := Bench8Row{Shape: "powerlaw", Scale: scale, Vertices: g.NumVertices(), Edges: int(g.NumEdges())}
+	row.HubMin = g.HubMinDegree()
+	row.Hubs = g.NumHubs()
+	bench8Engine(g, scale, cfg, &row)
+
+	// Sample operand sets from the real hub adjacency lists, heaviest
+	// first — the wedge-closing intersections a wco extend performs around
+	// hubs. Pairs mix hub x hub (bitset-AND / probe territory) with
+	// hub x medium (gallop / probe).
+	var hubs []graph.VertexID
+	for v := 0; v < g.NumVertices(); v++ {
+		if g.HubBitset(graph.VertexID(v)) != nil {
+			hubs = append(hubs, graph.VertexID(v))
+		}
+	}
+	sort.Slice(hubs, func(i, j int) bool { return g.Degree(hubs[i]) > g.Degree(hubs[j]) })
+	if len(hubs) < 2 {
+		return row
+	}
+	type operands struct {
+		lists [][]graph.VertexID
+		sets  []graph.NbrList
+	}
+	var pairs []operands
+	for i := 0; i < cfg.HubPairs; i++ {
+		u := hubs[i%len(hubs)]
+		v := hubs[(i*7+1)%len(hubs)]
+		if u == v {
+			v = hubs[(i*7+2)%len(hubs)]
+		}
+		lists := [][]graph.VertexID{g.Neighbors(u), g.Neighbors(v)}
+		sets := []graph.NbrList{
+			{List: lists[0], Bits: g.HubBitset(u)},
+			{List: lists[1], Bits: g.HubBitset(v)},
+		}
+		pairs = append(pairs, operands{lists, sets})
+	}
+	row.KernelPairs = len(pairs)
+
+	var sc graph.IntersectScratch
+	sink := 0
+	row.LegacyNs = bench8Measure(cfg.Iters, func() {
+		for r := 0; r < cfg.KernelRep; r++ {
+			for _, p := range pairs {
+				sink += len(graph.IntersectMany(p.lists, &sc))
+			}
+		}
+	})
+	row.AdaptiveNs = bench8Measure(cfg.Iters, func() {
+		for r := 0; r < cfg.KernelRep; r++ {
+			for _, p := range pairs {
+				sink += graph.IntersectAdaptive(p.sets, &sc).Len()
+			}
+		}
+	})
+	row.LegacyCountNs = bench8Measure(cfg.Iters, func() {
+		for r := 0; r < cfg.KernelRep; r++ {
+			for _, p := range pairs {
+				sink += len(graph.IntersectMany(p.lists, &sc))
+			}
+		}
+	})
+	sc.Stats = graph.KernelCounts{}
+	row.CountNs = bench8Measure(cfg.Iters, func() {
+		for r := 0; r < cfg.KernelRep; r++ {
+			for _, p := range pairs {
+				sink += graph.IntersectCountAdaptive(p.sets, &sc)
+			}
+		}
+	})
+	row.KernelAndCalls = sc.Stats.CountBitsetAnd
+	_ = sink
+	row.KernelSpeedup = float64(row.LegacyNs) / float64(row.AdaptiveNs)
+	row.CountSpeedup = float64(row.LegacyCountNs) / float64(row.CountNs)
+	return row
+}
+
+// bench8Uniform measures the engine A/B on a road network (no hubs).
+func bench8Uniform(scale int, cfg Bench8Config) Bench8Row {
+	g := gen.Road(3000*scale, 0.1, 37)
+	row := Bench8Row{Shape: "road", Scale: scale, Vertices: g.NumVertices(), Edges: int(g.NumEdges())}
+	row.HubMin = g.HubMinDegree()
+	bench8Engine(g, scale, cfg, &row)
+	row.Hubs = g.NumHubs() // after the runs: stays 0 — no list reaches hub degree
+	return row
+}
+
+// bench8Engine times full CountOnly executions with adaptive dispatch on
+// (auto threshold) and off (HubMinDegree -1), on separate systems so each
+// mode owns its snapshot.
+func bench8Engine(g *huge.Graph, scale int, cfg Bench8Config, row *Bench8Row) {
+	ctx := context.Background()
+	q := huge.NewQuery("tri", [][2]int{{0, 1}, {0, 2}, {1, 2}})
+	run := func(sys *huge.System) uint64 {
+		res, err := sys.Exec(ctx, q, huge.CountOnly()).Wait()
+		if err != nil {
+			panic(err)
+		}
+		return res.Count
+	}
+	legacy := huge.NewSystem(g, huge.Options{Machines: 4 * scale, Workers: 2, HubMinDegree: -1})
+	adaptive := huge.NewSystem(g, huge.Options{Machines: 4 * scale, Workers: 2})
+	// Warm both (plan caches, pools, the lazy hub index), then interleave
+	// the timed rounds and keep per-mode minima: the no-regression claim
+	// compares ratios near 1.0, where sequential measurement would fold
+	// GC drift and scheduler luck into a fake regression.
+	nLegacy, nAdaptive := run(legacy), run(adaptive)
+	var legacyNs, adaptiveNs int64
+	for i := 0; i < 2*cfg.Iters; i++ {
+		start := time.Now()
+		run(legacy)
+		if ns := time.Since(start).Nanoseconds(); legacyNs == 0 || ns < legacyNs {
+			legacyNs = ns
+		}
+		start = time.Now()
+		run(adaptive)
+		if ns := time.Since(start).Nanoseconds(); adaptiveNs == 0 || ns < adaptiveNs {
+			adaptiveNs = ns
+		}
+	}
+	row.Matches = nAdaptive
+	row.EngineLegacyNs = legacyNs
+	row.EngineAdaptiveNs = adaptiveNs
+	row.EngineRatio = float64(adaptiveNs) / float64(legacyNs)
+	row.CountsEqual = nLegacy == nAdaptive
+}

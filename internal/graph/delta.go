@@ -321,6 +321,9 @@ func ApplyThreshold(g *Graph, d Delta, maxOverlayFrac float64) (*Graph, Applied)
 	becomesLabelled := edgeLabelled && g.elabels == nil
 
 	ng := &Graph{numV: nv, numE: numE, epoch: g.epoch + 1}
+	// The new snapshot keeps the configured hub threshold but never the
+	// built index: adjacency changed, so hub bitsets rebuild lazily.
+	ng.hubMin.Store(g.hubMin.Load())
 	switch {
 	case len(overlay) == 0 && nv == g.numV:
 		// Nothing changed structurally: share the base CSR verbatim. (A

@@ -14,6 +14,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // VertexID identifies a data-graph vertex. IDs are dense in [0, NumVertices).
@@ -76,6 +77,15 @@ type Graph struct {
 	tripleOnce  sync.Once
 	tripleIdx   map[uint32][]VertexID // srcLabel<<16|edgeLabel → vertices, ascending
 	elabelVerts map[LabelID][]VertexID
+
+	// The hub-bitset index (see bitset.go) is built lazily on first use —
+	// one overlay-aware O(V+E) pass per snapshot, only paid when an
+	// adaptive intersection meets a hub-sized list. hub is published
+	// atomically so probe paths (HasEdge) can consult an already-built
+	// index without forcing the build.
+	hubOnce sync.Once
+	hub     atomic.Pointer[hubIndex]
+	hubMin  atomic.Int32 // explicit threshold override; 0 = auto
 }
 
 // NumVertices returns the number of vertices.
@@ -126,8 +136,20 @@ func (g *Graph) Neighbors(v VertexID) []VertexID {
 	return g.adj[g.offsets[v]:g.offsets[v+1]]
 }
 
-// HasEdge reports whether the undirected edge (u, v) exists.
+// HasEdge reports whether the undirected edge (u, v) exists. When the
+// snapshot's hub-bitset index is already built and an endpoint is a hub,
+// the membership test is one bitset probe instead of a binary search over
+// the hub's (by definition large) adjacency list; the check never forces
+// the index build.
 func (g *Graph) HasEdge(u, v VertexID) bool {
+	if idx := g.hub.Load(); idx != nil {
+		if hb := idx.bits[u]; hb != nil {
+			return hb.Has(v)
+		}
+		if hb := idx.bits[v]; hb != nil {
+			return hb.Has(u)
+		}
+	}
 	nu, nv := g.Neighbors(u), g.Neighbors(v)
 	if len(nu) > len(nv) {
 		nu, v = nv, u
@@ -217,6 +239,7 @@ func WithLabels(g *Graph, labels []LabelID) *Graph {
 		elabels: g.elabels, overEl: g.overEl, numELabels: g.numELabels,
 	}
 	ng.attachLabels(append([]LabelID(nil), labels...))
+	ng.adoptHubIndex(g)
 	return ng
 }
 
@@ -369,6 +392,7 @@ func WithEdgeLabels(g *Graph, label func(u, v VertexID) LabelID) *Graph {
 		}
 	}
 	ng.numELabels = int(maxL) + 1
+	ng.adoptHubIndex(g)
 	return ng
 }
 

@@ -8,6 +8,8 @@ package metrics
 import (
 	"sync/atomic"
 	"time"
+
+	"repro/internal/graph"
 )
 
 // Metrics aggregates counters for one query execution.
@@ -32,6 +34,55 @@ type Metrics struct {
 
 	StealsIntra atomic.Uint64
 	StealsInter atomic.Uint64
+
+	// Kernels tallies which intersection kernel the adaptive dispatcher
+	// picked (merge / gallop / bitset-probe / bitset-AND, materialising
+	// and count-only) — how tests assert that no dispatch path silently
+	// rots. Workers accumulate plain per-scratch graph.KernelCounts and
+	// flush here at scratch release.
+	Kernels Kernels
+}
+
+// Kernels is the shared, atomic sink for kernel-dispatch tallies.
+type Kernels struct {
+	Merge       atomic.Uint64
+	Gallop      atomic.Uint64
+	BitsetProbe atomic.Uint64
+	BitsetAnd   atomic.Uint64
+
+	CountMerge     atomic.Uint64
+	CountGallop    atomic.Uint64
+	CountProbe     atomic.Uint64
+	CountBitsetAnd atomic.Uint64
+}
+
+// AddCounts flushes one worker's per-scratch tally into the shared sink.
+func (k *Kernels) AddCounts(c graph.KernelCounts) {
+	if c.Total() == 0 {
+		return
+	}
+	k.Merge.Add(c.Merge)
+	k.Gallop.Add(c.Gallop)
+	k.BitsetProbe.Add(c.BitsetProbe)
+	k.BitsetAnd.Add(c.BitsetAnd)
+	k.CountMerge.Add(c.CountMerge)
+	k.CountGallop.Add(c.CountGallop)
+	k.CountProbe.Add(c.CountProbe)
+	k.CountBitsetAnd.Add(c.CountBitsetAnd)
+}
+
+// Snapshot copies the dispatch counters into the plain counts form.
+func (k *Kernels) Snapshot() graph.KernelCounts {
+	return graph.KernelCounts{
+		Merge:          k.Merge.Load(),
+		Gallop:         k.Gallop.Load(),
+		BitsetProbe:    k.BitsetProbe.Load(),
+		BitsetAnd:      k.BitsetAnd.Load(),
+		CountMerge:     k.CountMerge.Load(),
+		CountGallop:    k.CountGallop.Load(),
+		CountProbe:     k.CountProbe.Load(),
+		CountBitsetAnd: k.CountBitsetAnd.Load(),
+	}
 }
 
 // AddLiveTuples records queued intermediate results and updates the peak.
@@ -117,6 +168,7 @@ type Summary struct {
 	CacheHits, CacheMisses   uint64
 	PeakTuples               int64
 	StealsIntra, StealsInter uint64
+	Kernels                  graph.KernelCounts
 }
 
 // Snapshot copies the counters.
@@ -134,5 +186,6 @@ func (m *Metrics) Snapshot() Summary {
 		PeakTuples:  m.PeakTuples(),
 		StealsIntra: m.StealsIntra.Load(),
 		StealsInter: m.StealsInter.Load(),
+		Kernels:     m.Kernels.Snapshot(),
 	}
 }
