@@ -802,3 +802,24 @@ func BenchmarkIntersectKernels(b *testing.B) {
 	b.Run("EngineLegacy", func(b *testing.B) { engineRun(b, -1) })
 	b.Run("EngineAdaptive", func(b *testing.B) { engineRun(b, 0) })
 }
+
+// BenchmarkGovernedMixedLoad runs the bench9 saturation experiment at
+// miniature scale: three open-loop client classes (interactive top-k,
+// heavy enumeration, grouped counts) plus Apply churn offered at several
+// times capacity, governed versus ungoverned. The CI smoke runs it once
+// (-benchtime=1x); `hugebench -exp bench9` writes the full-size
+// BENCH_9.json.
+func BenchmarkGovernedMixedLoad(b *testing.B) {
+	cfg := exp.DefaultBench9Config()
+	cfg.Duration = 200 * time.Millisecond
+	cfg.HeavyEvery = 15 * time.Millisecond
+	for i := 0; i < b.N; i++ {
+		rep := exp.Bench9(cfg)
+		if rep.Claims.CollapsedRuns != 0 {
+			b.Fatalf("%d runs collapsed outside the typed taxonomy", rep.Claims.CollapsedRuns)
+		}
+		b.ReportMetric(rep.Claims.InteractiveP95Ratio, "p95Ratio")
+		b.ReportMetric(rep.Claims.ThroughputFactor, "tputFactor")
+		b.ReportMetric(float64(rep.Claims.GovernedSheds), "sheds")
+	}
+}

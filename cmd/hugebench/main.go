@@ -8,10 +8,12 @@
 //	hugebench -exp fig6 -queries q1,q2 -datasets EU,LJ
 //
 // Experiments: table1 fig5 fig6 table4 fig7 fig8 table5 fig9 fig10 table6
-// fig11 all — plus bench6 (the standing-query fan-out benchmark), bench7
-// (engine-side GROUP BY vs client-side enumeration) and bench8 (the
-// degree-adaptive intersection kernels, legacy vs hub-bitset dispatch),
-// which also write their machine-readable results to -out (default
+// fig11 all — plus bench5 (engine-side top-k early termination), bench6
+// (the standing-query fan-out benchmark), bench7 (engine-side GROUP BY vs
+// client-side enumeration), bench8 (the degree-adaptive intersection
+// kernels, legacy vs hub-bitset dispatch) and bench9 (resource
+// governance: governed vs ungoverned mixed load under saturation), which
+// also write their machine-readable results to -out (default
 // BENCH_<n>.json).
 package main
 
@@ -20,6 +22,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/exp"
 )
@@ -82,6 +85,15 @@ func main() {
 		tables = []exp.Table{e.Table6()}
 	case "fig11":
 		tables = []exp.Table{e.Fig11()}
+	case "bench5":
+		cfg := exp.DefaultBench5Config()
+		if *tiny {
+			cfg.Scales = []int{1}
+			cfg.Iters = 2
+		}
+		rep := exp.Bench5(cfg)
+		tables = []exp.Table{rep.Table()}
+		writeReport(orDefault(*out, "BENCH_5.json"), rep)
 	case "bench6":
 		cfg := exp.DefaultBench6Config()
 		cfg.Subscribers = *subs
@@ -112,6 +124,15 @@ func main() {
 		rep := exp.Bench8(cfg)
 		tables = []exp.Table{rep.Table()}
 		writeReport(orDefault(*out, "BENCH_8.json"), rep)
+	case "bench9":
+		cfg := exp.DefaultBench9Config()
+		if *tiny {
+			cfg.Duration = 300 * time.Millisecond
+			cfg.HeavyEvery = 15 * time.Millisecond
+		}
+		rep := exp.Bench9(cfg)
+		tables = []exp.Table{rep.Table()}
+		writeReport(orDefault(*out, "BENCH_9.json"), rep)
 	case "all":
 		e.All(qs, ds, func(t exp.Table) { fmt.Println(t.String()) })
 		return

@@ -47,6 +47,10 @@ type execOptions struct {
 	group     *dataflow.GroupSpec // GroupBy key (nil = plain run)
 	hist      int                 // Histogram buckets (0 = none)
 	topGroups int                 // TopGroups k (0 = full table)
+	prio      int                 // admission priority (Priority option)
+	prioSet   bool                // Priority given (else the session default)
+	memRows   int64               // per-run memory budget (MemoryBudget option)
+	memSet    bool                // MemoryBudget given (else the governed default)
 	optErr    error               // first invalid option, reported by the Stream
 }
 
@@ -126,6 +130,42 @@ func OnMatch(fn func(match []VertexID)) Option {
 	}
 }
 
+// Priority sets the run's admission priority on a governed System
+// (Options.Governor): higher-priority requests are granted run slots first
+// when the system is saturated (with a periodic grant to the lowest
+// waiting class, so low priority means "yield under load", never
+// starvation), and lower-priority runs are preferred as victims when the
+// global memory envelope forces shedding. A priority of at least
+// GovernorConfig.ExpressPriority may also claim a reserved express slot
+// (ExpressSlots) instead of queueing. Any int is a valid priority; the
+// default is 0, or the session's SetPriority value. On an ungoverned
+// System the option is accepted and ignored.
+func Priority(p int) Option {
+	return func(o *execOptions) {
+		o.prio = p
+		o.prioSet = true
+	}
+}
+
+// MemoryBudget caps this run's live intermediate tuples at rows: the
+// engine checks the run's live-tuple account at every batch boundary and
+// fails the run with ErrMemoryBudget once it exceeds the budget —
+// releasing every queued batch and spill file, leaving other runs
+// untouched. The overshoot past the budget is bounded by one batch's
+// expansion per machine. Overrides the governed default
+// (GovernorConfig.RunMemoryRows); works on ungoverned Systems too.
+// MemoryBudget(0) removes the governed default (unbudgeted run).
+func MemoryBudget(rows int64) Option {
+	return func(o *execOptions) {
+		if rows < 0 {
+			o.fail(fmt.Errorf("huge: MemoryBudget(%d): rows must be >= 0", rows))
+			return
+		}
+		o.memRows = rows
+		o.memSet = true
+	}
+}
+
 // Stream is a running query: a pull iterator over its matches and the
 // carrier of its final Result. It is returned immediately by Exec while the
 // engine runs in the background; consuming slower than the engine produces
@@ -180,6 +220,20 @@ func (st *Stream) Matches() iter.Seq[[]VertexID] {
 // Wait blocks until the run completes and returns its Result. Matches not
 // consumed through Next/Matches are discarded (they are still counted).
 // Wait may be called any number of times, from any goroutine.
+//
+// On a governed System (Options.Governor) the error taxonomy is typed —
+// test with errors.Is:
+//
+//   - ErrOverloaded: the run was shed (admission queue full, global memory
+//     envelope exceeded at arrival, or cancelled mid-run as a shedding
+//     victim). Back off and retry.
+//   - ErrMemoryBudget: the run exceeded its own memory budget
+//     (MemoryBudget option or GovernorConfig.RunMemoryRows) and was halted
+//     at a batch boundary; other runs are unaffected.
+//   - ErrInvalidOption: the Exec call itself was malformed (option
+//     validation failed before any work started).
+//   - context.Canceled / context.DeadlineExceeded: the caller's context
+//     (or the Timeout option) ended the run.
 func (st *Stream) Wait() (Result, error) {
 	for range st.rows {
 	}
@@ -212,21 +266,23 @@ func doneStream(err error) *Stream {
 // the System API, each run gets an isolated execution context and shares
 // the fingerprint-keyed plan cache.
 func (s *System) Exec(ctx context.Context, q *Query, opts ...Option) *Stream {
-	return s.exec(ctx, s.snapshot(), q, nil, opts)
+	return s.exec(ctx, s.snapshot(), q, nil, 0, opts)
 }
 
 // Exec starts q against the session's pinned snapshot and returns its
 // Stream (see System.Exec). The run is recorded in the session's Stats
-// when it completes.
+// when it completes, and inherits the session's default admission
+// priority (SetPriority) unless the call carries a Priority option.
 func (se *Session) Exec(ctx context.Context, q *Query, opts ...Option) *Stream {
-	return se.sys.exec(ctx, se.pinned(), q, se.record, opts)
+	return se.sys.exec(ctx, se.pinned(), q, se.record, se.priority(), opts)
 }
 
 // exec validates options, sets up the Stream and launches the run
 // goroutine. onDone, when set, observes the terminal (Result, error) —
-// the session stats hook.
-func (s *System) exec(ctx context.Context, sn *snapshot, q *Query, onDone func(Result, error), opts []Option) *Stream {
-	eo := execOptions{limit: -1}
+// the session stats hook. defPrio is the admission priority used when no
+// Priority option is given (the session default).
+func (s *System) exec(ctx context.Context, sn *snapshot, q *Query, onDone func(Result, error), defPrio int, opts []Option) *Stream {
+	eo := execOptions{limit: -1, prio: defPrio}
 	for _, opt := range opts {
 		opt(&eo)
 	}
@@ -247,20 +303,28 @@ func (s *System) exec(ctx context.Context, sn *snapshot, q *Query, onDone func(R
 		}
 	}
 	if eo.optErr != nil {
+		// Every validation failure wears the ErrInvalidOption sentinel, so
+		// callers can distinguish misuse from runtime failure with errors.Is
+		// instead of matching message strings.
+		err := fmt.Errorf("%w: %w", ErrInvalidOption, eo.optErr)
 		if onDone != nil {
-			onDone(Result{}, eo.optErr)
+			onDone(Result{}, err)
 		}
-		return doneStream(eo.optErr)
+		return doneStream(err)
 	}
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	var runCtx context.Context
-	var cancel context.CancelFunc
+	// The run context always carries a cancel cause, so the governor's
+	// victim shedding can mark its cancellations (the cause resurfaces from
+	// Wait as ErrOverloaded); Timeout layers a deadline on top.
+	runCtx, cancelCause := context.WithCancelCause(ctx)
+	cancel := func() { cancelCause(nil) }
 	if eo.timeout > 0 {
-		runCtx, cancel = context.WithTimeout(ctx, eo.timeout)
-	} else {
-		runCtx, cancel = context.WithCancel(ctx)
+		var tcancel context.CancelFunc
+		runCtx, tcancel = context.WithTimeout(runCtx, eo.timeout)
+		base := cancel
+		cancel = func() { tcancel(); base() }
 	}
 
 	// A grouped run is a counting run: like CountOnly, no match reaches the
@@ -291,8 +355,37 @@ func (s *System) exec(ctx context.Context, sn *snapshot, q *Query, onDone func(R
 		close(st.rows) // Next reports exhaustion immediately
 	}
 
+	// Governance handle: carries the run's priority, per-run memory budget
+	// (the option, else the governed default) and cancel-cause hook. Nil
+	// for the plain ungoverned, unbudgeted case.
+	memRows := eo.memRows
+	if !eo.memSet && s.gov != nil {
+		memRows = s.gov.cfg.RunMemoryRows
+	}
+	var h *govRun
+	if s.gov != nil || memRows > 0 {
+		h = &govRun{gov: s.gov, prio: eo.prio, memRows: memRows, cancel: cancelCause}
+		if s.gov != nil {
+			h.adaptive = !s.gov.cfg.NoAdaptiveBatch
+		}
+	}
+
 	go func() {
-		res, err := s.execRun(runCtx, sn, q, &eo, fn, budget)
+		var res Result
+		var err error
+		// Admission runs inside the goroutine so Exec returns the Stream
+		// immediately: a queued (or shed) run surfaces through Wait, like
+		// every other outcome.
+		if gov := s.gov; gov != nil {
+			if err = gov.admit(runCtx, h); err == nil {
+				gov.register(h)
+				res, err = s.execRun(runCtx, sn, q, &eo, fn, budget, h)
+				gov.release(h)
+				err = gov.mapErr(runCtx, err)
+			}
+		} else {
+			res, err = s.execRun(runCtx, sn, q, &eo, fn, budget, h)
+		}
 		cancel() // release the context/timer; senders are already done
 		// The completion hook (session stats) fires before done is closed,
 		// so a caller that Waits and then reads Session.Stats observes the
@@ -311,7 +404,7 @@ func (s *System) exec(ctx context.Context, sn *snapshot, q *Query, onDone func(R
 
 // execRun resolves the plan (cache-backed unless WithPlan) and executes:
 // the single run path behind every public entry point.
-func (s *System) execRun(ctx context.Context, sn *snapshot, q *Query, eo *execOptions, fn func([]VertexID), budget *engine.Budget) (Result, error) {
+func (s *System) execRun(ctx context.Context, sn *snapshot, q *Query, eo *execOptions, fn func([]VertexID), budget *engine.Budget, h *govRun) (Result, error) {
 	var gr *groupRun
 	if eo.group != nil {
 		gr = newGroupRun(eo, q.IsDelta())
@@ -322,9 +415,9 @@ func (s *System) execRun(ctx context.Context, sn *snapshot, q *Query, eo *execOp
 			// running it for a delta view would report Delta == 0 and
 			// corrupt any maintained count. Delta mode always uses the
 			// difference rewriting.
-			return Result{}, errors.New("huge: delta-mode queries use the difference rewriting; Exec them without WithPlan")
+			return Result{}, fmt.Errorf("%w: delta-mode queries use the difference rewriting; Exec them without WithPlan", ErrInvalidOption)
 		}
-		return s.runDelta(ctx, sn, q, fn, budget, gr)
+		return s.runDelta(ctx, sn, q, fn, budget, gr, h)
 	}
 	p := eo.plan
 	var cached bool
@@ -364,7 +457,7 @@ func (s *System) execRun(ctx context.Context, sn *snapshot, q *Query, eo *execOp
 				func() *Plan { return s.buildPlan(sn, q, family) })
 		}
 	}
-	res, err := s.runPlan(ctx, sn, p, fn, budget, gr)
+	res, err := s.runPlan(ctx, sn, p, fn, budget, gr, h)
 	if eo.plan == nil {
 		res.PlanCached = cached
 	}

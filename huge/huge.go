@@ -65,6 +65,22 @@
 // policy (SubShed marks gaps in Event.Missed; SubDisconnect closes with
 // ErrSlowConsumer). 100K subscribers over a handful of patterns cost a
 // handful of enumerations per Apply, not 100K.
+//
+// A System can be resource-governed (Options.Governor) for mixed-traffic
+// serving: an admission gate caps concurrent runs at MaxConcurrent with
+// priority-ordered queueing (the Priority option / Session.SetPriority;
+// an anti-starvation rotation; higher-priority arrivals displace queued
+// background work when the queue is full; reserved ExpressSlots keep
+// interactive requests from ever waiting behind a heavy enumeration).
+// Per-run memory budgets (MemoryBudget / RunMemoryRows) fail a run with
+// ErrMemoryBudget at a batch boundary once its live intermediate tuples
+// exceed the budget; a global envelope (GlobalMemoryRows) sheds new
+// arrivals and cancels lowest-priority victims while the cross-run gauge
+// is over it; and governed sources size batches adaptively — start
+// small, grow while queues stay shallow, shrink under pressure.
+// Overload surfaces only through the typed fast-fail taxonomy —
+// ErrOverloaded, ErrMemoryBudget, ErrInvalidOption, all errors.Is-able —
+// never as collapse; System.GovernorStats exposes the counters.
 package huge
 
 import (
@@ -243,6 +259,13 @@ type Options struct {
 	// value disables adaptive dispatch entirely (legacy merge/gallop
 	// kernels — the bench8 A/B baseline).
 	HubMinDegree int
+	// Governor enables resource governance: a weighted-priority admission
+	// gate over concurrent Exec runs, per-run and global memory budgets,
+	// adaptive batch sizing, and load shedding with typed fast-fail
+	// (ErrOverloaded / ErrMemoryBudget). Nil — the default — disables
+	// governance entirely: every Exec runs immediately and unbudgeted, as
+	// before. See GovernorConfig.
+	Governor *GovernorConfig
 }
 
 // DefaultQueueRows is the adaptive queue capacity substituted when
@@ -315,6 +338,10 @@ type System struct {
 	groupMu sync.Mutex // guards groups and orders registration vs group deletion
 	groups  map[string]*subGroup
 	maint   metrics.Maintenance
+
+	// gov is the resource governor (admission, budgets, shedding); nil
+	// when Options.Governor is nil — the ungoverned historical behaviour.
+	gov *governor
 }
 
 // snapshot returns the current version; runs capture it once and use it
@@ -400,6 +427,9 @@ func NewSystem(g *Graph, opts Options) *System {
 	}
 	if opts.PlanCachePlans >= 0 {
 		s.plans = plan.NewCache(opts.PlanCachePlans)
+	}
+	if opts.Governor != nil {
+		s.gov = newGovernor(*opts.Governor)
 	}
 	return s
 }
@@ -656,8 +686,9 @@ func (s *System) EnumerateContext(ctx context.Context, q *Query, fn func(match [
 }
 
 // engineConfig assembles the per-run engine configuration from the
-// system's options, the run's match consumer and its top-k budget.
-func (s *System) engineConfig(onResult func([]VertexID), budget *engine.Budget) engine.Config {
+// system's options, the run's match consumer, its top-k budget and its
+// governance handle (per-run memory budget + adaptive batch sizing).
+func (s *System) engineConfig(onResult func([]VertexID), budget *engine.Budget, h *govRun) engine.Config {
 	cfg := engine.Config{
 		BatchRows:      s.opts.BatchRows,
 		QueueRows:      s.opts.QueueRows,
@@ -667,6 +698,13 @@ func (s *System) engineConfig(onResult func([]VertexID), budget *engine.Budget) 
 		Compress:       !s.opts.NoCompress,
 		NoAdaptive:     s.opts.HubMinDegree < 0,
 		Budget:         budget,
+	}
+	if h != nil {
+		cfg.MemBudgetRows = h.memRows
+		// Adaptive sizing applies to throughput runs only: a Limit(k) run
+		// already forces the small fixed DFS batch below, which is the
+		// right size for it unconditionally.
+		cfg.AdaptiveBatch = h.adaptive && budget == nil
 	}
 	if budget != nil {
 		// A bounded run schedules as pure DFS (one batch in flight per
@@ -706,12 +744,12 @@ func reindexed(df *dataflow.Dataflow, fn func([]VertexID)) func([]VertexID) {
 	}
 }
 
-func (s *System) runPlan(ctx context.Context, sn *snapshot, p *Plan, fn func([]VertexID), budget *engine.Budget, gr *groupRun) (Result, error) {
+func (s *System) runPlan(ctx context.Context, sn *snapshot, p *Plan, fn func([]VertexID), budget *engine.Budget, gr *groupRun, h *govRun) (Result, error) {
 	df, err := plan.Translate(p)
 	if err != nil {
 		return Result{}, err
 	}
-	cfg := s.engineConfig(reindexed(df, fn), budget)
+	cfg := s.engineConfig(reindexed(df, fn), budget, h)
 	if gr != nil {
 		// Translate built df fresh for this run, so marking its sink for
 		// grouped counting never leaks into the shared (cached) plan.
@@ -721,8 +759,10 @@ func (s *System) runPlan(ctx context.Context, sn *snapshot, p *Plan, fn func([]V
 		cfg.Groups = gr.agg
 	}
 	// Per-run execution context: metrics and adjacency caches private to
-	// this query, so concurrent runs never observe each other.
+	// this query, so concurrent runs never observe each other. A governed
+	// run additionally feeds the system-wide live-tuple gauge.
 	ex := sn.cl.NewExec()
+	h.attach(ex.Metrics)
 	start := time.Now()
 	count, err := engine.Run(ctx, ex, df, cfg)
 	if err != nil {
@@ -755,7 +795,7 @@ func (s *System) runPlan(ctx context.Context, sn *snapshot, p *Plan, fn func([]V
 // The vanished-match side is skipped under a limit — it enumerates the
 // previous snapshot in full, which is precisely the work a top-k caller
 // asked to avoid — so DeltaDead and Delta stay zero then.
-func (s *System) runDelta(ctx context.Context, sn *snapshot, q *Query, fn func([]VertexID), budget *engine.Budget, gr *groupRun) (Result, error) {
+func (s *System) runDelta(ctx context.Context, sn *snapshot, q *Query, fn func([]VertexID), budget *engine.Budget, gr *groupRun, h *govRun) (Result, error) {
 	flows, err := plan.TranslateDelta(q)
 	if err != nil {
 		return Result{}, err
@@ -770,7 +810,7 @@ func (s *System) runDelta(ctx context.Context, sn *snapshot, q *Query, fn func([
 			}
 		}
 	}
-	return s.runDeltaFlows(ctx, sn, flows, fn, nil, budget, gr)
+	return s.runDeltaFlows(ctx, sn, flows, fn, nil, budget, gr, h)
 }
 
 // runDeltaFlows is the delta-run core shared by runDelta and the
@@ -780,7 +820,7 @@ func (s *System) runDelta(ctx context.Context, sn *snapshot, q *Query, fn func([
 // budgets) every destroyed one; either may be nil to count only.
 // Separating translation from execution lets subscription groups cache
 // their flows once and pay only the enumeration on every Apply.
-func (s *System) runDeltaFlows(ctx context.Context, sn *snapshot, flows []*dataflow.Dataflow, newFn, deadFn func([]VertexID), budget *engine.Budget, gr *groupRun) (Result, error) {
+func (s *System) runDeltaFlows(ctx context.Context, sn *snapshot, flows []*dataflow.Dataflow, newFn, deadFn func([]VertexID), budget *engine.Budget, gr *groupRun, h *govRun) (Result, error) {
 	start := time.Now()
 	var res Result
 	runSide := func(cl *cluster.Cluster, set *graph.EdgeSet, fn func([]VertexID), agg *engine.GroupAgg) (uint64, error) {
@@ -793,7 +833,8 @@ func (s *System) runDeltaFlows(ctx context.Context, sn *snapshot, flows []*dataf
 				break
 			}
 			ex := cl.NewExec()
-			cfg := s.engineConfig(reindexed(df, fn), budget)
+			h.attach(ex.Metrics)
+			cfg := s.engineConfig(reindexed(df, fn), budget, h)
 			cfg.DeltaEdges = set
 			cfg.Groups = agg
 			n, err := engine.Run(ctx, ex, df, cfg)

@@ -25,6 +25,7 @@ type Session struct {
 
 	mu          sync.Mutex
 	snap        *snapshot // pinned graph version
+	prio        int       // default admission priority (SetPriority)
 	queries     uint64
 	errors      uint64
 	results     uint64
@@ -48,6 +49,24 @@ func (se *Session) pinned() *snapshot {
 
 // Epoch returns the version of the snapshot this session is pinned to.
 func (se *Session) Epoch() uint64 { return se.pinned().epoch() }
+
+// SetPriority sets the session's default admission priority on a governed
+// System: every Exec from this session uses it unless the call carries its
+// own Priority option. Higher means preferred under saturation (see
+// Priority); the initial default is 0. On an ungoverned System the weight
+// is accepted and ignored.
+func (se *Session) SetPriority(p int) {
+	se.mu.Lock()
+	se.prio = p
+	se.mu.Unlock()
+}
+
+// priority returns the session's default admission priority.
+func (se *Session) priority() int {
+	se.mu.Lock()
+	defer se.mu.Unlock()
+	return se.prio
+}
 
 // Refresh re-pins the session to the System's current snapshot and
 // returns its epoch. In-flight queries finish on the version they started

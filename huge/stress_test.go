@@ -1,0 +1,202 @@
+package huge_test
+
+// Mixed-workload stress test of the governed serving layer: many sessions
+// racing interactive top-k, heavy enumerations, grouped counts, abandoned
+// streams, subscriptions and Apply churn under a tight global memory
+// envelope. The system must degrade only through its typed taxonomy
+// (ErrOverloaded / ErrMemoryBudget) — never collapse with an untyped
+// error, deadlock, leak goroutines, or leave pooled batches unreleased.
+// Run with -race (CI does).
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/huge"
+	"repro/internal/gen"
+)
+
+func TestGovernedMixedWorkloadStress(t *testing.T) {
+	baseGoroutines := runtime.NumGoroutine()
+
+	const (
+		maxConc   = 4
+		maxQueued = 4
+		globalMem = 20000
+		runMem    = 8000
+		batchRows = 512
+		machines  = 2
+		sessions  = 12
+		rounds    = 4
+	)
+	g := gen.PowerLaw(3000, 6, 17)
+	maxDeg := 0
+	for v := 0; v < g.NumVertices(); v++ {
+		if d := len(g.Neighbors(huge.VertexID(v))); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	sys := huge.NewSystem(g, huge.Options{
+		Machines: machines, Workers: 2, BatchRows: batchRows, QueueRows: 4096,
+		Governor: &huge.GovernorConfig{
+			MaxConcurrent: maxConc, MaxQueued: maxQueued,
+			GlobalMemoryRows: globalMem, RunMemoryRows: runMem,
+		},
+	})
+
+	// A standing query rides along: Apply churn must keep delivering events
+	// while governed client traffic saturates the gate.
+	sub, err := sys.Subscribe(huge.Triangle(), huge.SubBuffer(8), huge.SubLimit(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events int
+	subDone := make(chan struct{})
+	go func() {
+		defer close(subDone)
+		for range sub.C() {
+			events++
+		}
+	}()
+
+	// checkErr admits only the typed degradation taxonomy; anything else is
+	// a collapse.
+	var errMu sync.Mutex
+	var collapsed []error
+	checkErr := func(err error) {
+		if err == nil ||
+			errors.Is(err, huge.ErrOverloaded) ||
+			errors.Is(err, huge.ErrMemoryBudget) ||
+			errors.Is(err, context.Canceled) ||
+			errors.Is(err, context.DeadlineExceeded) {
+			return
+		}
+		errMu.Lock()
+		collapsed = append(collapsed, err)
+		errMu.Unlock()
+	}
+
+	ctx := context.Background()
+	var wg sync.WaitGroup
+
+	// Apply churn: a writer inserts and deletes edge batches while the
+	// readers run; each Apply also drives the subscription's shared delta
+	// maintenance run.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			n := huge.VertexID(g.NumVertices())
+			var d huge.Delta
+			for j := huge.VertexID(0); j < 20; j++ {
+				d.Insert = append(d.Insert, [2]huge.VertexID{(17*j + huge.VertexID(i)) % n, (31*j + 7) % n})
+			}
+			sys.Apply(d)
+			time.Sleep(5 * time.Millisecond)
+		}
+	}()
+
+	// Session workers: one session per goroutine, mixing the workload
+	// classes; interactive sessions carry a higher default priority.
+	start := make(chan struct{})
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			se := sys.NewSession()
+			if i%4 == 0 {
+				se.SetPriority(10)
+			}
+			<-start
+			for r := 0; r < rounds; r++ {
+				switch i % 4 {
+				case 0: // interactive point top-k
+					_, err := se.Exec(ctx, huge.Triangle(), huge.Limit(3)).Wait()
+					checkErr(err)
+				case 1: // heavy enumeration (counted)
+					_, err := se.Exec(ctx, huge.Q1(), huge.CountOnly()).Wait()
+					checkErr(err)
+				case 2: // grouped count
+					_, err := se.Exec(ctx, huge.Triangle(),
+						huge.GroupBy(huge.VertexVar(0)), huge.TopGroups(4)).Wait()
+					checkErr(err)
+				case 3: // streaming run abandoned mid-flight
+					st := se.Exec(ctx, huge.Q1())
+					if _, ok := st.Next(); ok {
+						_, err := st.Close()
+						checkErr(err)
+					} else {
+						_, err := st.Wait()
+						checkErr(err)
+					}
+				}
+				if r%2 == 1 {
+					se.Refresh()
+				}
+			}
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+
+	// Saturation probe on a dedicated admission-only governor (no memory
+	// envelope, so the blocker can never be evicted): with the single slot
+	// held by an unconsumed stream and queueing disabled, the next arrival
+	// must shed deterministically.
+	probe := huge.NewSystem(g, huge.Options{Machines: 2, Workers: 2,
+		Governor: &huge.GovernorConfig{MaxConcurrent: 1, MaxQueued: -1}})
+	blocker := probe.Exec(ctx, huge.Q1())
+	waitStats(t, probe, "probe gate saturated", func(s huge.GovernanceSummary) bool { return s.Running == 1 })
+	if _, err := probe.Exec(ctx, huge.Triangle(), huge.CountOnly()).Wait(); !errors.Is(err, huge.ErrOverloaded) {
+		t.Errorf("saturated gate: err = %v, want ErrOverloaded", err)
+	}
+	if _, err := blocker.Close(); err != nil && !errors.Is(err, context.Canceled) {
+		checkErr(err)
+	}
+
+	if err := sub.Close(); err != nil {
+		t.Errorf("subscription close: %v", err)
+	}
+	<-subDone
+
+	errMu.Lock()
+	for _, err := range collapsed {
+		t.Errorf("collapsed (untyped) run error: %v", err)
+	}
+	errMu.Unlock()
+
+	stats := sys.GovernorStats()
+	if stats.ShedQueue+stats.ShedMemory+stats.Victims+stats.MemBudgetFails == 0 {
+		t.Errorf("governor never engaged under saturation, stats %+v", stats)
+	}
+	if stats.Running != 0 || stats.Waiting != 0 {
+		t.Errorf("gate not drained: %d running, %d waiting", stats.Running, stats.Waiting)
+	}
+	// Pooled batches released: the cross-run gauge must read zero once all
+	// runs (including shed ones) have drained.
+	if stats.GlobalLive != 0 {
+		t.Errorf("GlobalLive = %d after all runs drained, want 0 (pooled batches leaked)", stats.GlobalLive)
+	}
+	// Memory envelope respected within the documented overshoot: each of
+	// the maxConc admitted runs is cut off at its per-run budget plus one
+	// batch's expansion per machine.
+	bound := int64(maxConc) * (runMem + int64(machines*batchRows*maxDeg))
+	if stats.GlobalPeak > bound {
+		t.Errorf("GlobalPeak = %d exceeds %d (maxConc x (runMem + one-batch slack))", stats.GlobalPeak, bound)
+	}
+
+	// No goroutine leaks: everything the stress spawned must exit.
+	deadline := time.Now().Add(10 * time.Second)
+	for runtime.NumGoroutine() > baseGoroutines && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > baseGoroutines {
+		buf := make([]byte, 1<<20)
+		t.Fatalf("goroutines %d > baseline %d after stress\n%s", n, baseGoroutines, buf[:runtime.Stack(buf, true)])
+	}
+	_ = events // event count is epoch-timing dependent; draining to close is the assertion
+}

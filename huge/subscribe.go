@@ -398,7 +398,10 @@ func (s *System) maintainGroup(sn *snapshot, epoch uint64, flows []*dataflow.Dat
 	}
 	// No group aggregation on the maintenance path: the flows are cached
 	// per subscription group and must never carry a per-run GroupSpec.
-	_, err := s.runDeltaFlows(context.Background(), sn, flows, collect(&newM), collect(&deadM), budget, nil)
+	// Maintenance runs stay ungoverned (nil handle): they execute under
+	// applyMu as part of Apply, and queueing them behind client admission
+	// would stall every Apply on the system.
+	_, err := s.runDeltaFlows(context.Background(), sn, flows, collect(&newM), collect(&deadM), budget, nil, nil)
 	s.maint.SharedRuns.Add(1)
 	s.maint.ServedSubscribers.Add(uint64(len(live)))
 	s.maint.DedupedRuns.Add(uint64(len(live) - 1))

@@ -84,6 +84,18 @@ type Config struct {
 	// default; this switch exists for A/B measurement (bench8) and as an
 	// escape hatch.
 	NoAdaptive bool
+	// MemBudgetRows, when positive, is the run's live intermediate-tuple
+	// ceiling: operators compare Metrics.LiveTuples against it at batch
+	// boundaries and the run fails with ErrMemoryBudget once exceeded —
+	// the memory twin of the match Budget's cooperative halt, except that
+	// blowing a memory budget is an error, not completion. The overshoot
+	// is bounded by one batch's expansion per machine.
+	MemBudgetRows int64
+	// AdaptiveBatch replaces the fixed BatchRows with the source-side
+	// sizing controller: batches start at 64 rows for interactive latency
+	// and grow geometrically towards BatchRows while queues stay shallow,
+	// shrinking under queue pressure. BatchRows becomes the ceiling.
+	AdaptiveBatch bool
 	// Budget, when non-nil, is the shared match budget of a top-k run:
 	// the sink (and the compressed counting path) claim slots per result,
 	// and once the budget is exhausted every stage halts cooperatively at

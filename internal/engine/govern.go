@@ -1,0 +1,86 @@
+package engine
+
+// Resource governance at the engine level: the per-run memory budget and
+// the adaptive batch-sizing controller. Both act cooperatively at batch
+// boundaries — exactly the style of the match Budget — so no lock is held
+// while a worker decides to halt, grow or shrink, and the existing
+// drain-and-join machinery (error path, cancellation path) does all the
+// cleanup.
+
+import "errors"
+
+// ErrMemoryBudget is returned by Run when the run's live intermediate
+// tuples (Metrics.LiveTuples — batches queued anywhere plus buffered join
+// rows) exceed Config.MemBudgetRows. The check runs at batch boundaries,
+// so a run may overshoot its budget by at most one batch's expansion per
+// machine before failing; queued work is then drained, pooled batches are
+// recycled and spill files removed, exactly as on cancellation. The
+// serving layer re-exports this sentinel as huge.ErrMemoryBudget.
+var ErrMemoryBudget = errors.New("engine: memory budget exceeded")
+
+// overMemBudget is the cooperative batch-boundary check: operators call it
+// before producing or consuming the next batch.
+func (r *machineRun) overMemBudget() bool {
+	lim := r.ex.eng.cfg.MemBudgetRows
+	return lim > 0 && r.ex.eng.ex.Metrics.LiveTuples() > lim
+}
+
+// Adaptive batch sizing (Config.AdaptiveBatch): sources start small — the
+// first batch is minAdaptiveBatchRows, so a short query answers at
+// interactive latency — and grow geometrically towards Config.BatchRows
+// while this machine's queues stay shallow (downstream is keeping up;
+// bigger batches amortise per-batch overhead). Under queue pressure the
+// size halves instead: deep queues mean downstream is behind, and smaller
+// batches bound how much new intermediate state each scheduling decision
+// adds. Decisions are surfaced in Metrics (BatchGrows / BatchShrinks /
+// BatchRowsLast).
+const minAdaptiveBatchRows = 64
+
+// adaptiveBatchRows returns the size of the next source batch on this
+// machine and records the decision. Called only from the machine's own
+// scheduler loop (curBatch is loop-local state; queue depth is read under
+// the queue mutex).
+func (r *machineRun) adaptiveBatchRows() int {
+	cfg := &r.ex.eng.cfg
+	max := cfg.BatchRows
+	cur := r.curBatch
+	if cur == 0 {
+		cur = minAdaptiveBatchRows
+		if cur > max {
+			cur = max
+		}
+	}
+	depth := r.queuedRows()
+	m := r.ex.eng.ex.Metrics
+	switch capacity := cfg.QueueRows; {
+	case capacity > 0 && depth*2 >= capacity:
+		// Queues at half capacity or more: downstream is behind.
+		if cur > minAdaptiveBatchRows {
+			cur /= 2
+			m.BatchShrinks.Add(1)
+		}
+	case capacity <= 0 || depth*8 <= capacity:
+		// Shallow (or unbounded BFS) queues: downstream keeps up.
+		if cur < max {
+			if cur *= 2; cur > max {
+				cur = max
+			}
+			m.BatchGrows.Add(1)
+		}
+	}
+	r.curBatch = cur
+	m.BatchRowsLast.Store(int64(cur))
+	return cur
+}
+
+// queuedRows returns the rows queued across all of this machine's operator
+// queues — the pressure signal of the sizing controller.
+func (r *machineRun) queuedRows() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var total int64
+	for _, n := range r.qrows {
+		total += n
+	}
+	return total
+}

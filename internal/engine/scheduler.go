@@ -75,6 +75,10 @@ type machineRun struct {
 
 	rng     *rand.Rand
 	batchNo int
+
+	// curBatch is the adaptive batch-sizing controller's current source
+	// batch size (govern.go); 0 until the first sizing decision.
+	curBatch int
 }
 
 func newMachineRun(ex *stageExec, m *cluster.MachineExec, src sourceIter) *machineRun {
@@ -259,7 +263,16 @@ func (r *machineRun) runOp(op int) error {
 				r.ex.sourcesActive.Add(-1)
 				break
 			}
-			b, ok, err := r.source.nextBatch(r.ex.eng.cfg.BatchRows)
+			if r.overMemBudget() {
+				// Memory budget blown: fail the run; the error path drains
+				// queued batches back to the pool on every machine.
+				return ErrMemoryBudget
+			}
+			rows := r.ex.eng.cfg.BatchRows
+			if r.ex.eng.cfg.AdaptiveBatch {
+				rows = r.adaptiveBatchRows()
+			}
+			b, ok, err := r.source.nextBatch(rows)
 			if err != nil {
 				return err
 			}
@@ -284,6 +297,13 @@ func (r *machineRun) runOp(op int) error {
 				// drain to zero and every machine terminates.
 				r.batchProcessed(b)
 				continue
+			}
+			if r.overMemBudget() {
+				// Checked before the expansion, not after: an extend is
+				// where one batch can balloon into orders of magnitude more
+				// tuples, so this is the boundary that bounds overshoot.
+				r.batchProcessed(b)
+				return ErrMemoryBudget
 			}
 			if compress {
 				// Compression [63]: the final extension's matches are
@@ -314,6 +334,13 @@ func (r *machineRun) runOp(op int) error {
 			b := r.dequeue(op - 1)
 			if b == nil {
 				break
+			}
+			if !st.Terminal.Sink && r.overMemBudget() {
+				// A join-feed terminal copies rows into the consumer stage's
+				// buffered relations — net memory growth, unlike a sink,
+				// which only retires tuples. Same batch-boundary fast-fail.
+				r.batchProcessed(b)
+				return ErrMemoryBudget
 			}
 			if err := r.terminal(b); err != nil {
 				return err

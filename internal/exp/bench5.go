@@ -1,0 +1,187 @@
+package exp
+
+// Bench5 is the engine-side top-k experiment behind BENCH_5.json: the
+// machine-readable counterpart of BenchmarkTopK. Exec with Limit(k)
+// arms a match budget that halts the scan-extend pipeline at the batch
+// boundary after the k-th match, and bounded runs schedule as DFS with
+// small batches — so against the full enumeration both latency and peak
+// queued tuples should fall by orders of magnitude for small k. That gap
+// is what makes first-page and existence queries cheap on a serving
+// deployment. Claims: Limit(1) beats the full run >= 10x on latency and
+// >= 10x on peak tuples at every scale, and every bounded run returns
+// exactly k matches (counted and streamed).
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/huge"
+)
+
+// Bench5Config parameterises the experiment.
+type Bench5Config struct {
+	Scales []int // LJ stand-in scale multipliers (vertices = 20000 * scale)
+	Iters  int   // timed rounds per measurement (min is reported)
+}
+
+// DefaultBench5Config mirrors BenchmarkTopK's setup.
+func DefaultBench5Config() Bench5Config {
+	return Bench5Config{Scales: []int{1, 2}, Iters: 3}
+}
+
+// Bench5Row is one scale's measurements: the full Q1 enumeration versus
+// Limit(100) and Limit(1), plus the streamed Limit(100) variant.
+type Bench5Row struct {
+	Scale    int    `json:"scale"`
+	Vertices int    `json:"vertices"`
+	Edges    int    `json:"edges"`
+	Matches  uint64 `json:"matches"` // full enumeration count
+
+	FullNs   int64 `json:"full_ns"`
+	FullPeak int64 `json:"full_peak_tuples"`
+
+	K100Ns      int64 `json:"k100_ns"`
+	K100Peak    int64 `json:"k100_peak_tuples"`
+	K1Ns        int64 `json:"k1_ns"`
+	K1Peak      int64 `json:"k1_peak_tuples"`
+	StreamK100N int64 `json:"k100_stream_ns"` // Limit(100) consumed via Matches()
+
+	K1Speedup    float64 `json:"k1_speedup"`     // full / k=1 latency
+	K1PeakShrink float64 `json:"k1_peak_shrink"` // full / k=1 peak tuples
+	ExactCounts  bool    `json:"exact_counts"`   // every bounded run returned exactly k
+}
+
+// Bench5Report is the BENCH_5.json document.
+type Bench5Report struct {
+	Benchmark string      `json:"benchmark"`
+	GOOS      string      `json:"goos"`
+	GOARCH    string      `json:"goarch"`
+	CPUs      int         `json:"cpus"`
+	Claims    B5Claims    `json:"claims"`
+	Rows      []Bench5Row `json:"rows"`
+}
+
+// B5Claims summarises the headline numbers.
+type B5Claims struct {
+	// K1LatencySpeedupMin is the worst full-vs-Limit(1) latency speedup
+	// across the scales. Target: >= 10.
+	K1LatencySpeedupMin float64 `json:"k1_latency_speedup_min"`
+	// K1PeakShrinkMin is the worst full-vs-Limit(1) peak-tuple shrink
+	// across the scales. Target: >= 10.
+	K1PeakShrinkMin float64 `json:"k1_peak_shrink_min"`
+	// ExactCounts is true iff every bounded run (counted and streamed)
+	// returned exactly k matches.
+	ExactCounts bool `json:"exact_counts"`
+}
+
+// Bench5 runs the experiment.
+func Bench5(cfg Bench5Config) Bench5Report {
+	if len(cfg.Scales) == 0 {
+		cfg = DefaultBench5Config()
+	}
+	rep := Bench5Report{
+		Benchmark: "TopK",
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+	}
+	rep.Claims.ExactCounts = true
+	first := true
+	for _, s := range cfg.Scales {
+		row := bench5Scale(s, cfg)
+		rep.Rows = append(rep.Rows, row)
+		if first || row.K1Speedup < rep.Claims.K1LatencySpeedupMin {
+			rep.Claims.K1LatencySpeedupMin = row.K1Speedup
+		}
+		if first || row.K1PeakShrink < rep.Claims.K1PeakShrinkMin {
+			rep.Claims.K1PeakShrinkMin = row.K1PeakShrink
+		}
+		first = false
+		rep.Claims.ExactCounts = rep.Claims.ExactCounts && row.ExactCounts
+	}
+	return rep
+}
+
+// Table renders the report for the CLI, alongside the JSON artifact.
+func (r Bench5Report) Table() Table {
+	t := Table{
+		Title:  "BENCH_5: engine-side top-k early termination (full Q1 enumeration vs Limit(k))",
+		Header: []string{"scale", "V", "E", "matches", "full", "k=100", "k=1", "k=100 stream", "k=1 speedup", "peak full", "peak k=1", "peak shrink", "counts"},
+	}
+	for _, row := range r.Rows {
+		eq := "exact"
+		if !row.ExactCounts {
+			eq = "MISMATCH"
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", row.Scale),
+			fmt.Sprintf("%d", row.Vertices),
+			fmt.Sprintf("%d", row.Edges),
+			fmt.Sprintf("%d", row.Matches),
+			fmtDur(time.Duration(row.FullNs)),
+			fmtDur(time.Duration(row.K100Ns)),
+			fmtDur(time.Duration(row.K1Ns)),
+			fmtDur(time.Duration(row.StreamK100N)),
+			fmt.Sprintf("%.0fx", row.K1Speedup),
+			fmt.Sprintf("%d", row.FullPeak),
+			fmt.Sprintf("%d", row.K1Peak),
+			fmt.Sprintf("%.0fx", row.K1PeakShrink),
+			eq,
+		})
+	}
+	return t
+}
+
+// bench5Scale measures one scale of the LJ stand-in, mirroring
+// BenchmarkTopK's 4-machine deployment.
+func bench5Scale(scale int, cfg Bench5Config) Bench5Row {
+	g := huge.Generate("LJ", scale)
+	sys := huge.NewSystem(g, huge.Options{Machines: 4, Workers: 2})
+	q := huge.Q1()
+	ctx := context.Background()
+	row := Bench5Row{Scale: scale, Vertices: g.NumVertices(), Edges: int(g.NumEdges())}
+	row.ExactCounts = true
+
+	// measure times a counted run, keeping the min latency and the peak
+	// tuples of the min-latency round.
+	measure := func(ns *int64, peak *int64, count *uint64, opts ...huge.Option) {
+		*ns = bench8Measure(cfg.Iters, func() {
+			res, err := sys.Exec(ctx, q, opts...).Wait()
+			if err != nil {
+				panic(err)
+			}
+			*peak = res.Metrics.PeakTuples
+			*count = res.Count
+		})
+	}
+	var full, k100, k1 uint64
+	measure(&row.FullNs, &row.FullPeak, &full, huge.CountOnly())
+	measure(&row.K100Ns, &row.K100Peak, &k100, huge.CountOnly(), huge.Limit(100))
+	measure(&row.K1Ns, &row.K1Peak, &k1, huge.CountOnly(), huge.Limit(1))
+	row.Matches = full
+	row.ExactCounts = row.ExactCounts && k100 == 100 && k1 == 1
+
+	// Streamed Limit(100): every match crosses the channel to the caller.
+	row.StreamK100N = bench8Measure(cfg.Iters, func() {
+		st := sys.Exec(ctx, q, huge.Limit(100))
+		var n uint64
+		for range st.Matches() {
+			n++
+		}
+		res, err := st.Wait()
+		if err != nil {
+			panic(err)
+		}
+		if n != 100 || res.Count != 100 {
+			row.ExactCounts = false
+		}
+	})
+
+	row.K1Speedup = float64(row.FullNs) / float64(row.K1Ns)
+	if row.K1Peak > 0 {
+		row.K1PeakShrink = float64(row.FullPeak) / float64(row.K1Peak)
+	}
+	return row
+}

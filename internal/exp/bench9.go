@@ -1,0 +1,435 @@
+package exp
+
+// Bench9 is the resource-governance experiment behind BENCH_9.json: a
+// mixed-workload saturation test of the serving layer, governed versus
+// ungoverned. An open-loop driver launches three client classes at fixed
+// rates that together offer several times the machine's capacity —
+// interactive point top-k (Triangle Limit(3), high priority), heavy
+// enumerations (Q1 CountOnly) and grouped counts (Triangle GROUP BY +
+// top-k groups) — across a pool of sessions, while an Apply stream churns
+// the graph and a standing Triangle subscription rides along.
+//
+// Ungoverned, every launch runs immediately: concurrency grows without
+// bound for the whole window and the interactive class queues behind an
+// ever-deeper backlog — the classic latency collapse under overload.
+// Governed, the admission gate caps concurrency at one run slot per core,
+// grants slots to the highest priority class first (displacing queued
+// background work when the queue is full), routes interactive arrivals
+// through a reserved express slot so they never wait behind a heavy
+// enumeration, and sheds the excess with the typed ErrOverloaded
+// fast-fail.
+//
+// Claims: governed interactive p95 is >= 3x better than ungoverned under
+// saturation, total successful throughput stays within 1.3x, no run in
+// either mode fails outside the typed taxonomy, and the governed run
+// observes real shedding (nonzero shed counters).
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/huge"
+	"repro/internal/gen"
+)
+
+// Bench9Config parameterises the experiment.
+type Bench9Config struct {
+	Vertices int           // power-law graph size
+	Sessions int           // session pool size per mode
+	Duration time.Duration // launch window per mode (drain excluded)
+
+	PointEvery time.Duration // interactive arrival period
+	HeavyEvery time.Duration // heavy-enumeration arrival period
+	GroupEvery time.Duration // grouped-count arrival period
+	ApplyEvery time.Duration // graph-churn period
+
+	MaxConcurrent    int   // governed run slots (0 = one per core)
+	MaxQueued        int   // governed admission queue bound
+	ExpressSlots     int   // reserved high-priority run slots
+	GlobalMemoryRows int64 // governed cross-run live-tuple envelope
+}
+
+// DefaultBench9Config offers roughly 8x a single core's capacity: the
+// heavy class alone (~60ms of work every 8ms) oversubscribes the machine,
+// with grouped and interactive traffic on top.
+func DefaultBench9Config() Bench9Config {
+	return Bench9Config{
+		Vertices:         3000,
+		Sessions:         8,
+		Duration:         2 * time.Second,
+		PointEvery:       20 * time.Millisecond,
+		HeavyEvery:       8 * time.Millisecond,
+		GroupEvery:       25 * time.Millisecond,
+		ApplyEvery:       50 * time.Millisecond,
+		MaxConcurrent:    runtime.GOMAXPROCS(0),
+		MaxQueued:        16,
+		ExpressSlots:     1,
+		GlobalMemoryRows: 1_000_000,
+	}
+}
+
+// Bench9Row is one (mode, class)'s latency distribution and outcome
+// counts. Percentiles are over successful completions only; shed and
+// budget-failed runs are the governed system's explicit answer, not a
+// latency sample.
+type Bench9Row struct {
+	Mode         string `json:"mode"`  // "governed" | "ungoverned"
+	Class        string `json:"class"` // "interactive" | "heavy" | "grouped"
+	Launched     int    `json:"launched"`
+	Completed    int    `json:"completed"`
+	Shed         int    `json:"shed"`          // ErrOverloaded fast-fails
+	BudgetFailed int    `json:"budget_failed"` // ErrMemoryBudget fast-fails
+	Collapsed    int    `json:"collapsed"`     // anything outside the typed taxonomy
+	P50Ns        int64  `json:"p50_ns"`
+	P95Ns        int64  `json:"p95_ns"`
+	P99Ns        int64  `json:"p99_ns"`
+	MaxNs        int64  `json:"max_ns"`
+}
+
+// Bench9Mode summarises one mode's run.
+type Bench9Mode struct {
+	Mode             string  `json:"mode"`
+	WallNs           int64   `json:"wall_ns"` // launch window + drain
+	Completed        int     `json:"completed"`
+	ThroughputPerSec float64 `json:"throughput_per_sec"` // completions / wall
+	Applies          int     `json:"applies"`
+	SubEvents        int     `json:"sub_events"`
+	PeakRunTuples    int64   `json:"peak_run_tuples"` // largest per-run tuple high-water mark
+
+	// Governance counters (zero for the ungoverned mode).
+	Admitted       uint64 `json:"admitted,omitempty"`
+	Waited         uint64 `json:"waited,omitempty"`
+	ShedQueue      uint64 `json:"shed_queue,omitempty"`
+	ShedMemory     uint64 `json:"shed_memory,omitempty"`
+	Victims        uint64 `json:"victims,omitempty"`
+	MemBudgetFails uint64 `json:"mem_budget_fails,omitempty"`
+	BatchGrows     uint64 `json:"batch_grows,omitempty"`
+	BatchShrinks   uint64 `json:"batch_shrinks,omitempty"`
+	GlobalPeak     int64  `json:"global_peak_tuples,omitempty"`
+}
+
+// Bench9Report is the BENCH_9.json document.
+type Bench9Report struct {
+	Benchmark string       `json:"benchmark"`
+	GOOS      string       `json:"goos"`
+	GOARCH    string       `json:"goarch"`
+	CPUs      int          `json:"cpus"`
+	Claims    B9Claims     `json:"claims"`
+	Modes     []Bench9Mode `json:"modes"`
+	Rows      []Bench9Row  `json:"rows"`
+}
+
+// B9Claims summarises the headline numbers.
+type B9Claims struct {
+	// InteractiveP95Ratio is ungoverned / governed interactive p95 latency
+	// under saturation. Target: >= 3.
+	InteractiveP95Ratio float64 `json:"interactive_p95_ratio"`
+	// ThroughputFactor is ungoverned / governed successful completions per
+	// second. Target: <= 1.3 (governance must not buy latency with
+	// throughput collapse).
+	ThroughputFactor float64 `json:"throughput_factor"`
+	// CollapsedRuns counts runs in either mode that failed outside the
+	// typed taxonomy. Target: 0.
+	CollapsedRuns int `json:"collapsed_runs"`
+	// GovernedSheds is the governed mode's total shed decisions (queue +
+	// memory + victims + per-run budgets). Target: > 0 — the saturation
+	// must actually have engaged the governor.
+	GovernedSheds uint64 `json:"governed_sheds"`
+}
+
+// Bench9 runs the experiment: governed first, then the same offered load
+// ungoverned.
+func Bench9(cfg Bench9Config) Bench9Report {
+	if cfg.Duration == 0 {
+		cfg = DefaultBench9Config()
+	}
+	rep := Bench9Report{
+		Benchmark: "GovernedMixedLoad",
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+	}
+	gov := bench9Mode(cfg, true)
+	ungov := bench9Mode(cfg, false)
+	rep.Modes = []Bench9Mode{gov.mode, ungov.mode}
+	rep.Rows = append(rep.Rows, gov.rows...)
+	rep.Rows = append(rep.Rows, ungov.rows...)
+
+	var govP95, ungovP95 int64
+	for _, r := range rep.Rows {
+		if r.Class == "interactive" {
+			if r.Mode == "governed" {
+				govP95 = r.P95Ns
+			} else {
+				ungovP95 = r.P95Ns
+			}
+		}
+		rep.Claims.CollapsedRuns += r.Collapsed
+	}
+	if govP95 > 0 {
+		rep.Claims.InteractiveP95Ratio = float64(ungovP95) / float64(govP95)
+	}
+	if gov.mode.ThroughputPerSec > 0 {
+		rep.Claims.ThroughputFactor = ungov.mode.ThroughputPerSec / gov.mode.ThroughputPerSec
+	}
+	rep.Claims.GovernedSheds = gov.mode.ShedQueue + gov.mode.ShedMemory + gov.mode.Victims + gov.mode.MemBudgetFails
+	return rep
+}
+
+// Table renders the report for the CLI, alongside the JSON artifact.
+func (r Bench9Report) Table() Table {
+	t := Table{
+		Title: fmt.Sprintf("BENCH_9: governed vs ungoverned mixed load (interactive p95 ratio %.1fx, throughput factor %.2fx, %d collapsed, %d sheds)",
+			r.Claims.InteractiveP95Ratio, r.Claims.ThroughputFactor, r.Claims.CollapsedRuns, r.Claims.GovernedSheds),
+		Header: []string{"mode", "class", "launched", "ok", "shed", "budget", "collapsed", "p50", "p95", "p99", "max"},
+	}
+	for _, row := range r.Rows {
+		t.Rows = append(t.Rows, []string{
+			row.Mode, row.Class,
+			fmt.Sprintf("%d", row.Launched),
+			fmt.Sprintf("%d", row.Completed),
+			fmt.Sprintf("%d", row.Shed),
+			fmt.Sprintf("%d", row.BudgetFailed),
+			fmt.Sprintf("%d", row.Collapsed),
+			fmtDur(time.Duration(row.P50Ns)),
+			fmtDur(time.Duration(row.P95Ns)),
+			fmtDur(time.Duration(row.P99Ns)),
+			fmtDur(time.Duration(row.MaxNs)),
+		})
+	}
+	return t
+}
+
+// bench9Class is one open-loop traffic class: a launcher ticks at period
+// and fires run() in its own goroutine, so a backed-up system never slows
+// the offered load (no coordinated omission).
+type bench9Class struct {
+	name   string
+	period time.Duration
+	prio   int
+	run    func(se *huge.Session, ctx context.Context) error
+
+	mu        sync.Mutex
+	launched  int
+	completed int
+	shed      int
+	budget    int
+	collapsed int
+	lat       []time.Duration
+}
+
+func (c *bench9Class) record(d time.Duration, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch {
+	case err == nil:
+		c.completed++
+		c.lat = append(c.lat, d)
+	case errors.Is(err, huge.ErrOverloaded):
+		c.shed++
+	case errors.Is(err, huge.ErrMemoryBudget):
+		c.budget++
+	default:
+		c.collapsed++
+	}
+}
+
+// row converts the class tallies into a report row.
+func (c *bench9Class) row(mode string) Bench9Row {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sort.Slice(c.lat, func(i, j int) bool { return c.lat[i] < c.lat[j] })
+	pct := func(q float64) int64 {
+		if len(c.lat) == 0 {
+			return 0
+		}
+		return c.lat[int(q*float64(len(c.lat)-1))].Nanoseconds()
+	}
+	return Bench9Row{
+		Mode: mode, Class: c.name,
+		Launched: c.launched, Completed: c.completed,
+		Shed: c.shed, BudgetFailed: c.budget, Collapsed: c.collapsed,
+		P50Ns: pct(0.50), P95Ns: pct(0.95), P99Ns: pct(0.99), MaxNs: pct(1),
+	}
+}
+
+type bench9ModeResult struct {
+	mode Bench9Mode
+	rows []Bench9Row
+}
+
+// bench9Mode drives the full mixed workload against one System — governed
+// or not — and waits for every launched run to finish before measuring
+// wall time (the ungoverned mode pays for its backlog here).
+func bench9Mode(cfg Bench9Config, governed bool) bench9ModeResult {
+	g := gen.PowerLaw(cfg.Vertices, 6, 17)
+	opts := huge.Options{Machines: 2, Workers: 2}
+	if governed {
+		opts.Governor = &huge.GovernorConfig{
+			MaxConcurrent:    cfg.MaxConcurrent,
+			MaxQueued:        cfg.MaxQueued,
+			ExpressSlots:     cfg.ExpressSlots,
+			GlobalMemoryRows: cfg.GlobalMemoryRows,
+		}
+	}
+	sys := huge.NewSystem(g, opts)
+	mode := "ungoverned"
+	if governed {
+		mode = "governed"
+	}
+
+	// The standing query: Apply churn keeps delivering events while the
+	// client classes saturate the system.
+	sub, err := sys.Subscribe(huge.Triangle(), huge.SubBuffer(64))
+	if err != nil {
+		panic(err)
+	}
+	var events int
+	subDone := make(chan struct{})
+	go func() {
+		defer close(subDone)
+		for range sub.C() {
+			events++
+		}
+	}()
+
+	// Session pool: interactive launches use high-priority sessions.
+	sessions := make([]*huge.Session, cfg.Sessions)
+	hiSessions := make([]*huge.Session, cfg.Sessions)
+	for i := range sessions {
+		sessions[i] = sys.NewSession()
+		hiSessions[i] = sys.NewSession()
+		hiSessions[i].SetPriority(10)
+	}
+
+	var peakRun atomic.Int64
+	note := func(res huge.Result) {
+		for {
+			cur := peakRun.Load()
+			if res.Metrics.PeakTuples <= cur || peakRun.CompareAndSwap(cur, res.Metrics.PeakTuples) {
+				return
+			}
+		}
+	}
+	classes := []*bench9Class{
+		{name: "interactive", period: cfg.PointEvery, prio: 10,
+			run: func(se *huge.Session, ctx context.Context) error {
+				res, err := se.Exec(ctx, huge.Triangle(), huge.CountOnly(), huge.Limit(3)).Wait()
+				note(res)
+				return err
+			}},
+		{name: "heavy", period: cfg.HeavyEvery,
+			run: func(se *huge.Session, ctx context.Context) error {
+				res, err := se.Exec(ctx, huge.Q1(), huge.CountOnly()).Wait()
+				note(res)
+				return err
+			}},
+		{name: "grouped", period: cfg.GroupEvery,
+			run: func(se *huge.Session, ctx context.Context) error {
+				res, err := se.Exec(ctx, huge.Triangle(),
+					huge.GroupBy(huge.VertexVar(0)), huge.TopGroups(4)).Wait()
+				note(res)
+				return err
+			}},
+	}
+
+	ctx := context.Background()
+	start := time.Now()
+	stop := time.After(cfg.Duration)
+	var runs sync.WaitGroup
+	var launchers sync.WaitGroup
+
+	// Apply churn for the launch window.
+	applies := 0
+	launchers.Add(1)
+	go func() {
+		defer launchers.Done()
+		tick := time.NewTicker(cfg.ApplyEvery)
+		defer tick.Stop()
+		n := huge.VertexID(g.NumVertices())
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				var d huge.Delta
+				for j := huge.VertexID(0); j < 10; j++ {
+					d.Insert = append(d.Insert, [2]huge.VertexID{(13*j + huge.VertexID(i)) % n, (29*j + 3) % n})
+				}
+				sys.Apply(d)
+				applies++
+			}
+		}
+	}()
+
+	for _, c := range classes {
+		launchers.Add(1)
+		go func(c *bench9Class) {
+			defer launchers.Done()
+			pool := sessions
+			if c.prio > 0 {
+				pool = hiSessions
+			}
+			tick := time.NewTicker(c.period)
+			defer tick.Stop()
+			deadline := time.Now().Add(cfg.Duration)
+			for i := 0; time.Now().Before(deadline); i++ {
+				<-tick.C
+				se := pool[i%len(pool)]
+				c.mu.Lock()
+				c.launched++
+				c.mu.Unlock()
+				runs.Add(1)
+				go func() {
+					defer runs.Done()
+					t0 := time.Now()
+					err := c.run(se, ctx)
+					c.record(time.Since(t0), err)
+				}()
+			}
+		}(c)
+	}
+	launchers.Wait()
+	runs.Wait() // the drain: ungoverned pays for its backlog here
+	wall := time.Since(start)
+
+	if err := sub.Close(); err != nil {
+		panic(err)
+	}
+	<-subDone
+
+	res := bench9ModeResult{}
+	completed := 0
+	for _, c := range classes {
+		row := c.row(mode)
+		completed += row.Completed
+		res.rows = append(res.rows, row)
+	}
+	res.mode = Bench9Mode{
+		Mode: mode, WallNs: wall.Nanoseconds(),
+		Completed:        completed,
+		ThroughputPerSec: float64(completed) / wall.Seconds(),
+		Applies:          applies,
+		SubEvents:        events,
+		PeakRunTuples:    peakRun.Load(),
+	}
+	if governed {
+		s := sys.GovernorStats()
+		res.mode.Admitted = s.Admitted
+		res.mode.Waited = s.Waited
+		res.mode.ShedQueue = s.ShedQueue
+		res.mode.ShedMemory = s.ShedMemory
+		res.mode.Victims = s.Victims
+		res.mode.MemBudgetFails = s.MemBudgetFails
+		res.mode.BatchGrows = s.BatchGrows
+		res.mode.BatchShrinks = s.BatchShrinks
+		res.mode.GlobalPeak = s.GlobalPeak
+	}
+	return res
+}

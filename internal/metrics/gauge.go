@@ -1,0 +1,112 @@
+package metrics
+
+import "sync/atomic"
+
+// Gauge is a shared live-tuple gauge spanning many concurrent runs: every
+// per-run Metrics wired to it (Metrics.Shared) forwards its live-tuple
+// deltas, so the gauge tracks the cluster-wide intermediate-result
+// footprint the way each run's Metrics tracks its own. The serving layer's
+// resource governor uses one Gauge as the global memory envelope — the
+// admission gate sheds new work while it is over its limit, and the
+// over-callback lets the governor pick a victim run to cancel so admitted
+// work converges back under the envelope.
+//
+// All methods are safe for concurrent use from every machine and worker
+// goroutine of every run.
+type Gauge struct {
+	live  atomic.Int64
+	peak  atomic.Int64
+	limit int64 // immutable after construction; <= 0 disables Over/onOver
+
+	// onOver, when set, is invoked (possibly concurrently, once per
+	// crossing Add) whenever an Add lands above the limit. It must be cheap
+	// and non-blocking — the governor's implementation is a single CAS that
+	// hands off to a shedding goroutine.
+	onOver func()
+}
+
+// NewGauge returns a gauge with the given row limit (<= 0 = unlimited).
+// onOver may be nil.
+func NewGauge(limit int64, onOver func()) *Gauge {
+	return &Gauge{limit: limit, onOver: onOver}
+}
+
+// Add records a live-tuple delta and updates the peak; an Add that lands
+// above the limit fires the over-callback.
+func (g *Gauge) Add(n int64) {
+	cur := g.live.Add(n)
+	for {
+		peak := g.peak.Load()
+		if cur <= peak || g.peak.CompareAndSwap(peak, cur) {
+			break
+		}
+	}
+	if g.limit > 0 && cur > g.limit && g.onOver != nil {
+		g.onOver()
+	}
+}
+
+// Live returns the current cross-run live-tuple total.
+func (g *Gauge) Live() int64 { return g.live.Load() }
+
+// Peak returns the high-water mark.
+func (g *Gauge) Peak() int64 { return g.peak.Load() }
+
+// Limit returns the configured envelope (<= 0 = unlimited).
+func (g *Gauge) Limit() int64 { return g.limit }
+
+// Over reports whether the gauge currently exceeds its limit.
+func (g *Gauge) Over() bool { return g.limit > 0 && g.live.Load() > g.limit }
+
+// Governance aggregates the serving layer's resource-governance counters
+// across a System's lifetime, in the same style as Maintenance: one
+// instance shared by every governed Exec. Admitted+ShedQueue+ShedMemory
+// partition the governed requests; Waited counts the admitted ones that
+// queued first, Victims the in-flight runs cancelled under global memory
+// pressure, and MemBudgetFails the runs that exceeded their own per-run
+// budget. BatchGrows/BatchShrinks tally adaptive batch-sizing decisions
+// across all governed runs (the per-run split lives in each run's
+// Metrics).
+type Governance struct {
+	Admitted       atomic.Uint64 // requests admitted past the gate
+	Waited         atomic.Uint64 // admitted requests that queued before a slot freed
+	ShedQueue      atomic.Uint64 // fast-failed: admission queue at capacity
+	ShedMemory     atomic.Uint64 // fast-failed: global memory gauge over its envelope
+	Victims        atomic.Uint64 // in-flight runs cancelled to relieve global pressure
+	MemBudgetFails atomic.Uint64 // runs that exceeded their per-run memory budget
+	BatchGrows     atomic.Uint64 // adaptive batch-sizing grow decisions
+	BatchShrinks   atomic.Uint64 // adaptive batch-sizing shrink decisions
+}
+
+// GovernanceSummary is a point-in-time copy of the governance counters,
+// plus the instantaneous gate and gauge state filled in by the governor.
+type GovernanceSummary struct {
+	Admitted       uint64
+	Waited         uint64
+	ShedQueue      uint64
+	ShedMemory     uint64
+	Victims        uint64
+	MemBudgetFails uint64
+	BatchGrows     uint64
+	BatchShrinks   uint64
+
+	Running    int   // runs currently admitted
+	Waiting    int   // requests currently queued at the gate
+	GlobalLive int64 // current cross-run live tuples (0 without a global budget)
+	GlobalPeak int64 // cross-run live-tuple high-water mark
+}
+
+// Snapshot copies the counters (the instantaneous fields stay zero; the
+// governor overlays them).
+func (g *Governance) Snapshot() GovernanceSummary {
+	return GovernanceSummary{
+		Admitted:       g.Admitted.Load(),
+		Waited:         g.Waited.Load(),
+		ShedQueue:      g.ShedQueue.Load(),
+		ShedMemory:     g.ShedMemory.Load(),
+		Victims:        g.Victims.Load(),
+		MemBudgetFails: g.MemBudgetFails.Load(),
+		BatchGrows:     g.BatchGrows.Load(),
+		BatchShrinks:   g.BatchShrinks.Load(),
+	}
+}

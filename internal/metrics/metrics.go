@@ -32,6 +32,19 @@ type Metrics struct {
 	liveTuples atomic.Int64
 	peakTuples atomic.Int64
 
+	// Shared, when non-nil, receives every live-tuple delta too: the
+	// serving layer wires each governed run's Metrics to one cross-run
+	// Gauge, so the global memory envelope sees the sum of all concurrent
+	// runs' live tuples. Set before the run starts, never after.
+	Shared *Gauge
+
+	// Adaptive batch sizing (engine Config.AdaptiveBatch): grow/shrink
+	// decisions the source-side controller took for this run, and the size
+	// it last settled on — how the governor's sizing policy is observed.
+	BatchGrows    atomic.Uint64
+	BatchShrinks  atomic.Uint64
+	BatchRowsLast atomic.Int64
+
 	StealsIntra atomic.Uint64
 	StealsInter atomic.Uint64
 
@@ -85,8 +98,12 @@ func (k *Kernels) Snapshot() graph.KernelCounts {
 	}
 }
 
-// AddLiveTuples records queued intermediate results and updates the peak.
+// AddLiveTuples records queued intermediate results and updates the peak;
+// a wired Shared gauge sees the same delta.
 func (m *Metrics) AddLiveTuples(n int64) {
+	if m.Shared != nil {
+		m.Shared.Add(n)
+	}
 	cur := m.liveTuples.Add(n)
 	for {
 		peak := m.peakTuples.Load()
@@ -169,6 +186,11 @@ type Summary struct {
 	PeakTuples               int64
 	StealsIntra, StealsInter uint64
 	Kernels                  graph.KernelCounts
+
+	// Adaptive batch sizing: decisions taken and the final size (0 when
+	// the run used a fixed batch size).
+	BatchGrows, BatchShrinks uint64
+	BatchRowsLast            int64
 }
 
 // Snapshot copies the counters.
@@ -184,8 +206,11 @@ func (m *Metrics) Snapshot() Summary {
 		CacheHits:   m.CacheHits.Load(),
 		CacheMisses: m.CacheMisses.Load(),
 		PeakTuples:  m.PeakTuples(),
-		StealsIntra: m.StealsIntra.Load(),
-		StealsInter: m.StealsInter.Load(),
-		Kernels:     m.Kernels.Snapshot(),
+		StealsIntra:   m.StealsIntra.Load(),
+		StealsInter:   m.StealsInter.Load(),
+		Kernels:       m.Kernels.Snapshot(),
+		BatchGrows:    m.BatchGrows.Load(),
+		BatchShrinks:  m.BatchShrinks.Load(),
+		BatchRowsLast: m.BatchRowsLast.Load(),
 	}
 }
