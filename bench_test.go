@@ -823,3 +823,28 @@ func BenchmarkGovernedMixedLoad(b *testing.B) {
 		b.ReportMetric(float64(rep.Claims.GovernedSheds), "sheds")
 	}
 }
+
+// BenchmarkRecoverVsReingest runs the bench10 persistence experiment at
+// miniature scale: cold-starting a System from the durable store (snapshot
+// + full epoch-log replay) versus re-ingesting the final graph's edge
+// list, plus the AsOf time-travel overhead — with the count and
+// stats-fingerprint oracles enforced. The CI smoke runs it once
+// (-benchtime=1x); `hugebench -exp bench10` writes the full-size
+// BENCH_10.json.
+func BenchmarkRecoverVsReingest(b *testing.B) {
+	cfg := exp.DefaultBench10Config()
+	cfg.Scales = []int{1}
+	cfg.Iters = 2
+	cfg.Updates = 500
+	for i := 0; i < b.N; i++ {
+		rep := exp.Bench10(cfg)
+		if !rep.Claims.CountsEqual {
+			b.Fatal("recovered/re-ingested/AsOf counts diverged from the live oracle")
+		}
+		if !rep.Claims.StatsFPEqual {
+			b.Fatal("recovered statistics fingerprint differs from the live system's")
+		}
+		b.ReportMetric(rep.Claims.RecoverySpeedupMin, "recoverX")
+		b.ReportMetric(rep.Claims.AsOfOverheadMax, "asofRatio")
+	}
+}

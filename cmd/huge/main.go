@@ -12,6 +12,14 @@
 // ALSO serves all n subscribers from one shared delta run, and each epoch's
 // delivered event is cross-checked against the session's own delta counts.
 //
+// With -store dir the System is durable: if dir holds a store it is
+// recovered via huge.Open (no edge list re-read; add -mmap to map the
+// snapshot instead of loading it), otherwise one is rooted via huge.Create
+// from the chosen dataset. Updates replayed with -updates are logged
+// through the store's epoch log, and the replay additionally cross-checks
+// time travel: AsOf at sampled epochs must reproduce the counts maintained
+// live. -asof n executes the query against the historical graph at epoch n.
+//
 // Usage:
 //
 //	huge -dataset LJ -scale 1 -query q1 -machines 4 -workers 2 -plan optimal
@@ -24,6 +32,9 @@
 //	huge -input go.txt -query triangle -updates go.txt.updates -update-batch 200
 //	huge -input go.txt -query triangle -updates go.txt.updates -subscribe 1000
 //	huge -labels 16 -query triangle -group vlabel:0 -topgroups 10 -hist 8
+//	huge -store go.store -query triangle                    # Create or Open
+//	huge -store go.store -query triangle -updates go.txt.updates  # logged replay
+//	huge -store go.store -query triangle -asof 3 -mmap      # time travel
 //
 // With -group the run is an engine-side GROUP BY: matches are counted per
 // key (a data vertex, a vertex label, or an edge label) inside the
@@ -67,6 +78,9 @@ func main() {
 		updates  = flag.String("updates", "", "replay an insert/delete stream file (\"+ u v\" / \"- u v\" lines) with delta-mode maintenance")
 		batch    = flag.Int("update-batch", 100, "operations applied per delta batch during -updates replay")
 		subCount = flag.Int("subscribe", 0, "register N standing subscriptions served from one shared delta run per -updates batch")
+		storeDir = flag.String("store", "", "persistent store directory: recovered with huge.Open if it exists (ignoring -input/-dataset), created with huge.Create otherwise; -updates batches are logged durably")
+		asofArg  = flag.Int64("asof", -1, "with -store: run the query against the historical snapshot at this epoch (time travel); -1 = current")
+		useMmap  = flag.Bool("mmap", false, "with -store: mmap snapshot CSR sections instead of reading them (lazy paging)")
 	)
 	flag.Parse()
 
@@ -97,31 +111,80 @@ func main() {
 			q = q.WithVertexLabels(ls)
 		}
 	}
-	var g *huge.Graph
-	if *input != "" {
-		f, err := os.Open(*input)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		g, err = huge.LoadLabeledEdgeList(f)
-		f.Close()
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-	} else if *elabels > 0 {
-		g = huge.GenerateEdgeLabeled(*dataset, *scale, *elabels, *labels)
-	} else if *labels > 0 {
-		g = huge.GenerateLabeled(*dataset, *scale, *labels)
-	} else {
-		g = huge.Generate(*dataset, *scale)
+	sysOpts := huge.Options{
+		Machines: *machines, Workers: *workers, QueueRows: *queue,
+		Persist: &huge.PersistConfig{Mmap: *useMmap},
 	}
+	var sys *huge.System
+	var g *huge.Graph
+	if *storeDir != "" && huge.StoreExists(*storeDir) {
+		// Cold start from disk: the snapshot + epoch log reconstruct the
+		// graph, its exact statistics, and the warm plan cache — the edge
+		// list (-input/-dataset) is not read at all.
+		var err error
+		sys, err = huge.Open(*storeDir, sysOpts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		g = sys.Graph()
+		fmt.Printf("store: recovered %s at epoch %d (edge list not read)\n", *storeDir, sys.Epoch())
+	} else {
+		if *input != "" {
+			f, err := os.Open(*input)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			g, err = huge.LoadLabeledEdgeList(f)
+			f.Close()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		} else if *elabels > 0 {
+			g = huge.GenerateEdgeLabeled(*dataset, *scale, *elabels, *labels)
+		} else if *labels > 0 {
+			g = huge.GenerateLabeled(*dataset, *scale, *labels)
+		} else {
+			g = huge.Generate(*dataset, *scale)
+		}
+		if *storeDir != "" {
+			var err error
+			sys, err = huge.Create(*storeDir, g, sysOpts)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("store: created %s at epoch %d\n", *storeDir, sys.Epoch())
+		} else {
+			sys = huge.NewSystem(g, sysOpts)
+		}
+	}
+	defer sys.Close()
 	fmt.Printf("graph: %d vertices, %d edges, max degree %d, labels %d, edge labels %d\n",
 		g.NumVertices(), g.NumEdges(), g.MaxDegree(), g.NumLabels(), g.NumEdgeLabels())
 
-	sys := huge.NewSystem(g, huge.Options{Machines: *machines, Workers: *workers, QueueRows: *queue})
 	sess := sys.NewSession()
+	if *asofArg >= 0 {
+		if *storeDir == "" {
+			fmt.Fprintln(os.Stderr, "-asof requires -store (time travel reads the epoch log)")
+			os.Exit(2)
+		}
+		if *updates != "" || *subCount > 0 {
+			fmt.Fprintln(os.Stderr, "-asof is a read-only historical view; drop -updates/-subscribe")
+			os.Exit(2)
+		}
+		var err error
+		sess, err = sys.AsOf(uint64(*asofArg))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		hg := sess.Graph()
+		fmt.Printf("time travel: session pinned to epoch %d (%d vertices, %d edges)\n",
+			*asofArg, hg.NumVertices(), hg.NumEdges())
+	}
 	ctx := context.Background()
 	var p *huge.Plan
 	if *planArg != "optimal" {
@@ -225,7 +288,7 @@ func main() {
 		os.Exit(2)
 	}
 	if *updates != "" {
-		if err := replayUpdates(ctx, sys, sess, q, *updates, *batch, res.Count, *subCount); err != nil {
+		if err := replayUpdates(ctx, sys, sess, q, *updates, *batch, res.Count, *subCount, *storeDir != ""); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -248,8 +311,11 @@ func main() {
 // a full re-enumeration of the final snapshot. With subCount > 0 it also
 // registers that many standing subscriptions on q and cross-checks each
 // epoch's delivered event against the session's own delta counts — all
-// subCount subscribers ride ONE shared delta run per batch.
-func replayUpdates(ctx context.Context, sys *huge.System, sess *huge.Session, q *huge.Query, path string, batchSize int, baseCount uint64, subCount int) error {
+// subCount subscribers ride ONE shared delta run per batch. On a
+// store-backed System (storeBacked) every batch is also durably logged,
+// and after replay the maintained per-epoch counts are cross-checked
+// against time-travel sessions (System.AsOf) materialised from that log.
+func replayUpdates(ctx context.Context, sys *huge.System, sess *huge.Session, q *huge.Query, path string, batchSize int, baseCount uint64, subCount int, storeBacked bool) error {
 	ops, err := readUpdates(path)
 	if err != nil {
 		return err
@@ -274,6 +340,8 @@ func replayUpdates(ctx context.Context, sys *huge.System, sess *huge.Session, q 
 	}
 	running := int64(baseCount)
 	dq := q.Delta()
+	var epochs []uint64           // applied epochs, in order (store-backed only)
+	counts := map[uint64]uint64{} // maintained match count after each epoch
 	for lo := 0; lo < len(ops); lo += batchSize {
 		hi := lo + batchSize
 		if hi > len(ops) {
@@ -298,6 +366,10 @@ func replayUpdates(ctx context.Context, sys *huge.System, sess *huge.Session, q 
 			return err
 		}
 		running += res.Delta
+		if storeBacked {
+			epochs = append(epochs, epoch)
+			counts[epoch] = uint64(running)
+		}
 		fmt.Printf("epoch %d: %d ops, delta %+d (new %d, dead %d) in %v -> %d matches\n",
 			epoch, hi-lo, res.Delta, res.DeltaNew, res.DeltaDead, res.Elapsed, running)
 		// Drain every subscriber. Maintenance is synchronous inside Apply,
@@ -341,6 +413,32 @@ func replayUpdates(ctx context.Context, sys *huge.System, sess *huge.Session, q 
 		return fmt.Errorf("delta maintenance diverged: maintained %d, full re-count %d", running, full.Count)
 	}
 	fmt.Printf("verified: maintained count %d == full re-count %d\n", running, full.Count)
+	if storeBacked && len(epochs) > 0 {
+		// Every batch above was durably logged before install; cross-check
+		// the log by time-travelling to a sample of epochs (first, middle,
+		// last) and re-counting against the maintained totals.
+		sample := []uint64{epochs[0], epochs[len(epochs)/2], epochs[len(epochs)-1]}
+		checked := map[uint64]bool{}
+		for _, e := range sample {
+			if checked[e] {
+				continue
+			}
+			checked[e] = true
+			hs, err := sys.AsOf(e)
+			if err != nil {
+				return fmt.Errorf("AsOf(%d): %w", e, err)
+			}
+			res, err := hs.Exec(ctx, q, huge.CountOnly()).Wait()
+			if err != nil {
+				return fmt.Errorf("AsOf(%d) exec: %w", e, err)
+			}
+			if res.Count != counts[e] {
+				return fmt.Errorf("time travel diverged: AsOf(%d) count %d, maintained count was %d",
+					e, res.Count, counts[e])
+			}
+			fmt.Printf("time travel verified: AsOf(%d) count %d == maintained count\n", e, res.Count)
+		}
+	}
 	return nil
 }
 

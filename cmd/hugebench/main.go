@@ -11,10 +11,11 @@
 // fig11 all — plus bench5 (engine-side top-k early termination), bench6
 // (the standing-query fan-out benchmark), bench7 (engine-side GROUP BY vs
 // client-side enumeration), bench8 (the degree-adaptive intersection
-// kernels, legacy vs hub-bitset dispatch) and bench9 (resource
-// governance: governed vs ungoverned mixed load under saturation), which
-// also write their machine-readable results to -out (default
-// BENCH_<n>.json).
+// kernels, legacy vs hub-bitset dispatch), bench9 (resource
+// governance: governed vs ungoverned mixed load under saturation) and
+// bench10 (the persistent store: cold-start recovery vs edge-list
+// re-ingest, plus AsOf time-travel overhead), which also write their
+// machine-readable results to -out (default BENCH_<n>.json).
 package main
 
 import (
@@ -133,6 +134,16 @@ func main() {
 		rep := exp.Bench9(cfg)
 		tables = []exp.Table{rep.Table()}
 		writeReport(orDefault(*out, "BENCH_9.json"), rep)
+	case "bench10":
+		cfg := exp.DefaultBench10Config()
+		if *tiny {
+			cfg.Scales = []int{1}
+			cfg.Iters = 2
+			cfg.Updates = 500
+		}
+		rep := exp.Bench10(cfg)
+		tables = []exp.Table{rep.Table()}
+		writeReport(orDefault(*out, "BENCH_10.json"), rep)
 	case "all":
 		e.All(qs, ds, func(t exp.Table) { fmt.Println(t.String()) })
 		return

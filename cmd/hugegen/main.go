@@ -12,6 +12,12 @@
 //	hugegen -dataset GO -out go.txt -updates 1000 -updates-out stream.txt
 //	hugegen -dataset GO -elabels 8 -out go.txt -updates 1000   # edge-labelled twin
 //	hugegen -dataset LJ -communities 64 -out lj-comm.txt       # group-by twin
+//	hugegen -dataset LJ -store ljstore                 # root a persistent store
+//
+// -store additionally (or instead of -out) roots a persistent store
+// directory from the generated graph — the same format huge.Create writes —
+// so `huge -store dir` cold-starts from the snapshot without ever parsing
+// an edge list.
 //
 // -communities attaches community-style vertex labels: a mildly skewed
 // Zipf over N communities (a few large ones, a long mid-sized tail) rather
@@ -26,6 +32,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/huge"
 	"repro/internal/gen"
 	"repro/internal/graph"
 )
@@ -41,6 +48,7 @@ func main() {
 		updates    = flag.Int("updates", 0, "also emit a random insert/delete stream of N operations (with -elabels: labelled inserts + relabels)")
 		updatesOut = flag.String("updates-out", "", "update-stream file (default <out>.updates; required with -updates when writing to stdout)")
 		seed       = flag.Int64("seed", 1, "update-stream seed")
+		storeDir   = flag.String("store", "", "also root a persistent store directory from the generated graph (huge -store dir then cold-starts from it)")
 	)
 	flag.Parse()
 	if *comms > 0 && *vlabels > 0 {
@@ -61,22 +69,37 @@ func main() {
 	default:
 		g = gen.ByName(*dataset, *scale)
 	}
-	w := os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
+	if *out != "" || *storeDir == "" {
+		w := os.Stdout
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := g.WriteEdgeList(w); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "%s: %d vertices, %d edges, max degree %d\n",
+		*dataset, g.NumVertices(), g.NumEdges(), g.MaxDegree())
+	if *storeDir != "" {
+		sys, err := huge.Create(*storeDir, g, huge.Options{})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		defer f.Close()
-		w = f
+		epoch := sys.Epoch()
+		if err := sys.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "store: rooted %s at epoch %d\n", *storeDir, epoch)
 	}
-	if err := g.WriteEdgeList(w); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	fmt.Fprintf(os.Stderr, "%s: %d vertices, %d edges, max degree %d\n",
-		*dataset, g.NumVertices(), g.NumEdges(), g.MaxDegree())
 	if *updates <= 0 {
 		return
 	}

@@ -38,6 +38,13 @@
 // one System at once. Optimised plans are memoised in a fingerprint-keyed
 // LRU, so repeated (even relabelled) patterns skip the optimiser.
 //
+// A System can also be durable: Create roots a persistent store (CSR
+// snapshots plus a write-ahead epoch log of every Apply) in a directory,
+// Open recovers it after a restart or crash without re-reading the edge
+// list — statistics fingerprints byte-equal, plan cache re-warmed — and
+// AsOf(epoch) pins a Session to any logged historical graph version for
+// time-travel reads. See persist.go and huge.PersistConfig.
+//
 // Queries may carry per-vertex label constraints (NewLabeledQuery, or the
 // ":<label>" pattern syntax) against labelled graphs (GenerateLabeled,
 // LoadLabeledEdgeList, WithLabels): plans exploit label selectivity, scans
@@ -85,6 +92,7 @@ package huge
 
 import (
 	"context"
+	"fmt"
 	"io"
 	"sync"
 	"time"
@@ -98,6 +106,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/plan"
 	"repro/internal/query"
+	"repro/internal/store"
 )
 
 // Re-exported core types, so applications only import this package.
@@ -266,6 +275,11 @@ type Options struct {
 	// governance entirely: every Exec runs immediately and unbudgeted, as
 	// before. See GovernorConfig.
 	Governor *GovernorConfig
+	// Persist tunes the durable store attached by Create and Open (fsync
+	// policy, mmap loading, compaction cadence, history retention). Nil
+	// uses the durable defaults. NewSystem ignores it — persistence is
+	// opted into by constructing the System with Create or Open.
+	Persist *PersistConfig
 }
 
 // DefaultQueueRows is the adaptive queue capacity substituted when
@@ -342,6 +356,11 @@ type System struct {
 	// gov is the resource governor (admission, budgets, shedding); nil
 	// when Options.Governor is nil — the ungoverned historical behaviour.
 	gov *governor
+
+	// st is the durable store backing this System (persist.go); nil for a
+	// purely in-memory System (NewSystem). When set, Apply writes through
+	// the store's epoch log before installing the new snapshot.
+	st *store.Store
 }
 
 // snapshot returns the current version; runs capture it once and use it
@@ -458,11 +477,23 @@ func (s *System) Epoch() uint64 { return s.snapshot().epoch() }
 // the differential identity holds for edge-label-constrained queries with
 // no extra handling here. Vertex relabels need the incident-edge
 // augmentation below.
+//
+// On a persistent System (Create/Open) the delta is appended to the epoch
+// log — and, unless PersistConfig.NoSync, fsynced — BEFORE the snapshot
+// installs, so every epoch a client ever observed is durable. A log write
+// that fails panics: a durable System whose log cannot keep up with its
+// memory state would silently break recovery's contract, and Apply has no
+// error channel (an in-memory fallback would be worse than stopping).
 func (s *System) Apply(d Delta) uint64 {
 	s.applyMu.Lock()
 	defer s.applyMu.Unlock()
 	cur := s.snapshot()
 	ng, applied := graph.Apply(cur.g, d)
+	if s.st != nil {
+		if err := s.st.Append(ng.Epoch(), d); err != nil {
+			panic(fmt.Sprintf("huge: epoch log write failed, durability lost: %v", err))
+		}
+	}
 	stats := plan.UpdateStats(cur.stats, cur.g, ng, applied)
 	cl := cluster.New(ng, s.opts.clusterConfig())
 	inserted, deleted := applied.Inserted, applied.Deleted
@@ -509,6 +540,12 @@ func (s *System) Apply(d Delta) uint64 {
 	// live pattern group on the snapshot just installed (subscribe.go).
 	// Running under applyMu keeps per-epoch event order per subscriber.
 	s.maintainSubscriptions(next)
+	if s.st != nil && s.st.ShouldCompact() {
+		// The log outgrew its snapshot: persist the state just installed so
+		// recovery replays (almost) nothing. Failure is not fatal — the log
+		// still covers everything — so compaction just retries next Apply.
+		_ = s.st.Compact(s.snapshotData(next))
+	}
 	return ng.Epoch()
 }
 

@@ -50,6 +50,10 @@ func (se *Session) pinned() *snapshot {
 // Epoch returns the version of the snapshot this session is pinned to.
 func (se *Session) Epoch() uint64 { return se.pinned().epoch() }
 
+// Graph returns the data graph of the snapshot this session is pinned to —
+// the live version for a NewSession pin, a historical one for System.AsOf.
+func (se *Session) Graph() *Graph { return se.pinned().g }
+
 // SetPriority sets the session's default admission priority on a governed
 // System: every Exec from this session uses it unless the call carries its
 // own Priority option. Higher means preferred under saturation (see

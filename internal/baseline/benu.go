@@ -5,10 +5,10 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/graph"
-	"repro/internal/kvstore"
 	"repro/internal/metrics"
 	"repro/internal/plan"
 	"repro/internal/query"
+	"repro/internal/store"
 )
 
 // BENUConfig parameterises the BENU baseline (Wang et al. [84]): each
@@ -19,7 +19,7 @@ type BENUConfig struct {
 	NumMachines int
 	Workers     int
 	CacheBytes  uint64 // per worker task; BENU shares a traditional cache per machine
-	Store       *kvstore.Store
+	Store       *store.SimKV
 }
 
 // RunBENU executes q over g and returns the match count. DFS keeps memory
@@ -33,7 +33,7 @@ func RunBENU(g *graph.Graph, q *query.Query, cfg BENUConfig, m *metrics.Metrics)
 		cfg.Workers = 1
 	}
 	if cfg.Store == nil {
-		cfg.Store = kvstore.New(g, m)
+		cfg.Store = store.NewSimKV(g, m)
 	}
 	order := plan.MatchingOrder(q)
 	pos := make([]int, q.NumVertices())
@@ -87,7 +87,7 @@ type benuWorker struct {
 	g       *graph.Graph // label metadata only; adjacency goes through the store
 	order   []int
 	pos     []int
-	store   *kvstore.Store
+	store   *store.SimKV
 	cache   cache.Cache
 	metrics *metrics.Metrics
 	assign  []graph.VertexID

@@ -3,10 +3,10 @@ package baseline
 import (
 	"repro/internal/cache"
 	"repro/internal/graph"
-	"repro/internal/kvstore"
 	"repro/internal/metrics"
 	"repro/internal/plan"
 	"repro/internal/query"
+	"repro/internal/store"
 )
 
 // RADSConfig parameterises the RADS baseline (Ren et al. [66]):
@@ -18,7 +18,7 @@ type RADSConfig struct {
 	RegionGroup    int // pivot roots per group; 0 = one group with everything
 	CacheBytes     uint64
 	MemLimitTuples int64
-	Store          *kvstore.Store // pull source; nil builds a zero-latency one
+	Store          *store.SimKV // pull source; nil builds a zero-latency one
 }
 
 // RunRADS enumerates q on g with RADS's plan and execution model.
@@ -27,7 +27,7 @@ func RunRADS(g *graph.Graph, q *query.Query, cfg RADSConfig, m *metrics.Metrics)
 		cfg.NumMachines = 1
 	}
 	if cfg.Store == nil {
-		cfg.Store = kvstore.New(g, m)
+		cfg.Store = store.NewSimKV(g, m)
 	}
 	p := plan.RADSPlan(q)
 	units := radsUnits(p.Root)

@@ -18,10 +18,10 @@ import (
 	"repro/internal/engine"
 	"repro/internal/gen"
 	"repro/internal/graph"
-	"repro/internal/kvstore"
 	"repro/internal/metrics"
 	"repro/internal/plan"
 	"repro/internal/query"
+	"repro/internal/store"
 )
 
 // Table is one experiment's printable result.
@@ -200,13 +200,13 @@ func (e *Env) RunHUGE(g *graph.Graph, q *query.Query, o HugeOpts) RunResult {
 // RunBaseline executes one of the paper's competitor systems.
 func (e *Env) RunBaseline(name string, g *graph.Graph, q *query.Query, memLimit int64) RunResult {
 	m := &metrics.Metrics{}
-	store := kvstore.New(g, m)
+	kv := store.NewSimKV(g, m)
 	if e.Latency {
 		// External-store overhead (BENU's Cassandra pain): much larger
 		// per-request cost than the in-engine RPC layer, but small enough
 		// that the reduced-scale experiments finish promptly.
-		store.Overhead = 25 * time.Microsecond
-		store.PerKB = 2 * time.Microsecond
+		kv.Overhead = 25 * time.Microsecond
+		kv.PerKB = 2 * time.Microsecond
 	}
 	var comm baseline.CommCost
 	if e.Latency {
@@ -219,12 +219,12 @@ func (e *Env) RunBaseline(name string, g *graph.Graph, q *query.Query, memLimit 
 	switch name {
 	case "BENU":
 		count = baseline.RunBENU(g, q, baseline.BENUConfig{
-			NumMachines: e.K, Workers: e.Workers, CacheBytes: g.SizeBytes() / 10, Store: store,
+			NumMachines: e.K, Workers: e.Workers, CacheBytes: g.SizeBytes() / 10, Store: kv,
 		}, m)
 	case "RADS":
 		count, err = baseline.RunRADS(g, q, baseline.RADSConfig{
 			NumMachines: e.K, RegionGroup: g.NumVertices()/8 + 1,
-			CacheBytes: g.SizeBytes() / 4, MemLimitTuples: memLimit, Store: store,
+			CacheBytes: g.SizeBytes() / 4, MemLimitTuples: memLimit, Store: kv,
 		}, m)
 	case "SEED":
 		count, err = baseline.RunSEED(g, q, baseline.SEEDConfig{

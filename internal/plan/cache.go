@@ -145,6 +145,20 @@ func (c *Cache) InvalidateGraph(statsFP uint64) int {
 	return evicted
 }
 
+// Each calls fn for every cached entry, most recently used first, without
+// touching recency or hit statistics. The cache lock is held for the whole
+// walk — fn must be cheap and must not call back into the cache. The store
+// layer uses it to capture which (query, family) pairs are worth
+// re-optimising after recovery.
+func (c *Cache) Each(fn func(key string, p *Plan)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*cacheEntry)
+		fn(e.key, e.plan)
+	}
+}
+
 // Stats returns cumulative hits and misses, and the current entry count.
 func (c *Cache) Stats() (hits, misses uint64, size int) {
 	c.mu.Lock()

@@ -1,0 +1,28 @@
+//go:build unix
+
+package store
+
+import (
+	"os"
+	"syscall"
+)
+
+const mmapSupported = true
+
+// mmapFile maps the file read-only. The returned bytes alias the page
+// cache: cold CSR segments page in on first touch, so opening a snapshot
+// costs header+small-section reads regardless of graph size, and graphs
+// larger than RAM can serve with the kernel evicting cold pages.
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	if size == 0 {
+		return nil, syscall.EINVAL
+	}
+	return syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+func munmapFile(b []byte) error {
+	if b == nil {
+		return nil
+	}
+	return syscall.Munmap(b)
+}

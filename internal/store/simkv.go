@@ -1,11 +1,15 @@
-// Package kvstore simulates the external distributed key-value store
-// (Cassandra [13]) that BENU keeps the data graph in. The paper's finding
-// is that such a store's per-request overhead — client serialisation,
-// network round trip, server lookup — dominates BENU's communication time
-// even though its pulled volume is small; the Overhead and PerKB knobs
-// model exactly that cost, and the byte counters feed the same metrics the
-// other engines report.
-package kvstore
+package store
+
+// SimKV is the simulated external distributed key-value store (Cassandra
+// [13]) that the BENU and RADS baselines read the data graph from —
+// formerly the standalone internal/kvstore package, folded in here when
+// the real persistent layer landed. The paper's finding is that such a
+// store's per-request overhead — client serialisation, network round
+// trip, server lookup — dominates BENU's communication time even though
+// its pulled volume is small; the Overhead and PerKB knobs model exactly
+// that cost, and the byte counters feed the same metrics the other
+// engines report. It is intentionally a cost model, not a storage engine:
+// the durable path lives in Store.
 
 import (
 	"time"
@@ -14,22 +18,22 @@ import (
 	"repro/internal/metrics"
 )
 
-// Store holds the graph's adjacency lists keyed by vertex.
-type Store struct {
+// SimKV holds the graph's adjacency lists keyed by vertex.
+type SimKV struct {
 	g        *graph.Graph
 	Overhead time.Duration // fixed cost per Get (the "large overhead" of Section 1)
 	PerKB    time.Duration
 	Metrics  *metrics.Metrics
 }
 
-// New loads g into the store.
-func New(g *graph.Graph, m *metrics.Metrics) *Store {
-	return &Store{g: g, Metrics: m}
+// NewSimKV loads g into the simulated store.
+func NewSimKV(g *graph.Graph, m *metrics.Metrics) *SimKV {
+	return &SimKV{g: g, Metrics: m}
 }
 
 // Get returns the adjacency list of v, charging the request to the metrics
 // and sleeping for the modelled latency.
-func (s *Store) Get(v graph.VertexID) []graph.VertexID {
+func (s *SimKV) Get(v graph.VertexID) []graph.VertexID {
 	nb := s.g.Neighbors(v)
 	bytes := uint64(len(nb))*4 + 4
 	s.Metrics.RPCCalls.Add(1)
@@ -44,7 +48,7 @@ func (s *Store) Get(v graph.VertexID) []graph.VertexID {
 
 // GetBatch returns adjacency for several vertices in one request — BENU's
 // batched variant, still paying the per-request overhead once.
-func (s *Store) GetBatch(vs []graph.VertexID) [][]graph.VertexID {
+func (s *SimKV) GetBatch(vs []graph.VertexID) [][]graph.VertexID {
 	out := make([][]graph.VertexID, len(vs))
 	bytes := uint64(len(vs)) * 4
 	for i, v := range vs {

@@ -1,4 +1,4 @@
-package kvstore
+package store
 
 import (
 	"testing"
@@ -8,10 +8,10 @@ import (
 	"repro/internal/metrics"
 )
 
-func TestGetAccounting(t *testing.T) {
+func TestSimKVGetAccounting(t *testing.T) {
 	g := graph.FromEdges([][2]graph.VertexID{{0, 1}, {1, 2}, {0, 2}})
 	m := &metrics.Metrics{}
-	s := New(g, m)
+	s := NewSimKV(g, m)
 	nb := s.Get(1)
 	if len(nb) != 2 {
 		t.Fatalf("Get(1) = %v", nb)
@@ -25,10 +25,10 @@ func TestGetAccounting(t *testing.T) {
 	}
 }
 
-func TestGetBatchSingleRequest(t *testing.T) {
+func TestSimKVGetBatchSingleRequest(t *testing.T) {
 	g := graph.FromEdges([][2]graph.VertexID{{0, 1}, {1, 2}, {0, 2}})
 	m := &metrics.Metrics{}
-	s := New(g, m)
+	s := NewSimKV(g, m)
 	out := s.GetBatch([]graph.VertexID{0, 1, 2})
 	if len(out) != 3 {
 		t.Fatalf("batch size %d", len(out))
@@ -38,12 +38,12 @@ func TestGetBatchSingleRequest(t *testing.T) {
 	}
 }
 
-func TestOverheadDominates(t *testing.T) {
+func TestSimKVOverheadDominates(t *testing.T) {
 	// The BENU story: per-request overhead makes many small pulls far
 	// slower than one batched pull.
 	g := graph.FromEdges([][2]graph.VertexID{{0, 1}, {1, 2}, {2, 3}, {3, 0}})
 	m := &metrics.Metrics{}
-	s := New(g, m)
+	s := NewSimKV(g, m)
 	s.Overhead = 500 * time.Microsecond
 
 	start := time.Now()

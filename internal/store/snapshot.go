@@ -1,0 +1,243 @@
+package store
+
+// Snapshot file I/O: atomic page-aligned writes and checksummed reads,
+// fully in-memory or mmap-backed.
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+
+	"repro/internal/plan"
+)
+
+// writeSnapshotFile persists data at path atomically: the bytes land in a
+// temp file in the same directory, are fsynced, and are renamed into
+// place, followed by a directory fsync — a crash mid-write leaves either
+// the old state or the new file, never a half-written snapshot under the
+// live name.
+func writeSnapshotFile(path string, data SnapshotData) (err error) {
+	d := data.CSR
+	var h snapHeader
+	h.numV = uint64(d.NumV)
+	h.numE = d.NumE
+	h.maxDeg = uint64(d.MaxDeg)
+	h.epoch = d.Epoch
+	h.numELabels = uint32(d.NumELabels)
+
+	sections := make([][]byte, numSecs)
+	sections[secOffsets] = u64Bytes(d.Offsets)
+	sections[secAdj] = vidBytes(d.Adj)
+	if d.Labels != nil {
+		h.flags |= flagVLabels
+		sections[secVLabels] = lidBytes(d.Labels)
+	}
+	if d.ELabels != nil {
+		h.flags |= flagELabels
+		sections[secELabels] = lidBytes(d.ELabels)
+	}
+	sections[secStats] = plan.EncodeStats(data.Stats)
+	sections[secPlans] = encodePlanSpecs(data.Plans)
+
+	off := uint64(headerSize)
+	for i, sec := range sections {
+		h.secs[i] = sectionMeta{off: off, length: uint64(len(sec)), crc: crc32.Checksum(sec, castagnoli)}
+		off = pageAlign(off + uint64(len(sec)))
+	}
+
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".tmp-snap-*")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if _, err = tmp.Write(h.encode()); err != nil {
+		return err
+	}
+	pad := make([]byte, pageSize)
+	pos := uint64(headerSize)
+	for i, sec := range sections {
+		if h.secs[i].off > pos {
+			if _, err = tmp.Write(pad[:h.secs[i].off-pos]); err != nil {
+				return err
+			}
+			pos = h.secs[i].off
+		}
+		if _, err = tmp.Write(sec); err != nil {
+			return err
+		}
+		pos += uint64(len(sec))
+	}
+	if err = tmp.Sync(); err != nil {
+		return err
+	}
+	if err = tmp.Close(); err != nil {
+		return err
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+func syncDir(dir string) error {
+	df, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	// Some platforms/filesystems refuse fsync on directories; atomicity
+	// still holds via the rename, so that refusal is not fatal.
+	if err := df.Sync(); err != nil && !errors.Is(err, errors.ErrUnsupported) {
+		df.Close()
+		return err
+	}
+	return df.Close()
+}
+
+// loadedSnapshot is a decoded snapshot file plus the mapping backing it
+// (nil when fully read into memory).
+type loadedSnapshot struct {
+	data   SnapshotData
+	mapped []byte // munmap on release; nil for heap-backed loads
+}
+
+// readSnapshotFile loads and verifies a snapshot. With useMmap set (and a
+// platform that supports it, and a little-endian host) the two large CSR
+// sections alias the mapping and page in lazily; the header and the small
+// sections are always verified eagerly, but the lazily-paged sections'
+// checksums are then NOT verified — the durability story for mmap mode is
+// the header CRC plus the kernel's page cache. Full-read mode verifies
+// every section.
+func readSnapshotFile(path string, useMmap bool) (*loadedSnapshot, error) {
+	if useMmap && mmapSupported && hostLittleEndian {
+		return readSnapshotMmap(path)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	h, err := decodeHeader(b)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", filepath.Base(path), err)
+	}
+	secs, err := sectionSlices(b, h, true)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", filepath.Base(path), err)
+	}
+	// The read buffer is owned by the returned graph, so the typed views
+	// can alias it (zeroCopy) — no second copy of the big arrays.
+	data, err := assemble(h, secs, true)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", filepath.Base(path), err)
+	}
+	return &loadedSnapshot{data: data}, nil
+}
+
+func readSnapshotMmap(path string) (*loadedSnapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	m, err := mmapFile(f, fi.Size())
+	if err != nil {
+		// Mapping can fail where plain reads succeed (e.g. some network
+		// filesystems); fall back rather than refuse to open.
+		return readSnapshotFile(path, false)
+	}
+	h, err := decodeHeader(m)
+	if err != nil {
+		munmapFile(m)
+		return nil, fmt.Errorf("%s: %w", filepath.Base(path), err)
+	}
+	// Verify everything except the two large lazily-paged sections.
+	secs, err := sectionSlices(m, h, false)
+	if err != nil {
+		munmapFile(m)
+		return nil, fmt.Errorf("%s: %w", filepath.Base(path), err)
+	}
+	data, err := assemble(h, secs, true)
+	if err != nil {
+		munmapFile(m)
+		return nil, fmt.Errorf("%s: %w", filepath.Base(path), err)
+	}
+	return &loadedSnapshot{data: data, mapped: m}, nil
+}
+
+// sectionSlices bounds-checks every section against the file and returns
+// their byte views. verifyLarge additionally checksums the offsets/adj/
+// elabels sections (the ones mmap mode leaves to lazy paging); the small
+// stats/plans/vlabels sections are always verified.
+func sectionSlices(b []byte, h snapHeader, verifyLarge bool) ([numSecs][]byte, error) {
+	var out [numSecs][]byte
+	want := [numSecs]uint64{
+		secOffsets: (h.numV + 1) * 8,
+		secAdj:     2 * h.numE * 4,
+	}
+	if h.flags&flagVLabels != 0 {
+		want[secVLabels] = h.numV * 2
+	}
+	if h.flags&flagELabels != 0 {
+		want[secELabels] = 2 * h.numE * 2
+	}
+	for i, s := range h.secs {
+		if s.off > uint64(len(b)) || s.length > uint64(len(b))-s.off {
+			return out, fmt.Errorf("store: section %d out of bounds (off %d len %d, file %d)", i, s.off, s.length, len(b))
+		}
+		switch i {
+		case secStats, secPlans:
+			// variable length
+		default:
+			if s.length != want[i] {
+				return out, fmt.Errorf("store: section %d length %d, header implies %d", i, s.length, want[i])
+			}
+		}
+		sec := b[s.off : s.off+s.length]
+		big := i == secOffsets || i == secAdj || i == secELabels
+		if (verifyLarge || !big) && crc32.Checksum(sec, castagnoli) != s.crc {
+			return out, fmt.Errorf("store: section %d checksum mismatch", i)
+		}
+		out[i] = sec
+	}
+	return out, nil
+}
+
+func assemble(h snapHeader, secs [numSecs][]byte, zeroCopy bool) (SnapshotData, error) {
+	var data SnapshotData
+	d := &data.CSR
+	d.NumV = int(h.numV)
+	d.NumE = h.numE
+	d.MaxDeg = int(h.maxDeg)
+	d.Epoch = h.epoch
+	d.NumELabels = int(h.numELabels)
+	d.Offsets = bytesToU64(secs[secOffsets], d.NumV+1, zeroCopy)
+	d.Adj = bytesToVID(secs[secAdj], int(2*h.numE), zeroCopy)
+	if h.flags&flagVLabels != 0 {
+		d.Labels = bytesToLID(secs[secVLabels], d.NumV, zeroCopy)
+	}
+	if h.flags&flagELabels != 0 {
+		d.ELabels = bytesToLID(secs[secELabels], int(2*h.numE), zeroCopy)
+	}
+	stats, err := plan.DecodeStats(secs[secStats])
+	if err != nil {
+		return data, err
+	}
+	data.Stats = stats
+	specs, err := decodePlanSpecs(secs[secPlans])
+	if err != nil {
+		return data, err
+	}
+	data.Plans = specs
+	return data, nil
+}

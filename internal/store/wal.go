@@ -1,0 +1,237 @@
+package store
+
+// The write-ahead epoch log: one CRC-framed, length-prefixed record per
+// applied graph.Delta. A record is
+//
+//	[u32 payload length][u32 CRC-32C of payload][payload]
+//
+// and the payload is the record's epoch followed by the delta's four
+// operation lists. Records are appended and fsynced BEFORE the in-memory
+// snapshot installs (WAL discipline), so every epoch a client ever
+// observed is durable. Recovery reads records in order and stops at the
+// first frame that is short or fails its checksum — the torn tail a crash
+// mid-append leaves — truncating the file back to the last durable record.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"repro/internal/graph"
+)
+
+// maxWALPayload bounds a record frame so a corrupt length prefix cannot
+// drive a giant allocation during replay. 1 GiB ≫ any real Apply batch.
+const maxWALPayload = 1 << 30
+
+func encodeWALPayload(epoch uint64, d graph.Delta) []byte {
+	n := 8 + 4 + 8*len(d.Insert) + 1 + 2*len(d.InsertLabels) +
+		4 + 8*len(d.Delete) + 4 + 10*len(d.Relabel) + 4 + 6*len(d.Labels)
+	b := make([]byte, 0, n)
+	b = binary.LittleEndian.AppendUint64(b, epoch)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(d.Insert)))
+	for _, e := range d.Insert {
+		b = binary.LittleEndian.AppendUint32(b, uint32(e[0]))
+		b = binary.LittleEndian.AppendUint32(b, uint32(e[1]))
+	}
+	if d.InsertLabels == nil {
+		b = append(b, 0)
+	} else {
+		b = append(b, 1)
+		for _, l := range d.InsertLabels {
+			b = binary.LittleEndian.AppendUint16(b, uint16(l))
+		}
+	}
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(d.Delete)))
+	for _, e := range d.Delete {
+		b = binary.LittleEndian.AppendUint32(b, uint32(e[0]))
+		b = binary.LittleEndian.AppendUint32(b, uint32(e[1]))
+	}
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(d.Relabel)))
+	for _, r := range d.Relabel {
+		b = binary.LittleEndian.AppendUint32(b, uint32(r.U))
+		b = binary.LittleEndian.AppendUint32(b, uint32(r.V))
+		b = binary.LittleEndian.AppendUint16(b, uint16(r.L))
+	}
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(d.Labels)))
+	for _, vl := range d.Labels {
+		b = binary.LittleEndian.AppendUint32(b, uint32(vl.V))
+		b = binary.LittleEndian.AppendUint16(b, uint16(vl.L))
+	}
+	return b
+}
+
+func decodeWALPayload(b []byte) (epoch uint64, d graph.Delta, err error) {
+	r := &byteReader{b: b}
+	u64 := func(what string) uint64 {
+		if r.err != nil || r.pos+8 > len(r.b) {
+			r.fail(what)
+			return 0
+		}
+		v := binary.LittleEndian.Uint64(r.b[r.pos:])
+		r.pos += 8
+		return v
+	}
+	u16 := func(what string) uint16 {
+		if r.err != nil || r.pos+2 > len(r.b) {
+			r.fail(what)
+			return 0
+		}
+		v := binary.LittleEndian.Uint16(r.b[r.pos:])
+		r.pos += 2
+		return v
+	}
+	epoch = u64("epoch")
+	nIns := int(r.u32("insert count"))
+	if r.err == nil && nIns > (len(b)-r.pos)/8 {
+		r.fail("inserts")
+	}
+	if nIns > 0 && r.err == nil {
+		d.Insert = make([][2]graph.VertexID, nIns)
+		for i := range d.Insert {
+			d.Insert[i][0] = graph.VertexID(r.u32("insert"))
+			d.Insert[i][1] = graph.VertexID(r.u32("insert"))
+		}
+	}
+	if r.u8("insert-label flag") != 0 && r.err == nil {
+		d.InsertLabels = make([]graph.LabelID, nIns)
+		for i := range d.InsertLabels {
+			d.InsertLabels[i] = graph.LabelID(u16("insert label"))
+		}
+	}
+	nDel := int(r.u32("delete count"))
+	if r.err == nil && nDel > (len(b)-r.pos)/8 {
+		r.fail("deletes")
+	}
+	if nDel > 0 && r.err == nil {
+		d.Delete = make([][2]graph.VertexID, nDel)
+		for i := range d.Delete {
+			d.Delete[i][0] = graph.VertexID(r.u32("delete"))
+			d.Delete[i][1] = graph.VertexID(r.u32("delete"))
+		}
+	}
+	nRel := int(r.u32("relabel count"))
+	if r.err == nil && nRel > (len(b)-r.pos)/10 {
+		r.fail("relabels")
+	}
+	if nRel > 0 && r.err == nil {
+		d.Relabel = make([]graph.EdgeLabel, nRel)
+		for i := range d.Relabel {
+			d.Relabel[i].U = graph.VertexID(r.u32("relabel"))
+			d.Relabel[i].V = graph.VertexID(r.u32("relabel"))
+			d.Relabel[i].L = graph.LabelID(u16("relabel"))
+		}
+	}
+	nVL := int(r.u32("vertex-label count"))
+	if r.err == nil && nVL > (len(b)-r.pos)/6 {
+		r.fail("vertex labels")
+	}
+	if nVL > 0 && r.err == nil {
+		d.Labels = make([]graph.VertexLabel, nVL)
+		for i := range d.Labels {
+			d.Labels[i].V = graph.VertexID(r.u32("vertex label"))
+			d.Labels[i].L = graph.LabelID(u16("vertex label"))
+		}
+	}
+	if r.err == nil && r.pos != len(b) {
+		r.err = fmt.Errorf("store: wal record: %d trailing bytes", len(b)-r.pos)
+	}
+	return epoch, d, r.err
+}
+
+// walWriter appends records to one log segment.
+type walWriter struct {
+	f      *os.File
+	path   string
+	nosync bool
+	size   int64
+}
+
+func openWAL(path string, nosync bool) (*walWriter, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &walWriter{f: f, path: path, nosync: nosync, size: fi.Size()}, nil
+}
+
+func (w *walWriter) append(epoch uint64, d graph.Delta) error {
+	payload := encodeWALPayload(epoch, d)
+	frame := make([]byte, 8, 8+len(payload))
+	binary.LittleEndian.PutUint32(frame, uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:], crc32.Checksum(payload, castagnoli))
+	frame = append(frame, payload...)
+	if _, err := w.f.Write(frame); err != nil {
+		return err
+	}
+	if !w.nosync {
+		if err := w.f.Sync(); err != nil {
+			return err
+		}
+	}
+	w.size += int64(len(frame))
+	return nil
+}
+
+func (w *walWriter) close() error {
+	if w == nil || w.f == nil {
+		return nil
+	}
+	err := w.f.Close()
+	w.f = nil
+	return err
+}
+
+// replayWAL streams every durable record of the segment at path to fn in
+// append order and returns the byte offset just past the last good record
+// plus its epoch (0 if the segment holds none). A short frame, an
+// implausible length, or a checksum mismatch ends replay at the previous
+// record — the defined crash semantics — and is NOT an error; only fn
+// failures and I/O errors are.
+func replayWAL(path string, fn func(epoch uint64, d graph.Delta) error) (durable int64, lastEpoch uint64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer f.Close()
+	var hdr [8]byte
+	var payload []byte
+	for {
+		if _, err := io.ReadFull(f, hdr[:]); err != nil {
+			return durable, lastEpoch, nil // clean end or torn frame header
+		}
+		n := binary.LittleEndian.Uint32(hdr[:])
+		want := binary.LittleEndian.Uint32(hdr[4:])
+		if n > maxWALPayload {
+			return durable, lastEpoch, nil // corrupt length prefix
+		}
+		if cap(payload) < int(n) {
+			payload = make([]byte, n)
+		}
+		payload = payload[:n]
+		if _, err := io.ReadFull(f, payload); err != nil {
+			return durable, lastEpoch, nil // torn payload
+		}
+		if crc32.Checksum(payload, castagnoli) != want {
+			return durable, lastEpoch, nil // bit rot or torn write
+		}
+		epoch, d, err := decodeWALPayload(payload)
+		if err != nil {
+			// The frame passed its checksum but does not parse: a writer
+			// bug or version skew, not a torn tail — surface it.
+			return durable, lastEpoch, err
+		}
+		if err := fn(epoch, d); err != nil {
+			return durable, lastEpoch, err
+		}
+		durable += 8 + int64(n)
+		lastEpoch = epoch
+	}
+}
